@@ -1,0 +1,220 @@
+// Package adcc_test hosts the benchmark harness: one benchmark per table
+// and figure of the paper's evaluation (each regenerates the experiment
+// through internal/harness), plus micro-benchmarks of the substrate
+// kernels.
+//
+// The per-figure benchmarks run at a reduced scale by default so that
+// `go test -bench=.` finishes in minutes; set ADCC_BENCH_SCALE=1.0 to
+// benchmark the full paper-shape experiments. The authoritative
+// paper-vs-measured numbers live in EXPERIMENTS.md, produced by
+// `go run ./cmd/adccbench -experiment all`.
+package adcc_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"adcc/internal/cache"
+	"adcc/internal/ckpt"
+	"adcc/internal/core"
+	"adcc/internal/crash"
+	"adcc/internal/dense"
+	"adcc/internal/harness"
+	"adcc/internal/mc"
+	"adcc/internal/mem"
+	"adcc/internal/pmem"
+	"adcc/internal/sparse"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("ADCC_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.05
+}
+
+// benchExperiment runs one harness experiment per b.N iteration and
+// reports the simulated result table size as a sanity signal.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, ok := harness.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	opts := harness.Options{Scale: benchScale()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// One benchmark per paper table/figure.
+
+func BenchmarkFig3CGRecomputation(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig4CGRuntime(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig7MMRecomputation(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig8MMRuntime(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig10MCNaive(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkFig12MCSelective(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13MCRuntime(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkAblationCGCache(b *testing.B)     { benchExperiment(b, "cg-cache") }
+func BenchmarkAblationMCFlush(b *testing.B)     { benchExperiment(b, "mc-flush") }
+func BenchmarkAblationMMRank(b *testing.B)      { benchExperiment(b, "mm-k") }
+
+// --- substrate micro-benchmarks ---
+
+func newBenchMachine() *crash.Machine {
+	return crash.NewMachine(crash.MachineConfig{
+		System: crash.NVMOnly,
+		Cache:  cache.DefaultConfig(),
+	})
+}
+
+// BenchmarkCacheSimLoad measures the raw overhead of one simulated
+// element load through the LLC model (hit path).
+func BenchmarkCacheSimLoad(b *testing.B) {
+	m := newBenchMachine()
+	r := m.Heap.AllocF64("v", 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.At(i & 1023)
+	}
+}
+
+// BenchmarkCacheSimStream measures streaming stores with eviction and
+// writeback activity.
+func BenchmarkCacheSimStream(b *testing.B) {
+	m := newBenchMachine()
+	r := m.Heap.AllocF64("v", 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Set(i&(1<<20-1), float64(i))
+	}
+}
+
+// BenchmarkSimSpMV measures the simulated sparse matrix-vector kernel.
+func BenchmarkSimSpMV(b *testing.B) {
+	m := newBenchMachine()
+	a := sparse.GenSPD(20000, 11, 1)
+	sa := sparse.NewSimCSR(m.Heap, a, "A")
+	x := m.Heap.AllocF64("x", a.N)
+	y := m.Heap.AllocF64("y", a.N)
+	for i := 0; i < a.N; i++ {
+		x.Set(i, 1)
+	}
+	b.SetBytes(int64(sa.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sa.SpMV(m.CPU, y, 0, x, 0)
+	}
+}
+
+// BenchmarkNativeSpMV is the un-instrumented reference kernel.
+func BenchmarkNativeSpMV(b *testing.B) {
+	a := sparse.GenSPD(20000, 11, 1)
+	x := make([]float64, a.N)
+	y := make([]float64, a.N)
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparse.SpMV(y, a, x)
+	}
+}
+
+// BenchmarkGemmAcc measures the simulated rank-k update kernel.
+func BenchmarkGemmAcc(b *testing.B) {
+	m := newBenchMachine()
+	an := dense.Random(256, 256, 1)
+	bn := dense.Random(256, 256, 2)
+	A := dense.UploadSim(m.Heap, "A", an)
+	B := dense.UploadSim(m.Heap, "B", bn)
+	C := dense.NewSim(m.Heap, "C", 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dense.GemmAcc(m.CPU, C, A, B, 0, 64)
+	}
+}
+
+// BenchmarkMCLookup measures one macroscopic cross-section lookup.
+func BenchmarkMCLookup(b *testing.B) {
+	m := newBenchMachine()
+	s := mc.New(m.Heap, m.CPU, mc.Config{
+		Nuclides: 34, PointsPerNuclide: 1000, Lookups: 1 << 30, Seed: 42,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Lookup(int64(i))
+	}
+}
+
+// BenchmarkPMEMTransaction measures an undo-log transaction over one
+// cache line, the hot path behind the paper's 329% PMEM overhead.
+func BenchmarkPMEMTransaction(b *testing.B) {
+	m := newBenchMachine()
+	p := pmem.NewPool(m, 1<<20)
+	r := m.Heap.AllocF64("v", 1024)
+	p.RegisterF64(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := p.Begin()
+		tx.SetF64(r, i&1023, float64(i))
+		tx.Commit()
+	}
+}
+
+// BenchmarkCheckpoint measures a memory-based checkpoint of a 1 MB
+// region.
+func BenchmarkCheckpoint(b *testing.B) {
+	m := newBenchMachine()
+	c := ckpt.NewNVM(m)
+	r := m.Heap.AllocF64("v", 128<<10)
+	b.SetBytes(int64(r.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Checkpoint(int64(i), r)
+	}
+}
+
+// BenchmarkCGSolve measures a five-iteration extended-CG solve end to
+// end, including machine construction (the dominant cost is the
+// simulated SpMV traffic).
+func BenchmarkCGSolve(b *testing.B) {
+	a := sparse.GenSPD(10000, 11, 1)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		m := newBenchMachine()
+		cg := core.NewCG(m, nil, a, core.CGOptions{MaxIter: 5})
+		cg.Run(1)
+	}
+}
+
+// BenchmarkCGRecoveryDetect measures the invariant-based detection walk.
+func BenchmarkCGRecoveryDetect(b *testing.B) {
+	a := sparse.GenSPD(10000, 11, 1)
+	m := crash.NewMachine(crash.MachineConfig{
+		System: crash.NVMOnly,
+		Cache: cache.Config{
+			SizeBytes: 256 << 10, LineBytes: mem.LineSize, Assoc: 8,
+			HitNS: 4, FlushChargesClean: true, PrefetchStreams: 16,
+		},
+	})
+	em := crash.NewEmulator(m)
+	cg := core.NewCG(m, em, a, core.CGOptions{MaxIter: 10})
+	em.CrashAtTrigger(core.TriggerCGIterEnd, 10)
+	em.Run(func() { cg.Run(1) })
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		_ = cg.Recover()
+	}
+}

@@ -1,0 +1,79 @@
+// Command adccbench regenerates the tables and figures of the paper's
+// evaluation (Yang et al., "Algorithm-Directed Crash Consistence in
+// Non-Volatile Memory for HPC", CLUSTER 2017) on the simulated NVM
+// platform, plus the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	adccbench -experiment all              # every experiment, paper-shape sizes
+//	adccbench -experiment fig3,fig4        # specific experiments
+//	adccbench -experiment fig8 -scale 0.2  # scaled-down quick run
+//	adccbench -list                        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adcc/internal/harness"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("experiment", "all", "comma-separated experiment names, or 'all'")
+		scale    = flag.Float64("scale", 1.0, "problem-size scale factor (1.0 = paper-shape defaults)")
+		verbose  = flag.Bool("v", false, "print progress while running")
+		listOnly = flag.Bool("list", false, "list available experiments and exit")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, e := range harness.All() {
+			fmt.Printf("  %-10s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	var selected []harness.Experiment
+	if *expFlag == "all" {
+		selected = harness.All()
+	} else {
+		for _, name := range strings.Split(*expFlag, ",") {
+			name = strings.TrimSpace(name)
+			e, ok := harness.ByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "adccbench: unknown experiment %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := harness.Options{Scale: *scale, Verbose: *verbose, Out: os.Stderr}
+	failed := false
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adccbench: %s failed: %v\n", e.Name, err)
+			failed = true
+			continue
+		}
+		if *asCSV {
+			fmt.Printf("## %s\n", e.Name)
+			tab.FprintCSV(os.Stdout)
+		} else {
+			tab.Fprint(os.Stdout)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", e.Name, time.Since(start))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,65 @@
+// abft_mm demonstrates crash consistence for ABFT matrix multiplication
+// (paper §III-C): the two-loop extension stores submatrix products in
+// checksummed temporal matrices whose checksums are flushed; after a
+// crash, checksum verification over the NVM image classifies every block
+// as complete, torn, or never-computed — and single stale elements are
+// repaired outright instead of recomputed.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"adcc/internal/cache"
+	"adcc/internal/core"
+	"adcc/internal/crash"
+	"adcc/internal/dense"
+)
+
+func main() {
+	const (
+		n = 320
+		k = 64
+	)
+	machine := crash.NewMachine(crash.MachineConfig{
+		System: crash.NVMOnly,
+		Cache: cache.Config{
+			SizeBytes: 256 << 10, LineBytes: 64, Assoc: 16, HitNS: 4,
+			FlushChargesClean: true, PrefetchStreams: 16,
+		},
+	})
+	emulator := crash.NewEmulator(machine)
+	mm := core.NewMM(machine, emulator, core.MMOptions{N: n, K: k, Seed: 3})
+
+	// Crash at the end of the 3rd submatrix multiplication.
+	emulator.CrashAtTrigger(core.TriggerMMLoop1IterEnd, 3)
+	emulator.Run(mm.Run)
+	fmt.Printf("crashed during loop 1 (%d x %d, rank %d, %d panels)\n\n",
+		n, n, k, mm.NumPanels())
+
+	rec := mm.RecoverLoop1()
+	fmt.Println("checksum verification of the temporal matrices in NVM:")
+	for s, st := range rec.Status {
+		fmt.Printf("  Ctemp[%d]: %s\n", s, st)
+	}
+
+	// Recompute only what the checksums condemned, then finish.
+	mm.ResumeLoop1(rec)
+	mm.Em = nil // no more crashes
+	mm.RunLoop2(0)
+
+	// Verify against a native reference product.
+	an := dense.Random(n, n, 3)
+	bn := dense.Random(n, n, 4)
+	ref := dense.New(n, n)
+	dense.Mul(ref, an, bn)
+	got := mm.Result()
+	worst := 0.0
+	for i := range ref.Data {
+		if d := math.Abs(got.Data[i] - ref.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("\nmax |error| vs native product: %.2e\n", worst)
+	fmt.Printf("simulated runtime: %.2f ms\n", float64(machine.Clock.Now())/1e6)
+}

@@ -1,0 +1,65 @@
+// cg_solver compares the cost of making a CG solve crash-consistent
+// with the three families of mechanisms the paper evaluates: per-
+// iteration checkpointing, PMEM-style undo-log transactions, and the
+// algorithm-directed history extension — all configured for the same
+// one-iteration recomputation bound, so runtime is the only difference.
+package main
+
+import (
+	"fmt"
+
+	"adcc/internal/ckpt"
+	"adcc/internal/core"
+	"adcc/internal/crash"
+	"adcc/internal/sparse"
+)
+
+func main() {
+	const (
+		n     = 40000
+		iters = 12
+	)
+	a := sparse.GenSPD(n, 13, 7)
+	opts := core.CGOptions{MaxIter: iters}
+
+	type result struct {
+		name string
+		ns   int64
+	}
+	var results []result
+
+	run := func(name string, f func(m *crash.Machine) func()) {
+		m := crash.NewMachine(crash.MachineConfig{System: crash.NVMOnly})
+		work := f(m)
+		start := m.Clock.Now()
+		work()
+		results = append(results, result{name, m.Clock.Since(start)})
+	}
+
+	run("native (not restartable)", func(m *crash.Machine) func() {
+		s := core.NewBaselineCG(m, a, opts, core.MechNative, nil)
+		return s.Run
+	})
+	run("checkpoint per iteration", func(m *crash.Machine) func() {
+		s := core.NewBaselineCG(m, a, opts, core.MechCkpt, ckpt.NewNVM(m))
+		return s.Run
+	})
+	run("PMEM undo-log transactions", func(m *crash.Machine) func() {
+		s := core.NewBaselineCG(m, a, opts, core.MechPMEM, nil)
+		return s.Run
+	})
+	run("algorithm-directed (paper)", func(m *crash.Machine) func() {
+		s := core.NewCG(m, nil, a, opts)
+		return func() { s.Run(1) }
+	})
+
+	base := results[0].ns
+	fmt.Printf("CG n=%d, %d iterations, one-iteration recomputation bound:\n\n", n, iters)
+	for _, r := range results {
+		fmt.Printf("  %-28s %8.2f ms   %.3fx native\n",
+			r.name, float64(r.ns)/1e6, float64(r.ns)/float64(base))
+	}
+	fmt.Println("\nThe algorithm-directed extension flushes one cache line per" +
+		"\niteration and relies on cache eviction plus CG's invariants for" +
+		"\neverything else — which is why it is nearly free.")
+}

@@ -1,0 +1,177 @@
+// Package abft implements algorithm-based fault tolerance for dense
+// matrix multiplication (paper §III-C, after Huang & Abraham and the
+// online-ABFT line of work the paper builds on): checksum encoding of
+// the input matrices, verification of the checksum relationships in
+// result matrices, and single-error correction.
+//
+// All functions operate on flat row-major slices with explicit
+// dimensions so they apply equally to live data and to the persistent
+// NVM images examined by crash recovery.
+package abft
+
+import "math"
+
+// EncodeColumnChecksum builds Ac from an m x k matrix a: an (m+1) x k
+// matrix whose last row holds column sums (paper Equation 3, with the
+// checksum vector v = all ones).
+func EncodeColumnChecksum(a []float64, m, k int) []float64 {
+	ac := make([]float64, (m+1)*k)
+	copy(ac, a[:m*k])
+	sums := ac[m*k:]
+	for i := 0; i < m; i++ {
+		row := a[i*k : (i+1)*k]
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return ac
+}
+
+// EncodeRowChecksum builds Br from a k x n matrix b: a k x (n+1) matrix
+// whose last column holds row sums (paper Equation 4, with w = ones).
+func EncodeRowChecksum(b []float64, k, n int) []float64 {
+	br := make([]float64, k*(n+1))
+	for i := 0; i < k; i++ {
+		row := b[i*n : (i+1)*n]
+		copy(br[i*(n+1):], row)
+		s := 0.0
+		for _, v := range row {
+			s += v
+		}
+		br[i*(n+1)+n] = s
+	}
+	return br
+}
+
+// Report is the outcome of verifying the checksum relationships of a
+// full-checksum matrix (data plus checksum row and/or column).
+type Report struct {
+	// BadRows and BadCols list the indices whose checksum relation
+	// fails (data rows/cols only; indices are into the full matrix).
+	BadRows, BadCols []int
+	// RowDelta[i] = stored row checksum - computed row sum, for bad
+	// rows (parallel to BadRows); likewise ColDelta for BadCols.
+	RowDelta, ColDelta []float64
+	// AllZero reports whether every element (including checksums) is
+	// exactly zero — the signature of a block that was never computed.
+	AllZero bool
+}
+
+// Consistent reports whether every checksum relation held.
+func (r Report) Consistent() bool { return len(r.BadRows) == 0 && len(r.BadCols) == 0 }
+
+// scale returns the magnitude reference for tolerance comparison.
+func scale(sum, checksum float64) float64 {
+	return math.Max(1, math.Max(math.Abs(sum), math.Abs(checksum)))
+}
+
+// VerifyFull checks a full-checksum matrix c of rows x cols (data is
+// (rows-1) x (cols-1); last row and column are checksums, Equation 6).
+// tol is the relative tolerance of the floating-point comparison.
+func VerifyFull(c []float64, rows, cols int, tol float64) Report {
+	var rep Report
+	rep.AllZero = true
+	for _, v := range c[:rows*cols] {
+		if v != 0 {
+			rep.AllZero = false
+			break
+		}
+	}
+	// Row relations: c[i, cols-1] == sum_{j<cols-1} c[i,j], for every
+	// row including the checksum row (where it holds transitively).
+	for i := 0; i < rows; i++ {
+		row := c[i*cols : (i+1)*cols]
+		s := 0.0
+		for _, v := range row[:cols-1] {
+			s += v
+		}
+		if math.Abs(s-row[cols-1]) > tol*scale(s, row[cols-1]) {
+			rep.BadRows = append(rep.BadRows, i)
+			rep.RowDelta = append(rep.RowDelta, row[cols-1]-s)
+		}
+	}
+	// Column relations: c[rows-1, j] == sum_{i<rows-1} c[i,j].
+	for j := 0; j < cols; j++ {
+		s := 0.0
+		for i := 0; i < rows-1; i++ {
+			s += c[i*cols+j]
+		}
+		chk := c[(rows-1)*cols+j]
+		if math.Abs(s-chk) > tol*scale(s, chk) {
+			rep.BadCols = append(rep.BadCols, j)
+			rep.ColDelta = append(rep.ColDelta, chk-s)
+		}
+	}
+	return rep
+}
+
+// VerifyRows checks only the row-checksum relations of a matrix whose
+// last column holds row checksums (the Ctemp matrix of the paper's
+// second loop, where only row checksums are maintained and flushed).
+// It returns the indices of rows whose relation fails.
+func VerifyRows(c []float64, rows, cols int, tol float64) []int {
+	var bad []int
+	for i := 0; i < rows; i++ {
+		row := c[i*cols : (i+1)*cols]
+		s := 0.0
+		for _, v := range row[:cols-1] {
+			s += v
+		}
+		if math.Abs(s-row[cols-1]) > tol*scale(s, row[cols-1]) {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
+// CorrectSingle attempts single-error correction on a full-checksum
+// matrix: every bad row whose delta matches exactly one bad column's
+// delta (and vice versa) has the intersecting element corrected, per the
+// checksum relationship of Equation 6. It returns the number of
+// corrected elements and whether the matrix verifies cleanly afterwards.
+//
+// Inconsistent blocks after a crash typically have too many stale
+// elements per row/column to be correctable (as the paper observes), in
+// which case ok is false and the caller must recompute the block.
+func CorrectSingle(c []float64, rows, cols int, tol float64) (corrected int, ok bool) {
+	rep := VerifyFull(c, rows, cols, tol)
+	if rep.Consistent() {
+		return 0, true
+	}
+	for bi, r := range rep.BadRows {
+		matches := 0
+		matchCol := -1
+		var delta float64
+		for bj, cj := range rep.BadCols {
+			if math.Abs(rep.RowDelta[bi]-rep.ColDelta[bj]) <= tol*scale(rep.RowDelta[bi], rep.ColDelta[bj]) {
+				matches++
+				matchCol = cj
+				delta = rep.RowDelta[bi]
+			}
+		}
+		if matches == 1 && r < rows-1 && matchCol < cols-1 {
+			c[r*cols+matchCol] += delta
+			corrected++
+		}
+	}
+	if corrected == 0 {
+		return 0, false
+	}
+	return corrected, VerifyFull(c, rows, cols, tol).Consistent()
+}
+
+// ChecksumIndices returns the flat indices of the checksum row and
+// checksum column of a rows x cols full-checksum matrix. These are the
+// elements the paper's extended algorithm flushes after each submatrix
+// multiplication (Figure 6 line 5).
+func ChecksumIndices(rows, cols int) (lastRow []int, lastCol []int) {
+	lastRow = make([]int, cols)
+	for j := 0; j < cols; j++ {
+		lastRow[j] = (rows-1)*cols + j
+	}
+	lastCol = make([]int, rows)
+	for i := 0; i < rows; i++ {
+		lastCol[i] = i*cols + (cols - 1)
+	}
+	return lastRow, lastCol
+}

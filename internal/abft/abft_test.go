@@ -1,0 +1,204 @@
+package abft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+// buildFullChecksum builds the (m+1) x (n+1) full-checksum product of
+// random m x k and k x n matrices, the Cf of paper Equation 5.
+func buildFullChecksum(m, k, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	ac := EncodeColumnChecksum(a, m, k) // (m+1) x k
+	br := EncodeRowChecksum(b, k, n)    // k x (n+1)
+	cf := make([]float64, (m+1)*(n+1))
+	for i := 0; i < m+1; i++ {
+		for l := 0; l < k; l++ {
+			av := ac[i*k+l]
+			for j := 0; j < n+1; j++ {
+				cf[i*(n+1)+j] += av * br[l*(n+1)+j]
+			}
+		}
+	}
+	return cf
+}
+
+func TestEncodeColumnChecksum(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6} // 2x3
+	ac := EncodeColumnChecksum(a, 2, 3)
+	if len(ac) != 9 {
+		t.Fatalf("len = %d", len(ac))
+	}
+	want := []float64{5, 7, 9}
+	for j, w := range want {
+		if ac[6+j] != w {
+			t.Fatalf("column sums = %v, want %v", ac[6:], want)
+		}
+	}
+}
+
+func TestEncodeRowChecksum(t *testing.T) {
+	b := []float64{1, 2, 3, 4, 5, 6} // 2x3
+	br := EncodeRowChecksum(b, 2, 3)
+	if len(br) != 8 {
+		t.Fatalf("len = %d", len(br))
+	}
+	if br[3] != 6 || br[7] != 15 {
+		t.Fatalf("row sums = %v, %v; want 6, 15", br[3], br[7])
+	}
+	// Data preserved in shifted layout.
+	if br[4] != 4 || br[6] != 6 {
+		t.Fatal("data misplaced in Br")
+	}
+}
+
+func TestProductHasFullChecksumProperty(t *testing.T) {
+	cf := buildFullChecksum(6, 4, 5, 1)
+	rep := VerifyFull(cf, 7, 6, tol)
+	if !rep.Consistent() {
+		t.Fatalf("clean product flagged: %+v", rep)
+	}
+	if rep.AllZero {
+		t.Fatal("nonzero product flagged as all-zero")
+	}
+}
+
+func TestVerifyDetectsSingleCorruption(t *testing.T) {
+	cf := buildFullChecksum(6, 4, 5, 2)
+	cf[2*6+3] += 0.5
+	rep := VerifyFull(cf, 7, 6, tol)
+	if len(rep.BadRows) != 1 || rep.BadRows[0] != 2 {
+		t.Fatalf("bad rows = %v, want [2]", rep.BadRows)
+	}
+	if len(rep.BadCols) != 1 || rep.BadCols[0] != 3 {
+		t.Fatalf("bad cols = %v, want [3]", rep.BadCols)
+	}
+	if math.Abs(rep.RowDelta[0]-(-0.5)) > 1e-9 {
+		t.Fatalf("row delta = %v, want -0.5", rep.RowDelta[0])
+	}
+}
+
+func TestVerifyAllZero(t *testing.T) {
+	c := make([]float64, 7*6)
+	rep := VerifyFull(c, 7, 6, tol)
+	if !rep.AllZero {
+		t.Fatal("zero matrix not flagged AllZero")
+	}
+	if !rep.Consistent() {
+		t.Fatal("zero matrix should be checksum-consistent (trivially)")
+	}
+}
+
+func TestCorrectSingleError(t *testing.T) {
+	cf := buildFullChecksum(6, 4, 5, 3)
+	orig := cf[4*6+1]
+	cf[4*6+1] = -7 // stale value
+	corrected, ok := CorrectSingle(cf, 7, 6, tol)
+	if corrected != 1 || !ok {
+		t.Fatalf("corrected=%d ok=%v", corrected, ok)
+	}
+	if math.Abs(cf[4*6+1]-orig) > 1e-8 {
+		t.Fatalf("restored %v, want %v", cf[4*6+1], orig)
+	}
+}
+
+func TestCorrectTwoIndependentErrors(t *testing.T) {
+	cf := buildFullChecksum(8, 4, 8, 4)
+	o1, o2 := cf[1*9+2], cf[5*9+7]
+	cf[1*9+2] += 3.0
+	cf[5*9+7] -= 2.0
+	corrected, ok := CorrectSingle(cf, 9, 9, tol)
+	if !ok || corrected != 2 {
+		t.Fatalf("corrected=%d ok=%v", corrected, ok)
+	}
+	if math.Abs(cf[1*9+2]-o1) > 1e-8 || math.Abs(cf[5*9+7]-o2) > 1e-8 {
+		t.Fatal("two-error correction wrong values")
+	}
+}
+
+func TestUncorrectableMassCorruption(t *testing.T) {
+	cf := buildFullChecksum(6, 4, 5, 5)
+	// Whole row stale: several bad columns share the row, deltas don't
+	// pair up one-to-one.
+	for j := 0; j < 5; j++ {
+		cf[3*6+j] = 0
+	}
+	_, ok := CorrectSingle(cf, 7, 6, tol)
+	if ok {
+		t.Fatal("mass corruption reported correctable")
+	}
+}
+
+func TestVerifyRows(t *testing.T) {
+	// Row-checksum-only matrix: 4 rows x (3 data + 1 checksum).
+	c := []float64{
+		1, 2, 3, 6,
+		4, 5, 6, 15,
+		7, 8, 9, 24,
+		1, 1, 1, 3,
+	}
+	if bad := VerifyRows(c, 4, 4, tol); len(bad) != 0 {
+		t.Fatalf("clean rows flagged: %v", bad)
+	}
+	c[1*4+2] = 0 // corrupt row 1
+	bad := VerifyRows(c, 4, 4, tol)
+	if len(bad) != 1 || bad[0] != 1 {
+		t.Fatalf("bad = %v, want [1]", bad)
+	}
+}
+
+func TestChecksumIndices(t *testing.T) {
+	lastRow, lastCol := ChecksumIndices(3, 4)
+	if len(lastRow) != 4 || len(lastCol) != 3 {
+		t.Fatalf("lengths %d %d", len(lastRow), len(lastCol))
+	}
+	if lastRow[0] != 8 || lastRow[3] != 11 {
+		t.Fatalf("lastRow = %v", lastRow)
+	}
+	if lastCol[0] != 3 || lastCol[2] != 11 {
+		t.Fatalf("lastCol = %v", lastCol)
+	}
+}
+
+// Property: any single data-element corruption of magnitude > tolerance
+// is detected and corrected exactly.
+func TestSingleErrorCorrectionProperty(t *testing.T) {
+	f := func(seed int64, riU, cjU uint8, magU uint8) bool {
+		const m, k, n = 7, 3, 6
+		cf := buildFullChecksum(m, k, n, seed)
+		ri := int(riU) % m
+		cj := int(cjU) % n
+		mag := 0.1 + float64(magU)/16.0
+		orig := cf[ri*(n+1)+cj]
+		cf[ri*(n+1)+cj] += mag
+		corrected, ok := CorrectSingle(cf, m+1, n+1, tol)
+		return ok && corrected == 1 && math.Abs(cf[ri*(n+1)+cj]-orig) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: verification of an uncorrupted random product is always
+// consistent (no false positives at the chosen tolerance).
+func TestNoFalsePositivesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cf := buildFullChecksum(10, 6, 9, seed)
+		return VerifyFull(cf, 11, 10, tol).Consistent()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"testing"
+
+	"adcc/internal/mem"
+	"adcc/internal/sim"
+)
+
+func TestFlushOptWritesBackAndKeepsResident(t *testing.T) {
+	clock := &sim.Clock{}
+	sink := &recSink{}
+	c := tinyCache(t, clock, sink)
+	c.Store(64, 8)
+	c.FlushOpt(64, 8)
+	if len(sink.wbs) != 1 || sink.wbs[0] != 64 {
+		t.Fatalf("writebacks = %v, want [64]", sink.wbs)
+	}
+	res, dirty := c.Contains(64)
+	if !res {
+		t.Fatal("CLWB must keep the line resident")
+	}
+	if dirty {
+		t.Fatal("CLWB must leave the line clean")
+	}
+	// The next access is a hit.
+	before := c.Stats().LineHits
+	c.Load(64, 8)
+	if c.Stats().LineHits != before+1 {
+		t.Fatal("post-CLWB access should hit")
+	}
+}
+
+func TestFlushOptCleanLineCheap(t *testing.T) {
+	clock := &sim.Clock{}
+	c := tinyCache(t, clock, nil)
+	c.Load(64, 8) // clean resident line
+	before := clock.Now()
+	c.FlushOpt(64, 8)
+	if cost := clock.Now() - before; cost != c.Config().HitNS {
+		t.Fatalf("CLWB of clean line cost %d, want hit cost %d", cost, c.Config().HitNS)
+	}
+	if res, _ := c.Contains(64); !res {
+		t.Fatal("clean line must remain resident")
+	}
+}
+
+func TestFlushOptAbsentLineCheap(t *testing.T) {
+	clock := &sim.Clock{}
+	c := tinyCache(t, clock, nil)
+	before := clock.Now()
+	c.FlushOpt(4096, 8)
+	if cost := clock.Now() - before; cost != c.Config().HitNS {
+		t.Fatalf("CLWB of absent line cost %d, want %d", cost, c.Config().HitNS)
+	}
+}
+
+func TestFlushOptVsFlushCost(t *testing.T) {
+	// CLWB of a dirty-then-reused line must be cheaper overall than
+	// CLFLUSH (which forces a refill).
+	run := func(opt bool) int64 {
+		clock := &sim.Clock{}
+		c := tinyCache(t, clock, nil)
+		for i := 0; i < 100; i++ {
+			c.Store(64, 8)
+			if opt {
+				c.FlushOpt(64, 8)
+			} else {
+				c.Flush(64, 8)
+			}
+		}
+		return clock.Now()
+	}
+	clflush := run(false)
+	clwb := run(true)
+	if clwb >= clflush {
+		t.Fatalf("CLWB loop (%d ns) should beat CLFLUSH loop (%d ns)", clwb, clflush)
+	}
+}
+
+func TestFlushOptZeroSize(t *testing.T) {
+	clock := &sim.Clock{}
+	c := tinyCache(t, clock, nil)
+	c.FlushOpt(64, 0)
+	if clock.Now() != 0 {
+		t.Fatal("zero-size CLWB advanced the clock")
+	}
+}
+
+func TestFlushOptConsistencyWithHeap(t *testing.T) {
+	// After CLWB, image equals live for the flushed range.
+	clock := &sim.Clock{}
+	h := mem.NewHeap(nil)
+	cfg := Config{SizeBytes: 8 * 64 * 2, LineBytes: 64, Assoc: 2, HitNS: 1}
+	c := New(cfg, clock, flatModel{read: 10, write: 5}, h)
+	h.SetAccessor(c)
+	r := h.AllocF64("v", 8)
+	r.Set(3, 42)
+	c.FlushOpt(r.Addr(3), 8)
+	if r.Image()[3] != 42 {
+		t.Fatal("CLWB did not persist the value")
+	}
+}

@@ -1,0 +1,170 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"adcc/internal/mem"
+	"adcc/internal/sim"
+)
+
+// refLRU is an intentionally naive reference implementation of a
+// set-associative LRU write-back cache, used to cross-check the
+// production simulator on random access traces.
+type refLRU struct {
+	lineBytes int
+	assoc     int
+	nsets     uint64
+	sets      [][]refLine // most-recently-used first
+}
+
+type refLine struct {
+	tag   uint64
+	dirty bool
+}
+
+func newRefLRU(cfg Config) *refLRU {
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	return &refLRU{
+		lineBytes: cfg.LineBytes,
+		assoc:     cfg.Assoc,
+		nsets:     uint64(nsets),
+		sets:      make([][]refLine, nsets),
+	}
+}
+
+// touch returns (hit, evictedDirtyTag, evicted) for one line access.
+func (r *refLRU) touch(ln uint64, store bool) (bool, uint64, bool) {
+	s := ln % r.nsets
+	set := r.sets[s]
+	for i, l := range set {
+		if l.tag == ln {
+			// Move to front, merge dirty bit.
+			l.dirty = l.dirty || store
+			copy(set[1:i+1], set[:i])
+			set[0] = l
+			return true, 0, false
+		}
+	}
+	// Miss: insert at front, evict LRU if full.
+	var evTag uint64
+	evicted := false
+	if len(set) == r.assoc {
+		last := set[len(set)-1]
+		if last.dirty {
+			evTag = last.tag
+			evicted = true
+		}
+		set = set[:len(set)-1]
+	}
+	set = append([]refLine{{tag: ln, dirty: store}}, set...)
+	r.sets[s] = set
+	return false, evTag, evicted
+}
+
+func (r *refLRU) flush(ln uint64) (wasDirty bool) {
+	s := ln % r.nsets
+	set := r.sets[s]
+	for i, l := range set {
+		if l.tag == ln {
+			r.sets[s] = append(set[:i:i], set[i+1:]...)
+			return l.dirty
+		}
+	}
+	return false
+}
+
+func (r *refLRU) state(ln uint64) (resident, dirty bool) {
+	set := r.sets[ln%r.nsets]
+	for _, l := range set {
+		if l.tag == ln {
+			return true, l.dirty
+		}
+	}
+	return false, false
+}
+
+// TestCacheAgainstReferenceModel replays long random traces on both the
+// production simulator and the naive reference, comparing residency and
+// dirtiness of every touched line after every 1000 operations, and the
+// final hit/miss/writeback counts.
+func TestCacheAgainstReferenceModel(t *testing.T) {
+	cfgs := []Config{
+		{SizeBytes: 4 * 64 * 2, LineBytes: 64, Assoc: 2, HitNS: 1},
+		{SizeBytes: 16 * 64 * 4, LineBytes: 64, Assoc: 4, HitNS: 1},
+		{SizeBytes: 8 * 64 * 1, LineBytes: 64, Assoc: 1, HitNS: 1},
+	}
+	for ci, cfg := range cfgs {
+		clock := &sim.Clock{}
+		c := New(cfg, clock, flatModel{read: 10, write: 5}, nil)
+		ref := newRefLRU(cfg)
+		rng := rand.New(rand.NewSource(int64(ci + 1)))
+
+		const space = 256 // distinct lines
+		var refWritebacks int64
+		for op := 0; op < 30000; op++ {
+			ln := uint64(rng.Intn(space))
+			addr := mem.Addr(ln * 64)
+			switch rng.Intn(10) {
+			case 0: // flush
+				if ref.flush(ln) {
+					refWritebacks++
+				}
+				c.Flush(addr, 8)
+			case 1, 2, 3: // store
+				_, _, ev := ref.touch(ln, true)
+				if ev {
+					refWritebacks++
+				}
+				c.Store(addr, 8)
+			default: // load
+				_, _, ev := ref.touch(ln, false)
+				if ev {
+					refWritebacks++
+				}
+				c.Load(addr, 8)
+			}
+			if op%1000 == 999 {
+				for l := uint64(0); l < space; l++ {
+					wantRes, wantDirty := ref.state(l)
+					gotRes, gotDirty := c.Contains(mem.Addr(l * 64))
+					if wantRes != gotRes || wantDirty != gotDirty {
+						t.Fatalf("cfg %d op %d line %d: sim (res=%v dirty=%v) vs ref (res=%v dirty=%v)",
+							ci, op, l, gotRes, gotDirty, wantRes, wantDirty)
+					}
+				}
+			}
+		}
+		st := c.Stats()
+		if st.Writebacks+st.FlushDirty != refWritebacks {
+			t.Fatalf("cfg %d: writebacks %d (evict) + %d (flush) != ref %d",
+				ci, st.Writebacks, st.FlushDirty, refWritebacks)
+		}
+	}
+}
+
+// TestCacheCapacityInvariant checks that the number of resident lines
+// never exceeds capacity under random traffic.
+func TestCacheCapacityInvariant(t *testing.T) {
+	cfg := Config{SizeBytes: 32 * 64, LineBytes: 64, Assoc: 4, HitNS: 1}
+	clock := &sim.Clock{}
+	c := New(cfg, clock, flatModel{read: 1, write: 1}, nil)
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 20000; op++ {
+		c.Store(mem.Addr(rng.Intn(4096)*64), 8)
+		if op%500 == 0 {
+			resident := 0
+			for l := 0; l < 4096; l++ {
+				if res, _ := c.Contains(mem.Addr(l * 64)); res {
+					resident++
+				}
+			}
+			if resident > 32 {
+				t.Fatalf("op %d: %d resident lines exceed capacity 32", op, resident)
+			}
+		}
+	}
+	if c.DirtyLines() > 32 {
+		t.Fatal("dirty lines exceed capacity")
+	}
+}

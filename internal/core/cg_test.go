@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"adcc/internal/cache"
+	"adcc/internal/ckpt"
+	"adcc/internal/crash"
+	"adcc/internal/sparse"
+)
+
+// cgMachine builds a machine with the given LLC size (bytes).
+func cgMachine(kind crash.SystemKind, llc int) *crash.Machine {
+	return crash.NewMachine(crash.MachineConfig{
+		System: kind,
+		Cache: cache.Config{
+			SizeBytes:         llc,
+			LineBytes:         64,
+			Assoc:             8,
+			HitNS:             4,
+			FlushChargesClean: true,
+			PrefetchStreams:   16,
+		},
+	})
+}
+
+func TestCGConverges(t *testing.T) {
+	a := sparse.GenSPD(500, 7, 1)
+	m := cgMachine(crash.NVMOnly, 1<<20)
+	cg := NewCG(m, nil, a, CGOptions{MaxIter: 25})
+	cg.Run(1)
+	if r := cg.Residual(); r > 1e-6 {
+		t.Fatalf("residual after 25 iterations = %v, want < 1e-6", r)
+	}
+	// Solution should approach ones.
+	n := cg.N
+	z := cg.Z.Live()[cg.row(26):cg.row(27)]
+	for i := 0; i < n; i += 97 {
+		if math.Abs(z[i]-1) > 1e-4 {
+			t.Fatalf("z[%d] = %v, want ~1", i, z[i])
+		}
+	}
+}
+
+func TestCGMatchesBaseline(t *testing.T) {
+	a := sparse.GenSPD(300, 7, 2)
+	m1 := cgMachine(crash.NVMOnly, 1<<20)
+	ext := NewCG(m1, nil, a, CGOptions{MaxIter: 10})
+	ext.Run(1)
+
+	m2 := cgMachine(crash.NVMOnly, 1<<20)
+	base := NewBaselineCG(m2, a, CGOptions{MaxIter: 10}, MechNative, nil)
+	base.Run()
+
+	zExt := ext.Z.Live()[ext.row(11):ext.row(12)]
+	zBase := base.Zv.Live()
+	for i := range zBase {
+		if math.Abs(zExt[i]-zBase[i]) > 1e-12*math.Max(1, math.Abs(zBase[i])) {
+			t.Fatalf("extended and baseline CG diverge at %d: %v vs %v", i, zExt[i], zBase[i])
+		}
+	}
+}
+
+func TestCGCrashRecoveryLargeProblem(t *testing.T) {
+	// Working set >> LLC: the paper's Figure 3 large-class case. The
+	// history rows of earlier iterations are evicted by streaming, so
+	// recovery loses only ~1 iteration.
+	a := sparse.GenSPD(6000, 9, 3)
+	m := cgMachine(crash.NVMOnly, 256<<10)
+	em := crash.NewEmulator(m)
+	cg := NewCG(m, em, a, CGOptions{MaxIter: 15})
+	em.CrashAtTrigger(TriggerCGIterEnd, 15)
+	if !em.Run(func() { cg.Run(1) }) {
+		t.Fatal("expected crash at iteration 15")
+	}
+	rec := cg.Recover()
+	if rec.CrashIter != 15 {
+		t.Fatalf("crash iter from NVM = %d, want 15", rec.CrashIter)
+	}
+	if rec.IterationsLost > 2 {
+		t.Fatalf("iterations lost = %d, want <= 2 for a large problem", rec.IterationsLost)
+	}
+	if rec.RestartIter < 14 {
+		t.Fatalf("restart iter = %d, want >= 14", rec.RestartIter)
+	}
+	// Resume and verify the final answer matches an uninterrupted run.
+	cg.Run(rec.RestartIter)
+	if r := cg.Residual(); math.IsNaN(r) || r > 1 {
+		t.Fatalf("post-recovery residual = %v", r)
+	}
+	m2 := cgMachine(crash.NVMOnly, 256<<10)
+	ref := NewCG(m2, nil, a, CGOptions{MaxIter: 15})
+	ref.Run(1)
+	zGot := cg.Z.Live()[cg.row(16):cg.row(17)]
+	zWant := ref.Z.Live()[ref.row(16):ref.row(17)]
+	for i := 0; i < len(zWant); i += 131 {
+		if math.Abs(zGot[i]-zWant[i]) > 1e-9*math.Max(1, math.Abs(zWant[i])) {
+			t.Fatalf("recovered solution differs at %d: %v vs %v", i, zGot[i], zWant[i])
+		}
+	}
+}
+
+func TestCGCrashRecoverySmallProblem(t *testing.T) {
+	// Working set << LLC: everything stays in cache, nothing persists,
+	// recovery must fall back to the beginning (the paper's classes S
+	// and W losing all 15 iterations).
+	a := sparse.GenSPD(200, 7, 4)
+	m := cgMachine(crash.NVMOnly, 8<<20)
+	em := crash.NewEmulator(m)
+	cg := NewCG(m, em, a, CGOptions{MaxIter: 15})
+	em.CrashAtTrigger(TriggerCGIterEnd, 15)
+	if !em.Run(func() { cg.Run(1) }) {
+		t.Fatal("expected crash")
+	}
+	rec := cg.Recover()
+	if rec.RestartIter != 1 || rec.IterationsLost != 15 {
+		t.Fatalf("restart=%d lost=%d, want 1/15 (all lost)", rec.RestartIter, rec.IterationsLost)
+	}
+	// Restarting from scratch still converges to the right answer.
+	cg.Run(rec.RestartIter)
+	if r := cg.Residual(); r > 1e-2 {
+		t.Fatalf("post-recovery residual = %v", r)
+	}
+}
+
+func TestCGRecoveryChecksCheaplyFirst(t *testing.T) {
+	// Detection cost must be far below the cost of re-running the lost
+	// iterations from scratch, because failed candidates are rejected
+	// by vector dots before any SpMV happens.
+	a := sparse.GenSPD(3000, 9, 5)
+	m := cgMachine(crash.NVMOnly, 256<<10)
+	em := crash.NewEmulator(m)
+	cg := NewCG(m, em, a, CGOptions{MaxIter: 15})
+	em.CrashAtTrigger(TriggerCGIterEnd, 15)
+	em.Run(func() { cg.Run(1) })
+	rec := cg.Recover()
+	avg := AvgIterNS(cg.IterNS)
+	if rec.DetectNS > 3*avg {
+		t.Fatalf("detection took %d ns vs avg iteration %d ns", rec.DetectNS, avg)
+	}
+}
+
+func TestCGRecoveryRejectsZeroRows(t *testing.T) {
+	// An all-stale (zero) p row is orthogonal to everything; the p'r =
+	// r'r identity must reject it.
+	a := sparse.GenSPD(3000, 7, 6)
+	m := cgMachine(crash.NVMOnly, 128<<10)
+	em := crash.NewEmulator(m)
+	cg := NewCG(m, em, a, CGOptions{MaxIter: 10})
+	em.CrashAtTrigger(TriggerCGIterEnd, 10)
+	em.Run(func() { cg.Run(1) })
+	// Forge: zero out the P row of the would-be restart point in the
+	// image while leaving r/z/q alone.
+	rec0 := cg.Recover()
+	j := rec0.RestartIter - 1
+	if j < 1 {
+		t.Skip("nothing persisted; cannot forge")
+	}
+	p := cg.P.Image()[cg.row(j+1) : cg.row(j+1)+cg.N]
+	for i := range p {
+		p[i] = 0
+	}
+	copy(cg.P.Live()[cg.row(j+1):cg.row(j+1)+cg.N], p)
+	rec := cg.Recover()
+	if rec.RestartIter >= rec0.RestartIter {
+		t.Fatalf("zero p row accepted: restart %d (was %d)", rec.RestartIter, rec0.RestartIter)
+	}
+}
+
+func TestCGRecoveryRejectsCorruptedResidual(t *testing.T) {
+	a := sparse.GenSPD(3000, 7, 7)
+	m := cgMachine(crash.NVMOnly, 128<<10)
+	em := crash.NewEmulator(m)
+	cg := NewCG(m, em, a, CGOptions{MaxIter: 10})
+	em.CrashAtTrigger(TriggerCGIterEnd, 10)
+	em.Run(func() { cg.Run(1) })
+	rec0 := cg.Recover()
+	j := rec0.RestartIter - 1
+	if j < 1 {
+		t.Skip("nothing persisted")
+	}
+	// Corrupt one element of the z row: Equation 2 must reject it.
+	cg.Z.Image()[cg.row(j+1)+3] += 1.0
+	cg.Z.Live()[cg.row(j+1)+3] = cg.Z.Image()[cg.row(j+1)+3]
+	rec := cg.Recover()
+	if rec.RestartIter >= rec0.RestartIter {
+		t.Fatalf("corrupted z row accepted: restart %d (was %d)", rec.RestartIter, rec0.RestartIter)
+	}
+}
+
+func TestCGIterCounterFlushedEveryIteration(t *testing.T) {
+	a := sparse.GenSPD(400, 7, 8)
+	m := cgMachine(crash.NVMOnly, 8<<20)
+	em := crash.NewEmulator(m)
+	cg := NewCG(m, em, a, CGOptions{MaxIter: 9})
+	em.CrashAtTrigger(TriggerCGIterEnd, 9)
+	em.Run(func() { cg.Run(1) })
+	// Even with a huge cache (nothing evicted), the iteration number
+	// is in NVM because its line is flushed each iteration.
+	if got := cg.IterNum.Image()[0]; got != 9 {
+		t.Fatalf("persistent iteration counter = %d, want 9", got)
+	}
+}
+
+func TestBaselineCGCheckpointRestart(t *testing.T) {
+	a := sparse.GenSPD(800, 7, 9)
+	m := cgMachine(crash.NVMOnly, 256<<10)
+	em := crash.NewEmulator(m)
+	cp := ckpt.NewNVM(m)
+	bg := NewBaselineCG(m, a, CGOptions{MaxIter: 12}, MechCkpt, cp)
+	crashed := em.Run(func() {
+		bg.Run()
+		crash.InjectCrashNow()
+	})
+	if !crashed {
+		t.Fatal("expected crash")
+	}
+	// Restore the last checkpoint and verify it is a valid CG state.
+	tag := cp.Restore(bg.Pv, bg.Rv, bg.Zv)
+	if tag != 12 {
+		t.Fatalf("checkpoint tag = %d, want 12", tag)
+	}
+	// Residual of the restored z must equal the converged residual.
+	if r := bg.Residual(); r > 1e-1 {
+		t.Fatalf("restored state residual = %v", r)
+	}
+}
+
+func TestBaselineCGPMEMRollback(t *testing.T) {
+	a := sparse.GenSPD(400, 7, 10)
+	m := cgMachine(crash.NVMOnly, 256<<10)
+	em := crash.NewEmulator(m)
+	bg := NewBaselineCG(m, a, CGOptions{MaxIter: 6}, MechPMEM, nil)
+	// Crash mid-run: a transaction will be open.
+	em.CrashAtOp(2_000_00)
+	crashed := em.Run(func() { bg.Run() })
+	if !crashed {
+		t.Skip("op budget too large for this problem; run completed")
+	}
+	rolledBack, _ := bg.Pool.Recover()
+	_ = rolledBack
+	// After recovery, p, r, z hold a transaction-consistent state:
+	// r = b - A z must hold (it holds at every iteration boundary).
+	n := bg.N
+	az := make([]float64, n)
+	sparse.SpMV(az, bg.An, bg.Zv.Live())
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		d := bg.Rv.Live()[i] - (bg.B.Live()[i] - az[i])
+		if math.Abs(d) > worst {
+			worst = math.Abs(d)
+		}
+	}
+	if worst > 1e-8 {
+		t.Fatalf("post-rollback state violates r = b - Az by %v", worst)
+	}
+}
+
+func TestCGOverheadOrdering(t *testing.T) {
+	// The heart of Figure 4: algorithm-directed overhead is far below
+	// PMEM and below per-iteration checkpointing.
+	a := sparse.GenSPD(4000, 9, 11)
+	iters := 8
+	runNS := func(build func(m *crash.Machine) func()) int64 {
+		m := cgMachine(crash.NVMOnly, 256<<10)
+		work := build(m)
+		start := m.Clock.Now()
+		work()
+		return m.Clock.Since(start)
+	}
+	native := runNS(func(m *crash.Machine) func() {
+		bg := NewBaselineCG(m, a, CGOptions{MaxIter: iters}, MechNative, nil)
+		return bg.Run
+	})
+	algo := runNS(func(m *crash.Machine) func() {
+		cg := NewCG(m, nil, a, CGOptions{MaxIter: iters})
+		return func() { cg.Run(1) }
+	})
+	ck := runNS(func(m *crash.Machine) func() {
+		bg := NewBaselineCG(m, a, CGOptions{MaxIter: iters}, MechCkpt, ckpt.NewNVM(m))
+		return bg.Run
+	})
+	pm := runNS(func(m *crash.Machine) func() {
+		bg := NewBaselineCG(m, a, CGOptions{MaxIter: iters}, MechPMEM, nil)
+		return bg.Run
+	})
+	if algo >= ck {
+		t.Fatalf("algo (%d) should be cheaper than checkpoint (%d)", algo, ck)
+	}
+	if ck >= pm {
+		t.Fatalf("checkpoint (%d) should be cheaper than PMEM (%d)", ck, pm)
+	}
+	overhead := float64(algo-native) / float64(native)
+	if overhead > 0.10 {
+		t.Fatalf("algo overhead = %.1f%%, want < 10%%", 100*overhead)
+	}
+	pmOverhead := float64(pm-native) / float64(native)
+	if pmOverhead < 0.5 {
+		t.Fatalf("PMEM overhead = %.1f%%, expected large (paper: 329%%)", 100*pmOverhead)
+	}
+}
+
+func TestAvgIterNS(t *testing.T) {
+	if got := AvgIterNS([]int64{0, 10, 20, 30}); got != 20 {
+		t.Fatalf("AvgIterNS = %d, want 20", got)
+	}
+	if got := AvgIterNS([]int64{0, 0, 0}); got != 0 {
+		t.Fatalf("AvgIterNS on empty = %d", got)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adcc/internal/crash"
+	"adcc/internal/mc"
+	"adcc/internal/pmem"
+	"adcc/internal/sparse"
+)
+
+// These integration tests inject crashes at arbitrary memory-operation
+// counts — between any two loads/stores, not only at instrumented
+// iteration boundaries — and require full recovery to a correct result.
+// They are the strongest end-to-end property of the reproduction: the
+// algorithm-directed consistency argument must hold at every point of
+// the execution, exactly as the paper claims.
+
+func TestCGRandomCrashPointsAlwaysRecover(t *testing.T) {
+	a := sparse.GenSPD(2000, 9, 3)
+	opts := CGOptions{MaxIter: 10}
+
+	// Reference run.
+	mRef := cgMachine(crash.NVMOnly, 128<<10)
+	ref := NewCG(mRef, nil, a, opts)
+	ref.Run(1)
+	zWant := ref.Z.Live()[ref.row(11):ref.row(12)]
+
+	// Profile total ops.
+	mProf := cgMachine(crash.NVMOnly, 128<<10)
+	emProf := crash.NewEmulator(mProf)
+	prof := NewCG(mProf, emProf, a, opts)
+	emProf.Run(func() { prof.Run(1) })
+	total := emProf.OpCount()
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		crashAt := 1 + rng.Int63n(total-1)
+		m := cgMachine(crash.NVMOnly, 128<<10)
+		em := crash.NewEmulator(m)
+		cg := NewCG(m, em, a, opts)
+		em.CrashAtOp(crashAt)
+		if !em.Run(func() { cg.Run(1) }) {
+			t.Fatalf("trial %d: no crash at op %d", trial, crashAt)
+		}
+		rec := cg.Recover()
+		if rec.RestartIter < 1 || rec.RestartIter > opts.MaxIter+1 {
+			t.Fatalf("trial %d: bad restart iter %d", trial, rec.RestartIter)
+		}
+		cg.Run(rec.RestartIter)
+		zGot := cg.Z.Live()[cg.row(11):cg.row(12)]
+		for i := 0; i < len(zWant); i += 173 {
+			if math.Abs(zGot[i]-zWant[i]) > 1e-9*math.Max(1, math.Abs(zWant[i])) {
+				t.Fatalf("trial %d (crash op %d, restart %d): solution differs at %d: %v vs %v",
+					trial, crashAt, rec.RestartIter, i, zGot[i], zWant[i])
+			}
+		}
+	}
+}
+
+func TestMMRandomCrashPointsAlwaysRecover(t *testing.T) {
+	opts := MMOptions{N: 96, K: 24, Seed: 4}
+	want := refProduct(opts)
+
+	mProf := mmMachine(crash.NVMOnly, 64<<10)
+	emProf := crash.NewEmulator(mProf)
+	prof := NewMM(mProf, emProf, opts)
+	emProf.Run(prof.Run)
+	total := emProf.OpCount()
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		crashAt := 1 + rng.Int63n(total-1)
+		m := mmMachine(crash.NVMOnly, 64<<10)
+		em := crash.NewEmulator(m)
+		mm := NewMM(m, em, opts)
+		em.CrashAtOp(crashAt)
+		if !em.Run(mm.Run) {
+			t.Fatalf("trial %d: no crash at op %d", trial, crashAt)
+		}
+		// Full recovery protocol: repair loop 1, then loop 2, then
+		// verify the final product.
+		rec1 := mm.RecoverLoop1()
+		mm.ResumeLoop1(rec1)
+		rec2 := mm.RecoverLoop2()
+		mm.ResumeLoop2(rec2)
+		got := mm.Result()
+		for i := range want.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-8*math.Max(1, math.Abs(want.Data[i])) {
+				t.Fatalf("trial %d (crash op %d): product differs at %d: %v vs %v",
+					trial, crashAt, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMCRandomCrashPointsBoundedLoss(t *testing.T) {
+	cfg := mc.TinyConfig()
+	cfg.Lookups = 6000
+	period := 50
+
+	runOnce := func(crashAt int64) ([mc.NumTypes]int64, bool) {
+		m := mcMachine(crash.NVMOnly, 32<<10)
+		em := crash.NewEmulator(m)
+		s := mc.New(m.Heap, m.CPU, cfg)
+		r := NewMCRunner(m, em, s, MCAlgoSelective, nil)
+		r.FlushPeriod = period
+		if crashAt > 0 {
+			em.CrashAtOp(crashAt)
+			if !em.Run(func() { r.Run(0) }) {
+				return s.Counts(), false
+			}
+			from := r.RestartIter()
+			if from < 0 || from > int64(cfg.Lookups) {
+				panic("restart out of range")
+			}
+			r.Em = nil
+			r.Run(from)
+		} else {
+			r.Run(0)
+		}
+		return s.Counts(), true
+	}
+
+	base, _ := runOnce(0)
+	mProf := mcMachine(crash.NVMOnly, 32<<10)
+	emProf := crash.NewEmulator(mProf)
+	sProf := mc.New(mProf.Heap, mProf.CPU, cfg)
+	rProf := NewMCRunner(mProf, emProf, sProf, MCAlgoSelective, nil)
+	rProf.FlushPeriod = period
+	emProf.Run(func() { rProf.Run(0) })
+	total := emProf.OpCount()
+
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		crashAt := 1 + rng.Int63n(total-1)
+		counts, crashed := runOnce(crashAt)
+		if !crashed {
+			continue
+		}
+		// Loss and double-count are both bounded by ~one flush period
+		// per type (see core/mcrun.go restart semantics).
+		for k := range counts {
+			d := counts[k] - base[k]
+			if d < 0 {
+				d = -d
+			}
+			if d > int64(2*period) {
+				t.Fatalf("trial %d (crash op %d): type %d deviates by %d (> 2 periods)",
+					trial, crashAt, k, d)
+			}
+		}
+	}
+}
+
+func TestPMEMRandomCrashAtomicity(t *testing.T) {
+	// Property: transactions are atomic under crashes at any memory
+	// operation. Each transaction writes one generation value to every
+	// element; after any crash + rollback, all elements must hold the
+	// same generation.
+	const n = 96
+	const gens = 6
+
+	type env struct {
+		em   *crash.Emulator
+		pool *pmem.Pool
+		vals []float64
+		work func()
+	}
+	build := func() env {
+		m := cgMachine(crash.NVMOnly, 8<<10)
+		em := crash.NewEmulator(m)
+		p := pmem.NewPool(m, 1<<16)
+		r := m.Heap.AllocF64("gen", n)
+		p.RegisterF64(r)
+		m.LLC.WritebackAll()
+		work := func() {
+			for g := 1; g <= gens; g++ {
+				tx := p.Begin()
+				for i := 0; i < n; i++ {
+					tx.SetF64(r, i, float64(g))
+				}
+				tx.Commit()
+			}
+		}
+		return env{em: em, pool: p, vals: r.Live(), work: work}
+	}
+
+	profEnv := build()
+	profEnv.em.Run(profEnv.work)
+	total := profEnv.em.OpCount()
+
+	rng := rand.New(rand.NewSource(17))
+	crashedTrials := 0
+	for trial := 0; trial < 15; trial++ {
+		crashAt := 1 + rng.Int63n(total-1)
+		e := build()
+		e.em.CrashAtOp(crashAt)
+		if !e.em.Run(e.work) {
+			continue
+		}
+		crashedTrials++
+		e.pool.Recover()
+		gen := e.vals[0]
+		for i := 1; i < n; i++ {
+			if e.vals[i] != gen {
+				t.Fatalf("trial %d (crash op %d): torn state: vals[0]=%v vals[%d]=%v",
+					trial, crashAt, gen, i, e.vals[i])
+			}
+		}
+		if gen != math.Trunc(gen) || gen < 0 || gen > gens {
+			t.Fatalf("trial %d: impossible generation %v", trial, gen)
+		}
+	}
+	if crashedTrials == 0 {
+		t.Fatal("no trial crashed; test exercised nothing")
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+
+	"adcc/internal/cache"
+	"adcc/internal/ckpt"
+	"adcc/internal/crash"
+	"adcc/internal/mc"
+)
+
+// mcMachine uses a small low-associativity LLC so that eviction pressure
+// on the hot counters/macro_xs lines is realistic at test scale.
+func mcMachine(kind crash.SystemKind, llc int) *crash.Machine {
+	return crash.NewMachine(crash.MachineConfig{
+		System: kind,
+		Cache: cache.Config{
+			SizeBytes:         llc,
+			LineBytes:         64,
+			Assoc:             4,
+			HitNS:             4,
+			FlushChargesClean: true,
+			PrefetchStreams:   8,
+		},
+	})
+}
+
+// runNoCrash runs the full lookup loop under a mechanism with no crash.
+func runNoCrash(t *testing.T, mech MCMechanism, cfg mc.Config, llc int) [mc.NumTypes]int64 {
+	t.Helper()
+	m := mcMachine(crash.NVMOnly, llc)
+	s := mc.New(m.Heap, m.CPU, cfg)
+	var cp *ckpt.Checkpointer
+	if mech == MCCkpt {
+		cp = ckpt.NewNVM(m)
+	}
+	r := NewMCRunner(m, nil, s, mech, cp)
+	r.Run(0)
+	return s.Counts()
+}
+
+// runWithCrash crashes at 10% of the lookups (the paper's crash point)
+// and restarts per the mechanism's protocol.
+func runWithCrash(t *testing.T, mech MCMechanism, cfg mc.Config, llc int) [mc.NumTypes]int64 {
+	t.Helper()
+	m := mcMachine(crash.NVMOnly, llc)
+	em := crash.NewEmulator(m)
+	s := mc.New(m.Heap, m.CPU, cfg)
+	var cp *ckpt.Checkpointer
+	if mech == MCCkpt {
+		cp = ckpt.NewNVM(m)
+	}
+	r := NewMCRunner(m, em, s, mech, cp)
+	em.CrashAtTrigger(TriggerMCLookup, cfg.Lookups/10)
+	if !em.Run(func() { r.Run(0) }) {
+		t.Fatal("expected crash at 10% of lookups")
+	}
+	from := r.RestartIter()
+	r.Em = nil
+	r.Run(from)
+	return s.Counts()
+}
+
+func absDiffSum(a, b [mc.NumTypes]int64) int64 {
+	var d int64
+	for k := range a {
+		x := a[k] - b[k]
+		if x < 0 {
+			x = -x
+		}
+		d += x
+	}
+	return d
+}
+
+func TestMCNoCrashUniform(t *testing.T) {
+	cfg := mc.TinyConfig()
+	cfg.Lookups = 5000
+	counts := runNoCrash(t, MCNative, cfg, 64<<10)
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total != int64(cfg.Lookups) {
+		t.Fatalf("total counts = %d, want %d", total, cfg.Lookups)
+	}
+	for k, c := range counts {
+		share := float64(c) / float64(total)
+		if share < 0.12 || share > 0.30 {
+			t.Fatalf("type %d share %.3f, want ~0.2", k, share)
+		}
+	}
+}
+
+func TestMCNaiveRestartBiased(t *testing.T) {
+	// Figure 10: the basic idea (flush only the loop index) restarts
+	// with stale counters and macro_xs, producing counts that are
+	// "obviously different" from the no-crash run.
+	cfg := mc.TinyConfig()
+	cfg.Lookups = 20000
+	llc := 32 << 10
+	base := runNoCrash(t, MCAlgoNaive, cfg, llc)
+	crashed := runWithCrash(t, MCAlgoNaive, cfg, llc)
+	diff := absDiffSum(base, crashed)
+	// The deficit must be a macroscopic fraction of the pre-crash
+	// counts (2000 lookups happened before the crash).
+	if diff < int64(cfg.Lookups)/100 {
+		t.Fatalf("naive restart diff = %d of %d lookups; expected visible bias", diff, cfg.Lookups)
+	}
+}
+
+func TestMCSelectiveRestartAccurate(t *testing.T) {
+	// Figure 12: selective flushing every 0.01% of lookups bounds the
+	// loss to roughly one flush period.
+	cfg := mc.TinyConfig()
+	cfg.Lookups = 20000
+	llc := 32 << 10
+	base := runNoCrash(t, MCAlgoSelective, cfg, llc)
+	crashed := runWithCrash(t, MCAlgoSelective, cfg, llc)
+	diff := absDiffSum(base, crashed)
+	period := int64(DefaultFlushPeriod(cfg.Lookups))
+	if diff > 4*period+8 {
+		t.Fatalf("selective restart diff = %d, want <= ~%d (a few flush periods)", diff, 4*period+8)
+	}
+}
+
+func TestMCSelectiveBeatsNaive(t *testing.T) {
+	cfg := mc.TinyConfig()
+	cfg.Lookups = 20000
+	llc := 32 << 10
+	naiveDiff := absDiffSum(
+		runNoCrash(t, MCAlgoNaive, cfg, llc),
+		runWithCrash(t, MCAlgoNaive, cfg, llc))
+	selDiff := absDiffSum(
+		runNoCrash(t, MCAlgoSelective, cfg, llc),
+		runWithCrash(t, MCAlgoSelective, cfg, llc))
+	if selDiff >= naiveDiff {
+		t.Fatalf("selective (%d) should be more accurate than naive (%d)", selDiff, naiveDiff)
+	}
+}
+
+func TestMCCheckpointRestart(t *testing.T) {
+	cfg := mc.TinyConfig()
+	cfg.Lookups = 10000
+	llc := 32 << 10
+	base := runNoCrash(t, MCCkpt, cfg, llc)
+	crashed := runWithCrash(t, MCCkpt, cfg, llc)
+	// Checkpoint restores counters and the index from the same instant,
+	// and sampling is stateless: the result must match exactly.
+	if base != crashed {
+		t.Fatalf("checkpoint restart diverged: %v vs %v", base, crashed)
+	}
+}
+
+func TestMCPMEMRestart(t *testing.T) {
+	cfg := mc.TinyConfig()
+	cfg.Lookups = 4000
+	llc := 32 << 10
+	base := runNoCrash(t, MCPMEM, cfg, llc)
+	crashed := runWithCrash(t, MCPMEM, cfg, llc)
+	// Transactional updates make every lookup atomic: exact match.
+	if base != crashed {
+		t.Fatalf("PMEM restart diverged: %v vs %v", base, crashed)
+	}
+}
+
+func TestMCOverheadOrdering(t *testing.T) {
+	// Figure 13's shape: selective flushing ~free; every-iteration
+	// flushing clearly slower; PMEM slowest.
+	cfg := mc.TinyConfig()
+	cfg.Lookups = 8000
+	llc := 64 << 10
+	runNS := func(mech MCMechanism) int64 {
+		m := mcMachine(crash.NVMOnly, llc)
+		s := mc.New(m.Heap, m.CPU, cfg)
+		var cp *ckpt.Checkpointer
+		if mech == MCCkpt {
+			cp = ckpt.NewNVM(m)
+		}
+		r := NewMCRunner(m, nil, s, mech, cp)
+		// At test scale 0.01% of lookups rounds to every iteration;
+		// use an explicit rare period in the paper's spirit.
+		r.FlushPeriod = 200
+		start := m.Clock.Now()
+		r.Run(0)
+		return m.Clock.Since(start)
+	}
+	native := runNS(MCNative)
+	selective := runNS(MCAlgoSelective)
+	everyIter := runNS(MCAlgoEveryIter)
+	pm := runNS(MCPMEM)
+
+	selOverhead := float64(selective-native) / float64(native)
+	if selOverhead > 0.03 {
+		t.Fatalf("selective overhead = %.2f%%, want < 3%%", 100*selOverhead)
+	}
+	if everyIter <= selective {
+		t.Fatalf("every-iteration flushing (%d) should cost more than selective (%d)", everyIter, selective)
+	}
+	if pm <= everyIter {
+		t.Fatalf("PMEM (%d) should cost more than every-iteration flushing (%d)", pm, everyIter)
+	}
+}
+
+func TestMCRestartIterAfterCrash(t *testing.T) {
+	cfg := mc.TinyConfig()
+	cfg.Lookups = 5000
+	m := mcMachine(crash.NVMOnly, 32<<10)
+	em := crash.NewEmulator(m)
+	s := mc.New(m.Heap, m.CPU, cfg)
+	r := NewMCRunner(m, em, s, MCAlgoNaive, nil)
+	em.CrashAtTrigger(TriggerMCLookup, 500)
+	em.Run(func() { r.Run(0) })
+	from := r.RestartIter()
+	// Naive mode flushes i every iteration: restart exactly at the
+	// crashed lookup.
+	if from != 499 {
+		t.Fatalf("restart iter = %d, want 499", from)
+	}
+}
+
+func TestDefaultFlushPeriod(t *testing.T) {
+	if p := DefaultFlushPeriod(1_500_000); p != 150 {
+		t.Fatalf("period = %d, want 150 (0.01%%)", p)
+	}
+	if p := DefaultFlushPeriod(10); p != 1 {
+		t.Fatalf("tiny period = %d, want 1", p)
+	}
+}
+
+func TestMCMechanismString(t *testing.T) {
+	for _, m := range []MCMechanism{MCNative, MCAlgoNaive, MCAlgoSelective, MCAlgoEveryIter, MCCkpt, MCPMEM} {
+		if m.String() == "" || m.String() == "unknown" {
+			t.Fatalf("mechanism %d has bad name", int(m))
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"adcc/internal/abft"
+	"adcc/internal/cache"
+	"adcc/internal/ckpt"
+	"adcc/internal/crash"
+	"adcc/internal/dense"
+)
+
+func mmMachine(kind crash.SystemKind, llc int) *crash.Machine {
+	return crash.NewMachine(crash.MachineConfig{
+		System: kind,
+		Cache: cache.Config{
+			SizeBytes:         llc,
+			LineBytes:         64,
+			Assoc:             8,
+			HitNS:             4,
+			FlushChargesClean: true,
+			PrefetchStreams:   16,
+		},
+	})
+}
+
+func refProduct(opts MMOptions) *dense.Matrix {
+	opts.setDefaults()
+	a := dense.Random(opts.N, opts.N, opts.Seed)
+	b := dense.Random(opts.N, opts.N, opts.Seed+1)
+	c := dense.New(opts.N, opts.N)
+	dense.Mul(c, a, b)
+	return c
+}
+
+func assertMatches(t *testing.T, got, want *dense.Matrix, context string) {
+	t.Helper()
+	for i := range want.Data {
+		d := math.Abs(got.Data[i] - want.Data[i])
+		if d > 1e-8*math.Max(1, math.Abs(want.Data[i])) {
+			t.Fatalf("%s: result differs at %d: %v vs %v", context, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMMExtendedCorrectness(t *testing.T) {
+	opts := MMOptions{N: 64, K: 16, Seed: 1}
+	m := mmMachine(crash.NVMOnly, 1<<20)
+	mm := NewMM(m, nil, opts)
+	mm.Run()
+	assertMatches(t, mm.Result(), refProduct(opts), "extended MM")
+	// The final Ctemp must satisfy its full-checksum relations.
+	n1 := opts.N + 1
+	rep := abft.VerifyFull(mm.Ctemp.Live(), n1, n1, 1e-8)
+	if !rep.Consistent() {
+		t.Fatalf("final Ctemp checksum-inconsistent: %+v", rep)
+	}
+}
+
+func TestMMBaselineCorrectness(t *testing.T) {
+	opts := MMOptions{N: 48, K: 12, Seed: 2}
+	m := mmMachine(crash.NVMOnly, 1<<20)
+	bm := NewBaselineMM(m, opts, MechNative, nil)
+	bm.Run()
+	assertMatches(t, bm.Result(), refProduct(opts), "baseline MM")
+}
+
+func TestMMBaselinePMEMCorrectness(t *testing.T) {
+	opts := MMOptions{N: 32, K: 8, Seed: 3}
+	m := mmMachine(crash.NVMOnly, 1<<20)
+	bm := NewBaselineMM(m, opts, MechPMEM, nil)
+	bm.Run()
+	assertMatches(t, bm.Result(), refProduct(opts), "PMEM MM")
+}
+
+func TestMMCrashLoop1Recovery(t *testing.T) {
+	// Crash at the end of the 4th submatrix multiplication (the
+	// paper's first crash test). With blocks larger than the LLC,
+	// earlier panels are evicted/persistent; recovery should lose at
+	// most about one panel.
+	opts := MMOptions{N: 160, K: 32, Seed: 4} // 5 panels, blocks ~200KB
+	m := mmMachine(crash.NVMOnly, 64<<10)
+	em := crash.NewEmulator(m)
+	mm := NewMM(m, em, opts)
+	em.CrashAtTrigger(TriggerMMLoop1IterEnd, 4)
+	if !em.Run(mm.Run) {
+		t.Fatal("expected crash in loop 1")
+	}
+	rec := mm.RecoverLoop1()
+	if len(rec.Status) != 5 {
+		t.Fatalf("status len = %d", len(rec.Status))
+	}
+	// Panel 4 was never run: must be zero. Panels well before the
+	// crash must be consistent.
+	if rec.Status[4] != BlockZero {
+		t.Fatalf("panel 4 = %v, want zero", rec.Status[4])
+	}
+	if rec.Status[0] != BlockConsistent || rec.Status[1] != BlockConsistent {
+		t.Fatalf("early panels not consistent: %v %v", rec.Status[0], rec.Status[1])
+	}
+	lostDone := 0
+	for s := 0; s < 4; s++ {
+		if rec.Status[s] == BlockZero || rec.Status[s] == BlockRecompute {
+			lostDone++
+		}
+	}
+	if lostDone > 2 {
+		t.Fatalf("lost %d completed panels, want <= 2", lostDone)
+	}
+	// Resume: recompute damaged panels, then run loop 2 to completion.
+	mm.ResumeLoop1(rec)
+	mm.Em = nil
+	mm.RunLoop2(0)
+	assertMatches(t, mm.Result(), refProduct(opts), "post-loop1-crash")
+}
+
+func TestMMCrashLoop2Recovery(t *testing.T) {
+	// Crash at the end of the 4th block addition (the paper's second
+	// crash test).
+	opts := MMOptions{N: 160, K: 32, Seed: 5}
+	m := mmMachine(crash.NVMOnly, 64<<10)
+	em := crash.NewEmulator(m)
+	mm := NewMM(m, em, opts)
+	em.CrashAtTrigger(TriggerMMLoop2IterEnd, 4)
+	if !em.Run(mm.Run) {
+		t.Fatal("expected crash in loop 2")
+	}
+	// Loop 1 must be fully recoverable (it completed and its blocks
+	// streamed out of the small cache), possibly with checksum repair.
+	rec1 := mm.RecoverLoop1()
+	mm.ResumeLoop1(rec1)
+	rec2 := mm.RecoverLoop2()
+	// Blocks after the 4th can only be zero; blocks well before the
+	// crash must be consistent.
+	if rec2.Status[0] != BlockConsistent {
+		t.Fatalf("block 0 = %v, want consistent", rec2.Status[0])
+	}
+	if last := rec2.Status[len(rec2.Status)-1]; last != BlockRecompute {
+		t.Fatalf("final block = %v, want recompute (never executed)", last)
+	}
+	lost := 0
+	for b := 0; b < 4; b++ {
+		if rec2.Status[b] == BlockRecompute {
+			lost++
+		}
+	}
+	if lost > 2 {
+		t.Fatalf("lost %d completed blocks, want <= 2", lost)
+	}
+	mm.ResumeLoop2(rec2)
+	assertMatches(t, mm.Result(), refProduct(opts), "post-loop2-crash")
+}
+
+func TestMMRecoveryDetectsCorruption(t *testing.T) {
+	opts := MMOptions{N: 64, K: 16, Seed: 6}
+	m := mmMachine(crash.NVMOnly, 1<<20)
+	mm := NewMM(m, nil, opts)
+	mm.RunLoop1(0)
+	m.LLC.WritebackAll() // make everything persistent
+	// Corrupt a single element of panel 1's image (and live copy, as
+	// after a restart).
+	n1 := opts.N + 1
+	idx := 7*n1 + 9
+	mm.Ctemps[1].Image()[idx] += 2.5
+	mm.Ctemps[1].Live()[idx] = mm.Ctemps[1].Image()[idx]
+	rec := mm.RecoverLoop1()
+	if rec.Status[1] != BlockCorrected {
+		t.Fatalf("single stale element: status = %v, want corrected", rec.Status[1])
+	}
+	// The corrected block must now hold the true product value.
+	want := refProduct(opts)
+	got := mm.Ctemps[1].Live()[idx]
+	// Reference for panel 1 only.
+	a := dense.Random(opts.N, opts.N, opts.Seed)
+	b := dense.Random(opts.N, opts.N, opts.Seed+1)
+	exp := 0.0
+	for l := 16; l < 32; l++ {
+		exp += a.At(7, l) * b.At(l, 9)
+	}
+	if math.Abs(got-exp) > 1e-8 {
+		t.Fatalf("corrected value %v, want %v", got, exp)
+	}
+	_ = want
+}
+
+func TestMMRecoveryMassCorruptionRecomputes(t *testing.T) {
+	opts := MMOptions{N: 64, K: 16, Seed: 7}
+	m := mmMachine(crash.NVMOnly, 1<<20)
+	mm := NewMM(m, nil, opts)
+	mm.RunLoop1(0)
+	m.LLC.WritebackAll()
+	// Wipe half of panel 2: uncorrectable.
+	n1 := opts.N + 1
+	for i := 0; i < n1*n1/2; i++ {
+		mm.Ctemps[2].Image()[i] = 0
+		mm.Ctemps[2].Live()[i] = 0
+	}
+	rec := mm.RecoverLoop1()
+	if rec.Status[2] != BlockRecompute {
+		t.Fatalf("mass corruption: status = %v, want recompute", rec.Status[2])
+	}
+	mm.ResumeLoop1(rec)
+	mm.RunLoop2(0)
+	assertMatches(t, mm.Result(), refProduct(opts), "post-mass-corruption")
+}
+
+func TestMMCheckpointBaseline(t *testing.T) {
+	opts := MMOptions{N: 64, K: 16, Seed: 8}
+	m := mmMachine(crash.NVMOnly, 256<<10)
+	em := crash.NewEmulator(m)
+	cp := ckpt.NewNVM(m)
+	bm := NewBaselineMM(m, opts, MechCkpt, cp)
+	crashed := em.Run(func() {
+		bm.Run()
+		crash.InjectCrashNow()
+	})
+	if !crashed {
+		t.Fatal("expected crash")
+	}
+	cp.Restore(bm.Cf.R)
+	assertMatches(t, bm.Result(), refProduct(opts), "checkpoint-restored MM")
+}
+
+func TestMMOverheadOrdering(t *testing.T) {
+	// Figure 8's shape: algo overhead small; checkpoint larger; PMEM
+	// largest.
+	// The paper's regime: every matrix far exceeds the LLC, so both
+	// the baseline and the extended version stream.
+	opts := MMOptions{N: 160, K: 32, Seed: 9}
+	runNS := func(build func(m *crash.Machine) func()) int64 {
+		m := mmMachine(crash.NVMOnly, 32<<10)
+		work := build(m)
+		start := m.Clock.Now()
+		work()
+		return m.Clock.Since(start)
+	}
+	native := runNS(func(m *crash.Machine) func() {
+		bm := NewBaselineMM(m, opts, MechNative, nil)
+		return bm.Run
+	})
+	algo := runNS(func(m *crash.Machine) func() {
+		mm := NewMM(m, nil, opts)
+		return mm.Run
+	})
+	ck := runNS(func(m *crash.Machine) func() {
+		bm := NewBaselineMM(m, opts, MechCkpt, ckpt.NewNVM(m))
+		return bm.Run
+	})
+	pm := runNS(func(m *crash.Machine) func() {
+		bm := NewBaselineMM(m, opts, MechPMEM, nil)
+		return bm.Run
+	})
+	if algo >= ck {
+		t.Fatalf("algo (%d) should be cheaper than checkpoint (%d)", algo, ck)
+	}
+	if ck >= pm {
+		t.Fatalf("checkpoint (%d) should be cheaper than PMEM (%d)", ck, pm)
+	}
+	overhead := float64(algo-native) / float64(native)
+	if overhead > 0.25 {
+		t.Fatalf("algo overhead = %.1f%% at this scale, want < 25%%", 100*overhead)
+	}
+}
+
+func TestMMRankDivisibilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indivisible N/K did not panic")
+		}
+	}()
+	m := mmMachine(crash.NVMOnly, 1<<20)
+	NewMM(m, nil, MMOptions{N: 100, K: 33})
+}
+
+func TestBlockStatusString(t *testing.T) {
+	for _, s := range []BlockStatus{BlockConsistent, BlockZero, BlockCorrected, BlockRecompute} {
+		if s.String() == "" {
+			t.Fatal("empty status name")
+		}
+	}
+}

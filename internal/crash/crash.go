@@ -1,0 +1,326 @@
+// Package crash assembles the simulated platform (clock + CPU + heap +
+// LLC + memory system) and provides the crash emulator of paper §III-A:
+// run a workload, inject a crash at a chosen execution point, discard all
+// volatile state, and hand the persistent NVM image to recovery code.
+//
+// Crash points are specified the same two ways as the paper's PIN tool:
+//
+//   - after a specific statement: the workload calls Trigger(name) at
+//     the instrumented statement and the emulator crashes on the
+//     configured occurrence of that name (the crash_sim_output() API);
+//   - after a specific number of memory operations: profile a run to
+//     learn the op count, then re-run with CrashAtOp.
+package crash
+
+import (
+	"fmt"
+
+	"adcc/internal/cache"
+	"adcc/internal/mem"
+	"adcc/internal/nvm"
+	"adcc/internal/sim"
+)
+
+// SystemKind selects the paper's two NVM platforms.
+type SystemKind int
+
+const (
+	// NVMOnly is the NVM-only system: NVM with the same performance as
+	// DRAM, no DRAM cache (paper §III-A, optimistic configuration).
+	NVMOnly SystemKind = iota
+	// Hetero is the heterogeneous NVM/DRAM system: PCM-like NVM
+	// (4x latency, 1/8 bandwidth) with a 32 MB DRAM page cache.
+	Hetero
+)
+
+// String names the system kind as in the paper's figures.
+func (k SystemKind) String() string {
+	switch k {
+	case NVMOnly:
+		return "NVM-only"
+	case Hetero:
+		return "NVM/DRAM"
+	default:
+		return fmt.Sprintf("SystemKind(%d)", int(k))
+	}
+}
+
+// MachineConfig describes a simulated platform.
+type MachineConfig struct {
+	System SystemKind
+	// Cache configures the LLC; zero value means cache.DefaultConfig.
+	Cache cache.Config
+	// DRAMCacheBytes sizes the heterogeneous system's DRAM page cache;
+	// zero means nvm.DefaultDRAMCacheBytes (32 MB, as in the paper).
+	DRAMCacheBytes int
+	// OpNS overrides the CPU per-operation cost; zero means the
+	// sim.DefaultCPU value.
+	OpNS float64
+	// Flush selects the persistence instruction used by Persist.
+	// The default is CLFLUSH, the only instruction available on the
+	// paper's testbed.
+	Flush FlushInstr
+}
+
+// FlushInstr selects the cache-line persistence instruction.
+type FlushInstr int
+
+const (
+	// CLFLUSH writes back and invalidates the line (paper §II).
+	CLFLUSH FlushInstr = iota
+	// CLWB writes back and keeps the line resident — the instruction
+	// the paper anticipates would further improve its approach.
+	CLWB
+)
+
+// String names the instruction.
+func (f FlushInstr) String() string {
+	switch f {
+	case CLFLUSH:
+		return "CLFLUSH"
+	case CLWB:
+		return "CLWB"
+	default:
+		return fmt.Sprintf("FlushInstr(%d)", int(f))
+	}
+}
+
+// Machine is one simulated NVM platform instance. All components share
+// one simulated clock.
+type Machine struct {
+	Clock *sim.Clock
+	CPU   *sim.CPU
+	Heap  *mem.Heap
+	LLC   *cache.Cache
+	Mem   nvm.System
+
+	kind MachineConfig
+}
+
+// NewMachine builds a platform. The heap's accessor is the LLC, so every
+// region access is cache-simulated from the start.
+func NewMachine(cfg MachineConfig) *Machine {
+	if cfg.Cache.SizeBytes == 0 {
+		cfg.Cache = cache.DefaultConfig()
+	}
+	if cfg.DRAMCacheBytes == 0 {
+		cfg.DRAMCacheBytes = nvm.DefaultDRAMCacheBytes
+	}
+	clock := &sim.Clock{}
+	cpu := sim.DefaultCPU(clock)
+	if cfg.OpNS > 0 {
+		cpu.OpNS = cfg.OpNS
+	}
+	var system nvm.System
+	switch cfg.System {
+	case NVMOnly:
+		system = nvm.NewUniform(nvm.DRAMLikeNVM())
+	case Hetero:
+		system = nvm.NewHetero(cfg.DRAMCacheBytes)
+	default:
+		panic(fmt.Sprintf("crash: unknown system kind %d", cfg.System))
+	}
+	heap := mem.NewHeap(nil)
+	llc := cache.New(cfg.Cache, clock, system, heap)
+	heap.SetAccessor(llc)
+	return &Machine{Clock: clock, CPU: cpu, Heap: heap, LLC: llc, Mem: system, kind: cfg}
+}
+
+// System returns the machine's memory-system kind.
+func (m *Machine) System() SystemKind { return m.kind.System }
+
+// DRAMCacheBytes returns the size of the heterogeneous system's DRAM
+// page cache (0 on NVM-only machines).
+func (m *Machine) DRAMCacheBytes() int {
+	if m.kind.System != Hetero {
+		return 0
+	}
+	return m.kind.DRAMCacheBytes
+}
+
+// TierRegion registers a region as DRAM-tiered on the heterogeneous
+// system; on NVM-only it is a no-op. Per the paper's data placement,
+// large read-mostly inputs are tiered while persistence-critical objects
+// stay NVM-direct.
+func (m *Machine) TierRegion(r mem.Region) {
+	if h, ok := m.Mem.(*nvm.Hetero); ok {
+		h.SetTiered(r.Base(), r.Bytes())
+	}
+}
+
+// Persist makes the byte range durable using the machine's configured
+// persistence instruction (CLFLUSH or CLWB).
+func (m *Machine) Persist(a mem.Addr, size int) {
+	if m.kind.Flush == CLWB {
+		m.LLC.FlushOpt(a, size)
+		return
+	}
+	m.LLC.Flush(a, size)
+}
+
+// FlushRegion persists every line of a region.
+func (m *Machine) FlushRegion(r mem.Region) {
+	m.Persist(r.Base(), r.Bytes())
+}
+
+// ChargeNVMRead advances the clock by the cost of reading size bytes
+// directly from the persistence domain (used by post-crash recovery,
+// which runs with no warm cache).
+func (m *Machine) ChargeNVMRead(size int) {
+	m.Clock.Advance(m.Mem.PersistModel().ReadCost(size))
+}
+
+// ChargeNVMWrite advances the clock by the cost of writing size bytes
+// directly to the persistence domain.
+func (m *Machine) ChargeNVMWrite(size int) {
+	m.Clock.Advance(m.Mem.PersistModel().WriteCost(size))
+}
+
+// crashSignal is the sentinel panic value used for crash injection.
+type crashSignal struct {
+	ops     int64
+	trigger string
+}
+
+// Emulator injects crashes into workloads running on a Machine.
+type Emulator struct {
+	M *Machine
+
+	ops        int64
+	crashAtOp  int64 // crash when ops reaches this; 0 = disarmed
+	trigName   string
+	trigTarget int // occurrence number to crash at; 0 = disarmed
+	trigSeen   int
+
+	crashed     bool
+	crashOps    int64
+	crashTrig   string
+	prevAcc     mem.Accessor
+	installedAt mem.Accessor
+
+	// OnCrash, if set, runs at the crash point before any volatile
+	// state is discarded — the hook the crash_sim_output() API of the
+	// paper's PIN tool uses to dump cache and memory contents.
+	OnCrash func(*Machine)
+}
+
+// NewEmulator wraps a machine with crash-injection instrumentation.
+func NewEmulator(m *Machine) *Emulator {
+	return &Emulator{M: m}
+}
+
+// CrashAtOp arms a crash after n memory operations (element-granularity
+// loads/stores) have been issued, counted from the next Run.
+func (e *Emulator) CrashAtOp(n int64) {
+	e.crashAtOp = n
+}
+
+// CrashAtTrigger arms a crash at the occurrence-th call to
+// Trigger(name). Occurrences are 1-based.
+func (e *Emulator) CrashAtTrigger(name string, occurrence int) {
+	e.trigName = name
+	e.trigTarget = occurrence
+}
+
+// Trigger is called by instrumented workloads at named program points
+// (the crash_sim_output() API of the paper's PIN tool). If the armed
+// trigger matches, the crash fires here.
+func (e *Emulator) Trigger(name string) {
+	if e.trigTarget <= 0 || name != e.trigName {
+		return
+	}
+	e.trigSeen++
+	if e.trigSeen == e.trigTarget {
+		panic(crashSignal{ops: e.ops, trigger: name})
+	}
+}
+
+// OpCount returns the number of memory operations observed so far in the
+// current or most recent Run (including profiling runs).
+func (e *Emulator) OpCount() int64 { return e.ops }
+
+// Crashed reports whether the most recent Run ended in an injected crash.
+func (e *Emulator) Crashed() bool { return e.crashed }
+
+// CrashOps returns the op count at which the most recent crash fired.
+func (e *Emulator) CrashOps() int64 { return e.crashOps }
+
+// CrashTrigger returns the trigger name of the most recent crash ("" for
+// op-count crashes).
+func (e *Emulator) CrashTrigger() string { return e.crashTrig }
+
+// countingAccessor interposes op counting and op-count crash points
+// between the heap and the LLC.
+type countingAccessor struct {
+	e     *Emulator
+	inner mem.Accessor
+}
+
+func (c *countingAccessor) Load(a mem.Addr, size int) {
+	c.e.tick()
+	c.inner.Load(a, size)
+}
+
+func (c *countingAccessor) Store(a mem.Addr, size int) {
+	c.e.tick()
+	c.inner.Store(a, size)
+}
+
+func (e *Emulator) tick() {
+	e.ops++
+	if e.crashAtOp > 0 && e.ops == e.crashAtOp {
+		panic(crashSignal{ops: e.ops})
+	}
+}
+
+// Run executes the workload with crash instrumentation installed.
+// It returns true if an armed crash fired, in which case the machine has
+// already gone through the full crash protocol: the LLC is discarded
+// (dirty lines lost), the memory system's volatile tier is reset, and
+// every region's live data has been replaced by its NVM image — the
+// state a restarted process would observe. Panics other than the crash
+// sentinel propagate.
+func (e *Emulator) Run(workload func()) (crashed bool) {
+	e.ops = 0
+	e.trigSeen = 0
+	e.crashed = false
+	e.crashOps = 0
+	e.crashTrig = ""
+
+	e.prevAcc = e.M.Heap.Accessor()
+	counting := &countingAccessor{e: e, inner: e.prevAcc}
+	e.M.Heap.SetAccessor(counting)
+	defer e.M.Heap.SetAccessor(e.prevAcc)
+
+	defer func() {
+		if r := recover(); r != nil {
+			sig, ok := r.(crashSignal)
+			if !ok {
+				panic(r)
+			}
+			e.crashed = true
+			e.crashOps = sig.ops
+			e.crashTrig = sig.trigger
+			if e.OnCrash != nil {
+				e.OnCrash(e.M)
+			}
+			e.M.crash()
+			crashed = true
+		}
+	}()
+	workload()
+	return e.crashed
+}
+
+// crash executes the machine-level crash protocol.
+func (m *Machine) crash() {
+	m.LLC.DiscardAll()
+	m.Mem.Reset()
+	m.Heap.RestartFromImage()
+}
+
+// InjectCrashNow can be called by tests or workloads to crash
+// unconditionally at the current point. It must run inside Emulator.Run.
+func InjectCrashNow() {
+	panic(crashSignal{})
+}

@@ -1,0 +1,92 @@
+package crash
+
+import (
+	"testing"
+
+	"adcc/internal/cache"
+)
+
+func TestPersistDispatchesByInstr(t *testing.T) {
+	for _, instr := range []FlushInstr{CLFLUSH, CLWB} {
+		m := NewMachine(MachineConfig{
+			System: NVMOnly,
+			Cache: cache.Config{
+				SizeBytes: 4 * 64 * 2, LineBytes: 64, Assoc: 2, HitNS: 1,
+				FlushChargesClean: true,
+			},
+			Flush: instr,
+		})
+		r := m.Heap.AllocF64("v", 8)
+		r.Set(0, 7)
+		m.Persist(r.Addr(0), 8)
+		if r.Image()[0] != 7 {
+			t.Fatalf("%v: Persist did not write back", instr)
+		}
+		resident, _ := m.LLC.Contains(r.Addr(0))
+		wantResident := instr == CLWB
+		if resident != wantResident {
+			t.Fatalf("%v: resident=%v, want %v", instr, resident, wantResident)
+		}
+	}
+}
+
+func TestFlushInstrString(t *testing.T) {
+	if CLFLUSH.String() != "CLFLUSH" || CLWB.String() != "CLWB" {
+		t.Fatal("FlushInstr names wrong")
+	}
+	if FlushInstr(9).String() == "" {
+		t.Fatal("unknown instr must still render")
+	}
+}
+
+func TestCrashAfterCLWBKeepsData(t *testing.T) {
+	// CLWB persistence must survive a crash exactly like CLFLUSH.
+	m := NewMachine(MachineConfig{
+		System: NVMOnly,
+		Cache: cache.Config{
+			SizeBytes: 4 * 64 * 2, LineBytes: 64, Assoc: 2, HitNS: 1,
+		},
+		Flush: CLWB,
+	})
+	e := NewEmulator(m)
+	r := m.Heap.AllocF64("v", 8)
+	e.Run(func() {
+		r.Set(0, 5)
+		m.Persist(r.Addr(0), 8)
+		r.Set(1, 6) // not persisted
+		InjectCrashNow()
+	})
+	if r.Live()[0] != 5 {
+		t.Fatal("CLWB-persisted value lost in crash")
+	}
+	if r.Live()[1] != 0 {
+		t.Fatal("unpersisted value survived crash")
+	}
+}
+
+func TestOnCrashHookSeesPreCrashState(t *testing.T) {
+	m := NewMachine(MachineConfig{
+		System: NVMOnly,
+		Cache: cache.Config{
+			SizeBytes: 4 * 64 * 2, LineBytes: 64, Assoc: 2, HitNS: 1,
+		},
+	})
+	e := NewEmulator(m)
+	r := m.Heap.AllocF64("v", 8)
+	sawDirty := false
+	e.OnCrash = func(m *Machine) {
+		// At the hook, the dirty line is still resident.
+		_, dirty := m.LLC.Contains(r.Addr(0))
+		sawDirty = dirty
+	}
+	e.Run(func() {
+		r.Set(0, 1)
+		InjectCrashNow()
+	})
+	if !sawDirty {
+		t.Fatal("OnCrash hook ran after the cache was discarded")
+	}
+	if _, dirty := m.LLC.Contains(r.Addr(0)); dirty {
+		t.Fatal("cache not discarded after crash protocol")
+	}
+}

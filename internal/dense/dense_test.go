@@ -1,0 +1,172 @@
+package dense
+
+import (
+	"math"
+	"testing"
+
+	"adcc/internal/mem"
+	"adcc/internal/sim"
+)
+
+func TestMulSmall(t *testing.T) {
+	a := New(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := New(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := New(2, 2)
+	Mul(c, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("c = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	Mul(New(2, 2), New(2, 3), New(2, 2))
+}
+
+func TestMulOverwritesC(t *testing.T) {
+	a := Random(4, 4, 1)
+	b := Random(4, 4, 2)
+	c := New(4, 4)
+	for i := range c.Data {
+		c.Data[i] = 99
+	}
+	Mul(c, a, b)
+	c2 := New(4, 4)
+	Mul(c2, a, b)
+	for i := range c.Data {
+		if c.Data[i] != c2.Data[i] {
+			t.Fatal("Mul did not overwrite stale C contents")
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(5, 5, 7)
+	b := Random(5, 5, 7)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("Random not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestRowAndAt(t *testing.T) {
+	m := New(3, 4)
+	m.Set(1, 2, 5.0)
+	if m.At(1, 2) != 5.0 {
+		t.Fatal("At/Set mismatch")
+	}
+	if m.Row(1)[2] != 5.0 {
+		t.Fatal("Row view mismatch")
+	}
+}
+
+func simEnv() (*mem.Heap, *sim.CPU) {
+	clock := &sim.Clock{}
+	return mem.NewHeap(nil), sim.DefaultCPU(clock)
+}
+
+func TestGemmAccMatchesNative(t *testing.T) {
+	h, cpu := simEnv()
+	n, k := 24, 8
+	an := Random(n, n, 3)
+	bn := Random(n, n, 4)
+	a := UploadSim(h, "A", an)
+	b := UploadSim(h, "B", bn)
+	c := NewSim(h, "C", n, n)
+	// Accumulate all panels: result equals the full product.
+	for l0 := 0; l0 < n; l0 += k {
+		GemmAcc(cpu, c, a, b, l0, k)
+	}
+	want := New(n, n)
+	Mul(want, an, bn)
+	for i := range want.Data {
+		if math.Abs(c.Live()[i]-want.Data[i]) > 1e-10 {
+			t.Fatalf("GemmAcc differs at %d: %v vs %v", i, c.Live()[i], want.Data[i])
+		}
+	}
+	if cpu.Clock.Now() == 0 {
+		t.Fatal("GemmAcc charged no time")
+	}
+}
+
+func TestGemmAccPanelOnly(t *testing.T) {
+	h, cpu := simEnv()
+	n, k := 16, 4
+	an := Random(n, n, 5)
+	bn := Random(n, n, 6)
+	a := UploadSim(h, "A", an)
+	b := UploadSim(h, "B", bn)
+	c := NewSim(h, "C", n, n)
+	GemmAcc(cpu, c, a, b, 4, k) // only panel l=4..8
+	// Reference: restrict A columns/B rows to the panel.
+	want := New(n, n)
+	for i := 0; i < n; i++ {
+		for l := 4; l < 8; l++ {
+			for j := 0; j < n; j++ {
+				want.Data[i*n+j] += an.At(i, l) * bn.At(l, j)
+			}
+		}
+	}
+	for i := range want.Data {
+		if math.Abs(c.Live()[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("panel GemmAcc differs at %d", i)
+		}
+	}
+}
+
+func TestAddRowsAcc(t *testing.T) {
+	h, cpu := simEnv()
+	c := NewSim(h, "C", 8, 8)
+	s := NewSim(h, "S", 8, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			s.Set(i, j, float64(i+j))
+			c.Set(i, j, 1)
+		}
+	}
+	AddRowsAcc(cpu, c, s, 2, 3) // rows 2,3,4
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := 1.0
+			if i >= 2 && i < 5 {
+				want = 1 + float64(i+j)
+			}
+			if c.At(i, j) != want {
+				t.Fatalf("c[%d][%d] = %v, want %v", i, j, c.Live()[i*8+j], want)
+			}
+		}
+	}
+}
+
+func TestSimMatrixShapePanics(t *testing.T) {
+	h, cpu := simEnv()
+	c := NewSim(h, "C", 4, 4)
+	s := NewSim(h, "S", 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range AddRowsAcc did not panic")
+		}
+	}()
+	AddRowsAcc(cpu, c, s, 2, 3)
+}
+
+func TestUploadSimPersistsInitialState(t *testing.T) {
+	h, _ := simEnv()
+	m := Random(4, 4, 9)
+	s := UploadSim(h, "M", m)
+	for i := range m.Data {
+		if s.Image()[i] != m.Data[i] {
+			t.Fatal("UploadSim image not initialized")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"adcc/internal/cache"
+	"adcc/internal/crash"
+)
+
+// llcConfig builds the standard LLC configuration used by the
+// experiment drivers. The paper's Xeon E5606 has an 8 MB LLC; the
+// reproduction scales problem sizes down 4-12x and the LLC with them so
+// that working-set-to-cache ratios are preserved (DESIGN.md §2).
+func llcConfig(sizeBytes, assoc int) cache.Config {
+	return cache.Config{
+		SizeBytes:         sizeBytes,
+		LineBytes:         64,
+		Assoc:             assoc,
+		HitNS:             4,
+		FlushChargesClean: true,
+		PrefetchStreams:   16,
+	}
+}
+
+// newMachine builds a platform of the given kind with the given LLC and
+// the paper's 32 MB DRAM cache on heterogeneous systems.
+func newMachine(kind crash.SystemKind, llcBytes, assoc int) *crash.Machine {
+	return crash.NewMachine(crash.MachineConfig{
+		System: kind,
+		Cache:  llcConfig(llcBytes, assoc),
+	})
+}
+
+// newMachineTier is newMachine with an explicit DRAM-cache size, used by
+// the MC experiments whose data set is scaled down ~10x from the paper's
+// 246 MB grids (the DRAM cache scales with it).
+func newMachineTier(kind crash.SystemKind, llcBytes, assoc, dramCacheBytes int) *crash.Machine {
+	return crash.NewMachine(crash.MachineConfig{
+		System:         kind,
+		Cache:          llcConfig(llcBytes, assoc),
+		DRAMCacheBytes: dramCacheBytes,
+	})
+}
+
+// Mechanism labels for the seven-case comparison (paper §III-A).
+const (
+	caseNative     = "native"
+	caseCkptHDD    = "ckpt-HDD"
+	caseCkptNVM    = "ckpt-NVM-only"
+	caseCkptHetero = "ckpt-NVM/DRAM"
+	casePMEM       = "PMEM-lib"
+	caseAlgoNVM    = "algo-NVM-only"
+	caseAlgoHetero = "algo-NVM/DRAM"
+)
+
+// sevenCases returns the labels in the paper's presentation order.
+func sevenCases() []string {
+	return []string{
+		caseNative, caseCkptHDD, caseCkptNVM, caseCkptHetero,
+		casePMEM, caseAlgoNVM, caseAlgoHetero,
+	}
+}
+
+// systemOf maps a case label to the platform it runs on.
+func systemOf(c string) crash.SystemKind {
+	switch c {
+	case caseCkptHetero, caseAlgoHetero:
+		return crash.Hetero
+	default:
+		return crash.NVMOnly
+	}
+}
+
+// normalize computes t/base as a ratio string-friendly float.
+func normalize(t, base int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(t) / float64(base)
+}

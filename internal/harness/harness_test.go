@@ -1,0 +1,251 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smallOpts runs every experiment at CI scale.
+var smallOpts = Options{Scale: 0.05}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	exps := All()
+	if len(exps) < 10 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.Name == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	for _, want := range []string{"fig3", "fig4", "fig7", "fig8", "fig10", "fig12", "fig13"} {
+		if !seen[want] {
+			t.Fatalf("missing paper experiment %q", want)
+		}
+	}
+	if _, ok := ByName("fig3"); !ok {
+		t.Fatal("ByName(fig3) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted unknown name")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{Name: "x", Title: "t", Headers: []string{"A", "Blong"}}
+	tab.AddRow("v", 1.5)
+	tab.AddRow(12345, "w")
+	tab.AddNote("n=%d", 3)
+	s := tab.String()
+	for _, want := range []string{"== x: t ==", "A", "Blong", "1.500", "12345", "note: n=3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimPrefix(s, "+"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestFig3SmallScale(t *testing.T) {
+	tab, err := RunFig3(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("fig3 rows = %d, want 5 classes", len(tab.Rows))
+	}
+	// Losses must not increase with class size (paper's headline
+	// observation): first class >= last class.
+	first := parseCell(t, tab.Rows[0][2])
+	last := parseCell(t, tab.Rows[4][2])
+	if last > first {
+		t.Fatalf("iterations lost grew with size: %v -> %v", first, last)
+	}
+}
+
+func TestFig4SmallScale(t *testing.T) {
+	tab, err := RunFig4(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("fig4 rows = %d, want 7 cases", len(tab.Rows))
+	}
+	get := func(label string) float64 {
+		for _, r := range tab.Rows {
+			if r[0] == label {
+				return parseCell(t, r[3])
+			}
+		}
+		t.Fatalf("case %s missing", label)
+		return 0
+	}
+	if get(caseNative) != 1.0 {
+		t.Fatal("native must normalize to 1.0")
+	}
+	if get(casePMEM) < get(caseCkptNVM) {
+		t.Fatal("PMEM should exceed NVM checkpoint")
+	}
+	if get(caseCkptHDD) < get(caseCkptNVM) {
+		t.Fatal("HDD checkpoint should exceed NVM checkpoint")
+	}
+	if get(caseAlgoNVM) > 1.15 {
+		t.Fatalf("algo overhead %.3f too large at small scale", get(caseAlgoNVM))
+	}
+}
+
+func TestFig7SmallScale(t *testing.T) {
+	tab, err := RunFig7(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("fig7 rows = %d, want 4 sizes x 2 tests", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		lost := parseCell(t, r[2])
+		if lost < 0 || lost > 4 {
+			t.Fatalf("units lost %v out of [0,4]: %v", lost, r)
+		}
+	}
+}
+
+func TestFig8SmallScale(t *testing.T) {
+	tab, err := RunFig8(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 21 {
+		t.Fatalf("fig8 rows = %d, want 3 ranks x 7 cases", len(tab.Rows))
+	}
+}
+
+func TestFig10And12SmallScale(t *testing.T) {
+	t10, err := RunFig10(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t12, err := RunFig12(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDelta := func(tab *Table) float64 {
+		worst := 0.0
+		for _, r := range tab.Rows {
+			d := parseCell(t, r[3])
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	if maxDelta(t12) > maxDelta(t10) {
+		t.Fatalf("selective flushing (%.2fpp) should beat naive (%.2fpp)",
+			maxDelta(t12), maxDelta(t10))
+	}
+}
+
+func TestFig13SmallScale(t *testing.T) {
+	tab, err := RunFig13(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("fig13 rows = %d", len(tab.Rows))
+	}
+	// At CI scale the grids fit in the LLC, so lookups are unrealistically
+	// cheap relative to the fixed flush cost; the bound here is loose.
+	// The paper-scale bound (<1% overhead) is asserted by the full run
+	// recorded in EXPERIMENTS.md.
+	for _, r := range tab.Rows {
+		if r[0] == caseAlgoNVM {
+			if v := parseCell(t, r[3]); v > 1.25 {
+				t.Fatalf("algo-selective normalized %v, want ~1.0", v)
+			}
+		}
+	}
+}
+
+func TestCLWBAblationSmallScale(t *testing.T) {
+	tab, err := RunCLWBAblation(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("clwb rows = %d, want 3 workloads x 2 instructions", len(tab.Rows))
+	}
+	// Every CLWB row must be no slower than its CLFLUSH baseline.
+	for i := 1; i < len(tab.Rows); i += 2 {
+		if v := parseCell(t, tab.Rows[i][3]); v > 1.0001 {
+			t.Fatalf("CLWB slower than CLFLUSH for %s: %v", tab.Rows[i][0], v)
+		}
+	}
+}
+
+func TestSummaryRunsAtSmallScale(t *testing.T) {
+	// The claim checks only hold at paper scale; at CI scale we assert
+	// the experiment runs, produces all four claims, and carries the
+	// scale warning.
+	tab, err := RunSummary(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("summary rows = %d, want 4 claims", len(tab.Rows))
+	}
+	warned := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "scale 1.0") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatal("summary at small scale must warn about scaling")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Name: "x", Title: "t", Headers: []string{"A", "B"}}
+	tab.AddRow("a,b", 2)
+	tab.AddNote("hello")
+	var b strings.Builder
+	tab.FprintCSV(&b)
+	out := b.String()
+	for _, want := range []string{"A,B", "\"a,b\",2", "# hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationsSmallScale(t *testing.T) {
+	for _, name := range []string{"cg-cache", "mc-flush", "mm-k"} {
+		e, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing ablation %s", name)
+		}
+		tab, err := e.Run(smallOpts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", name)
+		}
+	}
+}

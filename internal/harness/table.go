@@ -1,0 +1,182 @@
+// Package harness contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (§III), plus ablation
+// studies for the design choices called out in DESIGN.md. Each driver
+// builds the simulated platform(s), runs the workload under the relevant
+// mechanisms, and emits a text table whose rows correspond to the
+// figure's bars or series.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Name    string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes are free-form lines printed under the table (scaling
+	// caveats, paper reference values, annotations).
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a formatted note line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.Name, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// FprintCSV renders the table as CSV (header row first, notes as
+// trailing comment lines).
+func (t *Table) FprintCSV(w io.Writer) {
+	quote := func(cells []string) string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		return strings.Join(out, ",")
+	}
+	fmt.Fprintln(w, quote(t.Headers))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, quote(row))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies the problem sizes; 1.0 reproduces the
+	// paper-shape defaults, smaller values give CI-sized runs.
+	Scale float64
+	// Verbose enables progress notes on Out.
+	Verbose bool
+	// Out receives progress output when Verbose is set.
+	Out io.Writer
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1.0
+	}
+	return o.Scale
+}
+
+// scaleInt applies the scale factor with a floor.
+func (o Options) scaleInt(v, floor int) int {
+	s := int(float64(v) * o.scale())
+	if s < floor {
+		return floor
+	}
+	return s
+}
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Verbose && o.Out != nil {
+		fmt.Fprintf(o.Out, format+"\n", args...)
+	}
+}
+
+// Experiment is a named, runnable reproduction unit.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(o Options) (*Table, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3", "CG recomputation cost vs input class (paper Figure 3)", RunFig3},
+		{"fig4", "CG runtime under seven mechanisms (paper Figure 4)", RunFig4},
+		{"fig7", "ABFT-MM recomputation cost, two crash tests (paper Figure 7)", RunFig7},
+		{"fig8", "ABFT-MM runtime under seven mechanisms x rank (paper Figure 8)", RunFig8},
+		{"fig10", "XSBench counts: no-crash vs naive restart (paper Figure 10)", RunFig10},
+		{"fig12", "XSBench counts: no-crash vs selective flushing (paper Figure 12)", RunFig12},
+		{"fig13", "XSBench runtime under mechanisms (paper Figure 13)", RunFig13},
+		{"summary", "Headline-claim validation across all runtime figures", RunSummary},
+		{"cg-cache", "Ablation: CG recomputation vs LLC size", RunCGCacheAblation},
+		{"clwb", "Ablation: CLFLUSH vs CLWB for the algorithm-directed flushes (paper §II prediction)", RunCLWBAblation},
+		{"mc-flush", "Ablation: MC flush period vs overhead and accuracy (incl. the paper's 16% every-iteration claim)", RunMCFlushAblation},
+		{"mm-k", "Ablation: MM rank k vs memory and recomputation (paper §III-C tradeoff)", RunMMKAblation},
+	}
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

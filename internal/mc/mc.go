@@ -1,0 +1,339 @@
+// Package mc implements the Monte-Carlo macroscopic cross-section lookup
+// substrate of paper §III-D — an XSBench-equivalent kernel: a unionized
+// energy grid over a set of nuclide grids, randomized (energy, material)
+// lookups, binary search, interpolation, and accumulation into the
+// five-element macro_xs vector, plus the paper's deterministic extension
+// (CDF choice over the five interaction types, counted by five counters)
+// that gives the benchmark a physically meaningful, checkable result.
+//
+// Sampling is stateless: the inputs of lookup i are a pure function of
+// (seed, i), so a crashed-and-restarted run replays exactly the same
+// samples as an uninterrupted run — the property the paper relies on for
+// its "same randomly sampled inputs" comparisons (Figures 10 and 12).
+//
+// Layout notes that matter for crash consistency:
+//
+//   - macro_xs is deliberately not cache-line aligned (as in the real
+//     benchmark, where it lives unaligned inside the lookup routine's
+//     data): its five elements straddle two cache lines, so after a
+//     crash the two halves can be stale by different amounts;
+//   - each of the five counters is padded to its own cache line, so
+//     their persistence ages diverge under random eviction pressure.
+//
+// These two properties produce the result bias of Figure 10 when the
+// naive restart scheme is used.
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"adcc/internal/mem"
+	"adcc/internal/sim"
+)
+
+// NumTypes is the number of particle interaction types tracked.
+const NumTypes = 5
+
+// MacroOff is the element offset of macro_xs inside its region, chosen
+// so the five elements straddle a cache-line boundary (elements 6,7 in
+// one line; 8,9,10 in the next).
+const MacroOff = 6
+
+// counterStride pads each interaction counter to its own cache line.
+const counterStride = mem.LineSize / 8
+
+// Config sizes the simulation. The defaults are the paper's XSBench
+// configuration scaled down 100x in lookups and ~6x in grid points
+// (DESIGN.md §2); all crash/flush parameters elsewhere are expressed as
+// fractions of Lookups, so the scaling preserves the paper's shape.
+type Config struct {
+	// Nuclides is the number of fuel nuclides (paper: 34).
+	Nuclides int
+	// PointsPerNuclide is the number of grid points per nuclide grid.
+	PointsPerNuclide int
+	// Lookups is the total number of macroscopic lookups.
+	Lookups int
+	// Seed drives grid construction and lookup sampling.
+	Seed int64
+}
+
+// DefaultConfig returns the scaled Hoogenboom-Martin-style configuration.
+func DefaultConfig() Config {
+	return Config{Nuclides: 34, PointsPerNuclide: 2000, Lookups: 150_000, Seed: 42}
+}
+
+// TinyConfig returns a test-sized configuration.
+func TinyConfig() Config {
+	return Config{Nuclides: 8, PointsPerNuclide: 128, Lookups: 2000, Seed: 7}
+}
+
+// Sim is one cross-section lookup simulation instance over simulated
+// memory.
+type Sim struct {
+	Cfg Config
+
+	cpu *sim.CPU
+
+	// EnergyGrid is the unionized energy grid (sorted).
+	EnergyGrid *mem.F64
+	// XSIndices maps each unionized grid point to an index in every
+	// nuclide grid (G x Nuclides, row-major).
+	XSIndices *mem.I64
+	// NuclideGrids holds, per nuclide, PointsPerNuclide rows of
+	// (energy, xs0..xs4), flattened.
+	NuclideGrids *mem.F64
+	// MacroXS is the five-element accumulator (at MacroOff).
+	MacroXS *mem.F64
+	// Counters holds the five interaction-type counters, one per line.
+	Counters *mem.I64
+	// Iter is the loop index variable's memory home (its cache line is
+	// what the paper's extensions flush).
+	Iter *mem.I64
+
+	gridPoints int
+	materials  [][]int
+	matCDF     []float64
+}
+
+// XSBench's material sampling distribution (12 materials; index 0 is
+// fuel, which contains every nuclide).
+var materialProb = []float64{
+	0.140, 0.052, 0.275, 0.134, 0.154, 0.064,
+	0.066, 0.055, 0.008, 0.015, 0.025, 0.013,
+}
+
+// New builds the simulation: generates the grids natively, uploads them
+// into heap regions, and marks the initial state persistent.
+func New(h *mem.Heap, cpu *sim.CPU, cfg Config) *Sim {
+	if cfg.Nuclides < 2 || cfg.PointsPerNuclide < 4 || cfg.Lookups < 1 {
+		panic(fmt.Sprintf("mc: invalid config %+v", cfg))
+	}
+	s := &Sim{Cfg: cfg, cpu: cpu}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	nuc, p := cfg.Nuclides, cfg.PointsPerNuclide
+	// Per-nuclide grids: sorted random energies with uniform(0,1)
+	// cross sections for the five reaction channels.
+	nucEnergies := make([][]float64, nuc)
+	grids := make([]float64, nuc*p*6)
+	for n := 0; n < nuc; n++ {
+		es := make([]float64, p)
+		for i := range es {
+			es[i] = rng.Float64()
+		}
+		sort.Float64s(es)
+		es[0], es[p-1] = 0, 1 // cover the sampling domain
+		nucEnergies[n] = es
+		for i := 0; i < p; i++ {
+			row := grids[(n*p+i)*6:]
+			row[0] = es[i]
+			for k := 1; k < 6; k++ {
+				row[k] = rng.Float64()
+			}
+		}
+	}
+	// Unionized grid: the sorted union of all nuclide energies, with a
+	// per-nuclide index table (classic XSBench structure).
+	g := nuc * p
+	s.gridPoints = g
+	union := make([]float64, 0, g)
+	for _, es := range nucEnergies {
+		union = append(union, es...)
+	}
+	sort.Float64s(union)
+	indices := make([]int64, g*nuc)
+	for n := 0; n < nuc; n++ {
+		es := nucEnergies[n]
+		for i, e := range union {
+			j := sort.SearchFloat64s(es, e)
+			// Want es[j] <= e < es[j+1] with j in [0, p-2].
+			if j >= p-1 {
+				j = p - 2
+			} else if j > 0 && es[j] > e {
+				j--
+			}
+			indices[i*nuc+n] = int64(j)
+		}
+	}
+
+	s.EnergyGrid = h.AllocF64("mc.energygrid", g)
+	copy(s.EnergyGrid.Live(), union)
+	s.XSIndices = h.AllocI64("mc.xsindices", g*nuc)
+	copy(s.XSIndices.Live(), indices)
+	s.NuclideGrids = h.AllocF64("mc.nuclidegrids", nuc*p*6)
+	copy(s.NuclideGrids.Live(), grids)
+	s.MacroXS = h.AllocF64("mc.macroxs", 16)
+	s.Counters = h.AllocI64("mc.counters", NumTypes*counterStride)
+	s.Iter = h.AllocI64("mc.iter", 1)
+
+	// Materials: fuel (all nuclides) plus 11 small deterministic
+	// subsets, scaled from the Hoogenboom-Martin composition.
+	sizes := []int{nuc, 5, 4, 4, 3, 2, 3, 2, 2, 2, 3, 2}
+	s.materials = make([][]int, len(sizes))
+	for m, sz := range sizes {
+		if sz > nuc {
+			sz = nuc
+		}
+		list := make([]int, sz)
+		for i := range list {
+			list[i] = (m*7 + i*3) % nuc
+		}
+		if m == 0 {
+			for i := 0; i < nuc; i++ {
+				list[i] = i
+			}
+		}
+		s.materials[m] = list
+	}
+	s.matCDF = make([]float64, len(materialProb))
+	sum := 0.0
+	for i, pr := range materialProb {
+		sum += pr
+		s.matCDF[i] = sum
+	}
+
+	// The benchmark's input state is persistent before the run starts.
+	copy(s.EnergyGrid.Image(), s.EnergyGrid.Live())
+	copy(s.XSIndices.Image(), s.XSIndices.Live())
+	copy(s.NuclideGrids.Image(), s.NuclideGrids.Live())
+	return s
+}
+
+// GridBytes returns the simulated footprint of the two read-only grids.
+func (s *Sim) GridBytes() int {
+	return s.EnergyGrid.Bytes() + s.XSIndices.Bytes() + s.NuclideGrids.Bytes()
+}
+
+// splitmix64 is the stateless sample generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sample returns the stream-th uniform(0,1) sample of lookup i.
+func (s *Sim) Sample(i int64, stream uint64) float64 {
+	x := splitmix64(uint64(s.Cfg.Seed)<<32 ^ uint64(i)*0x9e3779b97f4a7c15 ^ stream*0xda942042e4dd58b5)
+	return float64(x>>11) / float64(1<<53)
+}
+
+// MaterialOf returns the material sampled for lookup i.
+func (s *Sim) MaterialOf(i int64) int {
+	u := s.Sample(i, 1)
+	for m, c := range s.matCDF {
+		if u < c {
+			return m
+		}
+	}
+	return len(s.matCDF) - 1
+}
+
+// Lookup executes lookup i (paper Figure 9 plus the CDF extension):
+// sample (energy, material), binary-search the unionized grid, gather
+// and interpolate each constituent nuclide's cross sections into
+// macro_xs, then choose an interaction type from the normalized CDF of
+// the accumulated macro_xs and bump its counter. The chosen type is
+// returned.
+func (s *Sim) Lookup(i int64) int {
+	energy := s.Sample(i, 0)
+	mat := s.MaterialOf(i)
+
+	// Binary search on the unionized energy grid (each probe is a
+	// simulated memory access, as in the real benchmark).
+	lo, hi := 0, s.gridPoints-1
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if s.EnergyGrid.At(mid) <= energy {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		s.cpu.Compute(4)
+	}
+	idx := lo
+
+	nuc := s.Cfg.Nuclides
+	indices := s.XSIndices.LoadRange(idx*nuc, nuc)
+	for _, n := range s.materials[mat] {
+		j := int(indices[n])
+		base := (n*s.Cfg.PointsPerNuclide + j) * 6
+		ptLo := s.NuclideGrids.LoadRange(base, 6)
+		ptHi := s.NuclideGrids.LoadRange(base+6, 6)
+		span := ptHi[0] - ptLo[0]
+		f := 0.0
+		if span > 0 {
+			f = (energy - ptLo[0]) / span
+		}
+		if f < 0 {
+			f = 0
+		} else if f > 1 {
+			f = 1
+		}
+		// Accumulate the five interpolated cross sections into
+		// macro_xs — the frequently updated state the paper studies.
+		for k := 0; k < NumTypes; k++ {
+			xs := ptLo[k+1]*(1-f) + ptHi[k+1]*f
+			s.MacroXS.Set(MacroOff+k, s.MacroXS.At(MacroOff+k)+xs)
+		}
+		s.cpu.Compute(30)
+	}
+
+	// The paper's extension: normalized CDF over the accumulated
+	// macro_xs selects the interaction type for this lookup.
+	vals := s.MacroXS.LoadRange(MacroOff, NumTypes)
+	var cdf [NumTypes]float64
+	sum := 0.0
+	for k, v := range vals {
+		sum += v
+		cdf[k] = sum
+	}
+	t := NumTypes - 1
+	if sum > 0 {
+		u := s.Sample(i, 2) * sum
+		for k := 0; k < NumTypes; k++ {
+			if u < cdf[k] {
+				t = k
+				break
+			}
+		}
+	}
+	s.Counters.Set(t*counterStride, s.Counters.At(t*counterStride)+1)
+	s.cpu.Compute(12)
+	return t
+}
+
+// Counts returns the live values of the five interaction counters.
+func (s *Sim) Counts() [NumTypes]int64 {
+	var c [NumTypes]int64
+	for k := 0; k < NumTypes; k++ {
+		c[k] = s.Counters.Live()[k*counterStride]
+	}
+	return c
+}
+
+// CountsImage returns the persistent (NVM image) counter values.
+func (s *Sim) CountsImage() [NumTypes]int64 {
+	var c [NumTypes]int64
+	for k := 0; k < NumTypes; k++ {
+		c[k] = s.Counters.Image()[k*counterStride]
+	}
+	return c
+}
+
+// Percentages normalizes counts by the total number of lookups,
+// as plotted in the paper's Figures 10 and 12.
+func Percentages(c [NumTypes]int64, lookups int) [NumTypes]float64 {
+	var p [NumTypes]float64
+	for k := range c {
+		p[k] = 100 * float64(c[k]) / float64(lookups)
+	}
+	return p
+}
+
+// CounterAddr returns the address of counter k (for targeted flushes).
+func (s *Sim) CounterAddr(k int) mem.Addr {
+	return s.Counters.Addr(k * counterStride)
+}

@@ -1,0 +1,207 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"adcc/internal/mem"
+	"adcc/internal/sim"
+)
+
+func newSim(t *testing.T, cfg Config) *Sim {
+	t.Helper()
+	clock := &sim.Clock{}
+	h := mem.NewHeap(nil)
+	return New(h, sim.DefaultCPU(clock), cfg)
+}
+
+func TestGridConstruction(t *testing.T) {
+	s := newSim(t, TinyConfig())
+	g := s.EnergyGrid.Live()
+	for i := 1; i < len(g); i++ {
+		if g[i] < g[i-1] {
+			t.Fatalf("energy grid not sorted at %d", i)
+		}
+	}
+	if g[0] != 0 {
+		t.Fatalf("grid must start at 0, got %v", g[0])
+	}
+	// Index table: every entry within [0, P-2].
+	p := int64(s.Cfg.PointsPerNuclide)
+	for _, j := range s.XSIndices.Live() {
+		if j < 0 || j > p-2 {
+			t.Fatalf("xs index %d out of range", j)
+		}
+	}
+}
+
+func TestIndexTableBrackets(t *testing.T) {
+	s := newSim(t, TinyConfig())
+	nuc := s.Cfg.Nuclides
+	p := s.Cfg.PointsPerNuclide
+	union := s.EnergyGrid.Live()
+	for gi := 0; gi < len(union); gi += 37 {
+		e := union[gi]
+		for n := 0; n < nuc; n++ {
+			j := int(s.XSIndices.Live()[gi*nuc+n])
+			eLo := s.NuclideGrids.Live()[(n*p+j)*6]
+			eHi := s.NuclideGrids.Live()[(n*p+j+1)*6]
+			// es[j] <= e <= es[j+1] except at the clamped top.
+			if eLo > e && j > 0 {
+				t.Fatalf("bracket low violated: nuclide %d point %d: %v > %v", n, gi, eLo, e)
+			}
+			if eHi < e && j < p-2 {
+				t.Fatalf("bracket high violated: nuclide %d point %d: %v < %v", n, gi, eHi, e)
+			}
+		}
+	}
+}
+
+func TestSamplingDeterministicAndUniform(t *testing.T) {
+	s := newSim(t, TinyConfig())
+	if s.Sample(5, 0) != s.Sample(5, 0) {
+		t.Fatal("sampling not deterministic")
+	}
+	if s.Sample(5, 0) == s.Sample(6, 0) {
+		t.Fatal("different lookups produced identical samples")
+	}
+	if s.Sample(5, 0) == s.Sample(5, 1) {
+		t.Fatal("different streams produced identical samples")
+	}
+	// Crude uniformity check.
+	sum := 0.0
+	n := 10000
+	for i := 0; i < n; i++ {
+		u := s.Sample(int64(i), 0)
+		if u < 0 || u >= 1 {
+			t.Fatalf("sample out of range: %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("sample mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestMaterialDistribution(t *testing.T) {
+	s := newSim(t, TinyConfig())
+	counts := make([]int, len(materialProb))
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[s.MaterialOf(int64(i))]++
+	}
+	for m, pr := range materialProb {
+		got := float64(counts[m]) / float64(n)
+		if math.Abs(got-pr) > 0.02 {
+			t.Fatalf("material %d frequency %v, want ~%v", m, got, pr)
+		}
+	}
+}
+
+func TestLookupCountsSumToLookups(t *testing.T) {
+	s := newSim(t, TinyConfig())
+	n := 500
+	for i := 0; i < n; i++ {
+		typ := s.Lookup(int64(i))
+		if typ < 0 || typ >= NumTypes {
+			t.Fatalf("lookup returned type %d", typ)
+		}
+	}
+	c := s.Counts()
+	total := int64(0)
+	for _, v := range c {
+		total += v
+	}
+	if total != int64(n) {
+		t.Fatalf("counter total = %d, want %d", total, n)
+	}
+}
+
+func TestLookupDeterministicReplay(t *testing.T) {
+	// Two independent sims with the same seed must make identical
+	// choices — the foundation of the paper's crash/no-crash
+	// comparison methodology.
+	s1 := newSim(t, TinyConfig())
+	s2 := newSim(t, TinyConfig())
+	for i := 0; i < 300; i++ {
+		if s1.Lookup(int64(i)) != s2.Lookup(int64(i)) {
+			t.Fatalf("lookup %d diverged between identical sims", i)
+		}
+	}
+}
+
+func TestTypeDistributionRoughlyUniform(t *testing.T) {
+	// Paper: "the number of times an interaction type is chosen is
+	// roughly the same for all interaction types".
+	cfg := TinyConfig()
+	cfg.Lookups = 5000
+	s := newSim(t, cfg)
+	for i := 0; i < cfg.Lookups; i++ {
+		s.Lookup(int64(i))
+	}
+	p := Percentages(s.Counts(), cfg.Lookups)
+	for k, v := range p {
+		if v < 14 || v > 26 {
+			t.Fatalf("type %d share %v%%, want ~20%%", k, v)
+		}
+	}
+}
+
+func TestMacroXSAccumulates(t *testing.T) {
+	s := newSim(t, TinyConfig())
+	s.Lookup(0)
+	v1 := s.MacroXS.Live()[MacroOff]
+	s.Lookup(1)
+	v2 := s.MacroXS.Live()[MacroOff]
+	if v2 <= v1 {
+		t.Fatal("macro_xs does not accumulate across lookups")
+	}
+}
+
+func TestMacroXSStraddlesLines(t *testing.T) {
+	s := newSim(t, TinyConfig())
+	first := s.MacroXS.Addr(MacroOff).LineAddr()
+	last := s.MacroXS.Addr(MacroOff + NumTypes - 1).LineAddr()
+	if first == last {
+		t.Fatal("macro_xs must straddle two cache lines (unaligned layout)")
+	}
+}
+
+func TestCountersOnSeparateLines(t *testing.T) {
+	s := newSim(t, TinyConfig())
+	seen := map[mem.Addr]bool{}
+	for k := 0; k < NumTypes; k++ {
+		la := s.CounterAddr(k).LineAddr()
+		if seen[la] {
+			t.Fatal("two counters share a cache line")
+		}
+		seen[la] = true
+	}
+}
+
+func TestPercentages(t *testing.T) {
+	p := Percentages([NumTypes]int64{10, 20, 30, 25, 15}, 100)
+	if p[0] != 10 || p[2] != 30 {
+		t.Fatalf("percentages = %v", p)
+	}
+}
+
+func TestCountsImageInitiallyZero(t *testing.T) {
+	s := newSim(t, TinyConfig())
+	s.Lookup(0)
+	for _, v := range s.CountsImage() {
+		if v != 0 {
+			t.Fatal("image counters nonzero before any writeback")
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	clock := &sim.Clock{}
+	New(mem.NewHeap(nil), sim.DefaultCPU(clock), Config{Nuclides: 1, PointsPerNuclide: 2, Lookups: 0})
+}

@@ -1,0 +1,371 @@
+// Package mem provides the simulated main-memory substrate of the crash
+// emulator: a heap of addressable regions, each pairing a *live* slice
+// (the values the simulated CPU observes, i.e. the union of cache and
+// memory contents) with a *shadow image* (the values currently persistent
+// in NVM).
+//
+// Every element access on a region notifies an Accessor — in practice the
+// cache simulator from internal/cache — with the address and size of the
+// access. When the cache evicts or flushes a dirty line it asks the heap
+// to write the line back, and the heap copies the covered byte range from
+// the live slice into the image. When the emulated machine crashes, the
+// cache is discarded and the image alone is the recovery state, exactly
+// as on real NVM hardware with volatile caches.
+//
+// The correctness of this metadata-only design rests on a single-core
+// write-back cache invariant: a resident line always holds the most
+// recent value of every byte it covers, so materializing a writeback from
+// the live slice is exact. See DESIGN.md §5.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LineSize is the cache-line granularity of the simulated machine, in
+// bytes. All region allocations are line aligned so a line never spans
+// two regions.
+const LineSize = 64
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// LineAddr returns the address of the cache line containing a.
+func (a Addr) LineAddr() Addr { return a &^ (LineSize - 1) }
+
+// Accessor observes every load and store issued against heap regions.
+// The cache simulator implements Accessor; a no-op implementation is used
+// for un-instrumented (native) execution.
+type Accessor interface {
+	// Load records a read of size bytes at address a.
+	Load(a Addr, size int)
+	// Store records a write of size bytes at address a.
+	Store(a Addr, size int)
+}
+
+// NullAccessor ignores all accesses. It is the accessor of a heap whose
+// workload runs natively (no cache simulation, no crash consistency).
+type NullAccessor struct{}
+
+// Load implements Accessor.
+func (NullAccessor) Load(Addr, int) {}
+
+// Store implements Accessor.
+func (NullAccessor) Store(Addr, int) {}
+
+// Region is the common interface of all typed memory regions.
+type Region interface {
+	// Name returns the diagnostic name given at allocation.
+	Name() string
+	// Base returns the first simulated address of the region.
+	Base() Addr
+	// Bytes returns the size of the region in bytes.
+	Bytes() int
+
+	// writeback copies [off, off+n) bytes from live to image.
+	writeback(off, n int)
+	// restore copies the whole image into the live slice (restart).
+	restore()
+	// syncImage copies the whole live slice into the image.
+	syncImage()
+}
+
+// Heap allocates regions at line-aligned simulated addresses and routes
+// writebacks from the cache simulator to the owning region.
+type Heap struct {
+	next    Addr
+	regions []Region // sorted by base address
+	acc     Accessor
+}
+
+// NewHeap returns an empty heap whose accesses are observed by acc.
+// A nil acc is replaced by NullAccessor.
+func NewHeap(acc Accessor) *Heap {
+	if acc == nil {
+		acc = NullAccessor{}
+	}
+	// Leave address 0 unmapped so a zero Addr is recognizably invalid.
+	return &Heap{next: LineSize, acc: acc}
+}
+
+// SetAccessor replaces the heap's access observer. This is used when an
+// emulated machine restarts after a crash with a cold cache, and by the
+// crash emulator to interpose instruction counting.
+func (h *Heap) SetAccessor(acc Accessor) {
+	if acc == nil {
+		acc = NullAccessor{}
+	}
+	h.acc = acc
+}
+
+// Accessor returns the heap's current access observer.
+func (h *Heap) Accessor() Accessor { return h.acc }
+
+// reserve claims size bytes (rounded up to a whole number of lines) and
+// returns the base address.
+func (h *Heap) reserve(size int) Addr {
+	if size < 0 {
+		panic("mem: negative allocation")
+	}
+	base := h.next
+	rounded := (Addr(size) + LineSize - 1) &^ (LineSize - 1)
+	if rounded == 0 {
+		rounded = LineSize
+	}
+	h.next += rounded
+	return base
+}
+
+func (h *Heap) addRegion(r Region) {
+	h.regions = append(h.regions, r)
+}
+
+// Writeback copies the byte range [a, a+size) from the live data into the
+// NVM image of the owning region(s). It is called by the cache simulator
+// when a dirty line is evicted or flushed. Ranges that fall outside any
+// region (e.g. a line padding tail) are ignored harmlessly.
+func (h *Heap) Writeback(a Addr, size int) {
+	for size > 0 {
+		r := h.find(a)
+		if r == nil {
+			return
+		}
+		off := int(a - r.Base())
+		n := min(size, r.Bytes()-off)
+		r.writeback(off, n)
+		a += Addr(n)
+		size -= n
+	}
+}
+
+// find returns the region containing address a, or nil.
+func (h *Heap) find(a Addr) Region {
+	i := sort.Search(len(h.regions), func(i int) bool {
+		return h.regions[i].Base() > a
+	})
+	if i == 0 {
+		return nil
+	}
+	r := h.regions[i-1]
+	if a >= r.Base()+Addr(r.Bytes()) {
+		return nil
+	}
+	return r
+}
+
+// RestartFromImage models a process restart after a crash: every region's
+// live slice is overwritten with its NVM image, discarding all values
+// that existed only in volatile state.
+func (h *Heap) RestartFromImage() {
+	for _, r := range h.regions {
+		r.restore()
+	}
+}
+
+// SyncAllImages forces every region's image to equal its live data. It is
+// used to establish initial conditions (the paper assumes the input state
+// — matrix, right-hand side, grids — is persistent before the run).
+func (h *Heap) SyncAllImages() {
+	for _, r := range h.regions {
+		r.syncImage()
+	}
+}
+
+// Regions returns the allocated regions in address order.
+func (h *Heap) Regions() []Region { return h.regions }
+
+// F64 is a region of float64 elements.
+type F64 struct {
+	h     *Heap
+	name  string
+	base  Addr
+	live  []float64
+	image []float64
+}
+
+// AllocF64 allocates a float64 region of n elements with both live and
+// image contents zeroed.
+func (h *Heap) AllocF64(name string, n int) *F64 {
+	r := &F64{
+		h:     h,
+		name:  name,
+		base:  h.reserve(8 * n),
+		live:  make([]float64, n),
+		image: make([]float64, n),
+	}
+	h.addRegion(r)
+	return r
+}
+
+// Name implements Region.
+func (r *F64) Name() string { return r.name }
+
+// Base implements Region.
+func (r *F64) Base() Addr { return r.base }
+
+// Bytes implements Region.
+func (r *F64) Bytes() int { return 8 * len(r.live) }
+
+// Len returns the number of elements.
+func (r *F64) Len() int { return len(r.live) }
+
+// Addr returns the simulated address of element i.
+func (r *F64) Addr(i int) Addr { return r.base + Addr(8*i) }
+
+// At performs a simulated load of element i and returns its live value.
+func (r *F64) At(i int) float64 {
+	r.h.acc.Load(r.Addr(i), 8)
+	return r.live[i]
+}
+
+// Set performs a simulated store of v into element i.
+func (r *F64) Set(i int, v float64) {
+	r.h.acc.Store(r.Addr(i), 8)
+	r.live[i] = v
+}
+
+// LoadRange performs a simulated load of elements [i, i+n) and returns
+// the live sub-slice. The caller must treat the result as read-only,
+// with one sanctioned exception (the register-blocking pattern): it may
+// accumulate into the slice provided it issues a covering StoreRange
+// after the mutation completes. A store notification must never precede
+// the mutation it covers if other region accesses can intervene —
+// an eviction in that window would freeze partial values into the NVM
+// image with no later writeback.
+func (r *F64) LoadRange(i, n int) []float64 {
+	if n > 0 {
+		r.h.acc.Load(r.Addr(i), 8*n)
+	}
+	return r.live[i : i+n]
+}
+
+// StoreRange performs a simulated store over elements [i, i+n) and
+// returns the live sub-slice for the caller to fill.
+func (r *F64) StoreRange(i, n int) []float64 {
+	if n > 0 {
+		r.h.acc.Store(r.Addr(i), 8*n)
+	}
+	return r.live[i : i+n]
+}
+
+// Image returns the persistent NVM image of the region. Recovery code
+// reads this after a crash; it must not be mutated except through
+// writebacks and restores.
+func (r *F64) Image() []float64 { return r.image }
+
+// Live returns the live slice without charging a simulated access. It is
+// intended for test assertions and result extraction after a run.
+func (r *F64) Live() []float64 { return r.live }
+
+func (r *F64) writeback(off, n int) {
+	lo := off / 8
+	hi := (off + n + 7) / 8
+	if hi > len(r.live) {
+		hi = len(r.live)
+	}
+	copy(r.image[lo:hi], r.live[lo:hi])
+}
+
+func (r *F64) restore() { copy(r.live, r.image) }
+
+func (r *F64) syncImage() { copy(r.image, r.live) }
+
+// I64 is a region of int64 elements.
+type I64 struct {
+	h     *Heap
+	name  string
+	base  Addr
+	live  []int64
+	image []int64
+}
+
+// AllocI64 allocates an int64 region of n elements with both live and
+// image contents zeroed.
+func (h *Heap) AllocI64(name string, n int) *I64 {
+	r := &I64{
+		h:     h,
+		name:  name,
+		base:  h.reserve(8 * n),
+		live:  make([]int64, n),
+		image: make([]int64, n),
+	}
+	h.addRegion(r)
+	return r
+}
+
+// Name implements Region.
+func (r *I64) Name() string { return r.name }
+
+// Base implements Region.
+func (r *I64) Base() Addr { return r.base }
+
+// Bytes implements Region.
+func (r *I64) Bytes() int { return 8 * len(r.live) }
+
+// Len returns the number of elements.
+func (r *I64) Len() int { return len(r.live) }
+
+// Addr returns the simulated address of element i.
+func (r *I64) Addr(i int) Addr { return r.base + Addr(8*i) }
+
+// At performs a simulated load of element i and returns its live value.
+func (r *I64) At(i int) int64 {
+	r.h.acc.Load(r.Addr(i), 8)
+	return r.live[i]
+}
+
+// Set performs a simulated store of v into element i.
+func (r *I64) Set(i int, v int64) {
+	r.h.acc.Store(r.Addr(i), 8)
+	r.live[i] = v
+}
+
+// LoadRange performs a simulated load of elements [i, i+n) and returns
+// the live sub-slice. The caller must treat the result as read-only.
+func (r *I64) LoadRange(i, n int) []int64 {
+	if n > 0 {
+		r.h.acc.Load(r.Addr(i), 8*n)
+	}
+	return r.live[i : i+n]
+}
+
+// StoreRange performs a simulated store over elements [i, i+n) and
+// returns the live sub-slice for the caller to fill.
+func (r *I64) StoreRange(i, n int) []int64 {
+	if n > 0 {
+		r.h.acc.Store(r.Addr(i), 8*n)
+	}
+	return r.live[i : i+n]
+}
+
+// Image returns the persistent NVM image of the region.
+func (r *I64) Image() []int64 { return r.image }
+
+// Live returns the live slice without charging a simulated access.
+func (r *I64) Live() []int64 { return r.live }
+
+func (r *I64) writeback(off, n int) {
+	lo := off / 8
+	hi := (off + n + 7) / 8
+	if hi > len(r.live) {
+		hi = len(r.live)
+	}
+	copy(r.image[lo:hi], r.live[lo:hi])
+}
+
+func (r *I64) restore() { copy(r.live, r.image) }
+
+func (r *I64) syncImage() { copy(r.image, r.live) }
+
+// String aids debugging.
+func (h *Heap) String() string {
+	return fmt.Sprintf("mem.Heap{regions=%d, next=%#x}", len(h.regions), h.next)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// recordingAccessor captures accesses for assertions.
+type recordingAccessor struct {
+	loads, stores []accessRec
+}
+
+type accessRec struct {
+	a    Addr
+	size int
+}
+
+func (r *recordingAccessor) Load(a Addr, size int)  { r.loads = append(r.loads, accessRec{a, size}) }
+func (r *recordingAccessor) Store(a Addr, size int) { r.stores = append(r.stores, accessRec{a, size}) }
+
+func TestLineAddr(t *testing.T) {
+	cases := []struct{ in, want Addr }{
+		{0, 0}, {1, 0}, {63, 0}, {64, 64}, {65, 64}, {127, 64}, {128, 128},
+	}
+	for _, c := range cases {
+		if got := c.in.LineAddr(); got != c.want {
+			t.Errorf("LineAddr(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	h := NewHeap(nil)
+	a := h.AllocF64("a", 3) // 24 bytes, should consume a whole line
+	b := h.AllocF64("b", 9) // 72 bytes -> 2 lines
+	c := h.AllocI64("c", 1)
+	for _, r := range []Region{a, b, c} {
+		if r.Base()%LineSize != 0 {
+			t.Errorf("region %s base %d not line aligned", r.Name(), r.Base())
+		}
+	}
+	if b.Base() != a.Base()+LineSize {
+		t.Errorf("b base = %d, want %d", b.Base(), a.Base()+LineSize)
+	}
+	if c.Base() != b.Base()+2*LineSize {
+		t.Errorf("c base = %d, want %d", c.Base(), b.Base()+2*LineSize)
+	}
+}
+
+func TestZeroAddrUnmapped(t *testing.T) {
+	h := NewHeap(nil)
+	h.AllocF64("a", 4)
+	if r := h.find(0); r != nil {
+		t.Fatal("address 0 should not be mapped")
+	}
+}
+
+func TestAccessNotification(t *testing.T) {
+	rec := &recordingAccessor{}
+	h := NewHeap(rec)
+	r := h.AllocF64("v", 16)
+	r.Set(3, 1.5)
+	_ = r.At(3)
+	r.LoadRange(4, 8)
+	r.StoreRange(0, 2)
+
+	if len(rec.stores) != 2 {
+		t.Fatalf("stores = %d, want 2", len(rec.stores))
+	}
+	if rec.stores[0] != (accessRec{r.Addr(3), 8}) {
+		t.Errorf("store[0] = %+v", rec.stores[0])
+	}
+	if rec.stores[1] != (accessRec{r.Addr(0), 16}) {
+		t.Errorf("store[1] = %+v", rec.stores[1])
+	}
+	if len(rec.loads) != 2 {
+		t.Fatalf("loads = %d, want 2", len(rec.loads))
+	}
+	if rec.loads[1] != (accessRec{r.Addr(4), 64}) {
+		t.Errorf("load[1] = %+v", rec.loads[1])
+	}
+}
+
+func TestEmptyRangeNoNotification(t *testing.T) {
+	rec := &recordingAccessor{}
+	h := NewHeap(rec)
+	r := h.AllocF64("v", 4)
+	r.LoadRange(2, 0)
+	r.StoreRange(2, 0)
+	if len(rec.loads)+len(rec.stores) != 0 {
+		t.Fatalf("zero-length ranges generated accesses: %d loads %d stores",
+			len(rec.loads), len(rec.stores))
+	}
+}
+
+func TestWritebackCopiesLiveToImage(t *testing.T) {
+	h := NewHeap(nil)
+	r := h.AllocF64("v", 16)
+	r.Set(0, 1.0)
+	r.Set(7, 2.0)
+	r.Set(8, 3.0) // second line
+	if r.Image()[0] != 0 {
+		t.Fatal("image updated before writeback")
+	}
+	// Write back only the first line.
+	h.Writeback(r.Base(), LineSize)
+	img := r.Image()
+	if img[0] != 1.0 || img[7] != 2.0 {
+		t.Fatalf("first line image = %v %v, want 1 2", img[0], img[7])
+	}
+	if img[8] != 0 {
+		t.Fatalf("second line image = %v, want 0 (not written back)", img[8])
+	}
+}
+
+func TestWritebackSpansRegions(t *testing.T) {
+	h := NewHeap(nil)
+	a := h.AllocF64("a", 8) // exactly one line
+	b := h.AllocF64("b", 8)
+	a.Set(7, 1.0)
+	b.Set(0, 2.0)
+	h.Writeback(a.Base(), 2*LineSize)
+	if a.Image()[7] != 1.0 || b.Image()[0] != 2.0 {
+		t.Fatalf("cross-region writeback failed: %v %v", a.Image()[7], b.Image()[0])
+	}
+}
+
+func TestWritebackOutsideRegionsIgnored(t *testing.T) {
+	h := NewHeap(nil)
+	r := h.AllocF64("v", 8)
+	// Past the end of all regions: must not panic.
+	h.Writeback(r.Base()+Addr(r.Bytes())+4096, LineSize)
+	// Before all regions (address 0 .. LineSize is unmapped).
+	h.Writeback(0, LineSize)
+}
+
+func TestRestartFromImage(t *testing.T) {
+	h := NewHeap(nil)
+	r := h.AllocF64("v", 8)
+	i := h.AllocI64("n", 1)
+	r.Set(0, 42.0)
+	i.Set(0, 7)
+	// Only r's line reaches NVM.
+	h.Writeback(r.Base(), LineSize)
+	h.RestartFromImage()
+	if got := r.Live()[0]; got != 42.0 {
+		t.Errorf("persisted value lost on restart: %v", got)
+	}
+	if got := i.Live()[0]; got != 0 {
+		t.Errorf("unpersisted value survived restart: %v", got)
+	}
+}
+
+func TestSyncAllImages(t *testing.T) {
+	h := NewHeap(nil)
+	r := h.AllocF64("v", 8)
+	r.Set(3, 9.0)
+	h.SyncAllImages()
+	if r.Image()[3] != 9.0 {
+		t.Fatalf("SyncAllImages did not copy live value")
+	}
+}
+
+func TestI64Region(t *testing.T) {
+	h := NewHeap(nil)
+	r := h.AllocI64("n", 10)
+	r.Set(5, -3)
+	if got := r.At(5); got != -3 {
+		t.Fatalf("At(5) = %d, want -3", got)
+	}
+	s := r.StoreRange(0, 3)
+	s[0], s[1], s[2] = 1, 2, 3
+	got := r.LoadRange(0, 3)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("range roundtrip = %v", got)
+	}
+	h.Writeback(r.Base(), r.Bytes())
+	if r.Image()[5] != -3 {
+		t.Fatal("I64 writeback failed")
+	}
+}
+
+func TestFindRegionBoundaries(t *testing.T) {
+	h := NewHeap(nil)
+	a := h.AllocF64("a", 8)
+	b := h.AllocF64("b", 8)
+	if r := h.find(a.Base()); r != Region(a) {
+		t.Error("find(a.Base) != a")
+	}
+	if r := h.find(a.Base() + Addr(a.Bytes()) - 1); r != Region(a) {
+		t.Error("find(last byte of a) != a")
+	}
+	if r := h.find(b.Base()); r != Region(b) {
+		t.Error("find(b.Base) != b")
+	}
+}
+
+// Property: writeback of any sub-range never changes image values outside
+// the covered elements, and restoring after a full writeback is lossless.
+func TestWritebackRangeProperty(t *testing.T) {
+	f := func(vals []float64, offU, nU uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHeap(nil)
+		r := h.AllocF64("v", len(vals))
+		for i, v := range vals {
+			r.Set(i, v)
+		}
+		off := int(offU) % len(vals)
+		n := int(nU) % (len(vals) - off + 1)
+		h.Writeback(r.Addr(off), 8*n)
+		img := r.Image()
+		// Writeback is byte-range exact: covered elements synced,
+		// everything else untouched (still zero). Values of zero in
+		// vals are indistinguishable either way, which is fine.
+		for i := range img {
+			covered := i >= off && i < off+n
+			if covered && img[i] != vals[i] {
+				return false
+			}
+			if !covered && img[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

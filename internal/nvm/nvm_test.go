@@ -1,0 +1,130 @@
+package nvm
+
+import (
+	"testing"
+
+	"adcc/internal/mem"
+)
+
+func TestDeviceModelCosts(t *testing.T) {
+	m := DeviceModel{ReadLatencyNS: 100, WriteLatencyNS: 200, ReadBW: 2, WriteBW: 4}
+	if got := m.ReadCost(64); got != 100+32 {
+		t.Fatalf("ReadCost(64) = %d, want 132", got)
+	}
+	if got := m.WriteCost(64); got != 200+16 {
+		t.Fatalf("WriteCost(64) = %d, want 216", got)
+	}
+}
+
+func TestPaperModelRatios(t *testing.T) {
+	d, n := DRAM(), PCMLikeNVM()
+	if n.ReadLatencyNS != 4*d.ReadLatencyNS {
+		t.Errorf("NVM latency = %d, want 4x DRAM (%d)", n.ReadLatencyNS, 4*d.ReadLatencyNS)
+	}
+	if d.ReadBW != 8*n.ReadBW {
+		t.Errorf("NVM bandwidth = %v, want 1/8 of DRAM (%v)", n.ReadBW, d.ReadBW/8)
+	}
+	if dl := DRAMLikeNVM(); dl.ReadCost(4096) != d.ReadCost(4096) {
+		t.Error("DRAM-like NVM must cost the same as DRAM")
+	}
+}
+
+func TestHDDMuchSlowerThanDRAM(t *testing.T) {
+	if HDD().WriteCost(1<<20) < 20*DRAM().WriteCost(1<<20) {
+		t.Error("HDD should be orders of magnitude slower than DRAM for 1 MB")
+	}
+}
+
+func TestUniformSystem(t *testing.T) {
+	u := NewUniform(DRAM())
+	if u.ReadCost(0, 64) != u.ReadCost(1<<30, 64) {
+		t.Error("uniform system cost must be address independent")
+	}
+	if u.Name() != "DRAM" {
+		t.Errorf("Name = %q", u.Name())
+	}
+	if u.PersistModel().Name != "DRAM" {
+		t.Error("PersistModel mismatch")
+	}
+	u.Reset() // must not panic
+}
+
+func TestHeteroUntieredGoesToNVM(t *testing.T) {
+	h := NewHetero(1 << 20)
+	nvmCost := PCMLikeNVM().ReadCost(64)
+	if got := h.ReadCost(12345, 64); got != nvmCost {
+		t.Fatalf("untiered read cost = %d, want NVM cost %d", got, nvmCost)
+	}
+}
+
+func TestHeteroTieredHitAndMiss(t *testing.T) {
+	h := NewHetero(1 << 20)
+	h.SetTiered(0, 1<<20)
+	dram := DRAM()
+	nvm := PCMLikeNVM()
+
+	missCost := h.ReadCost(4096, 64)
+	wantMiss := dram.ReadCost(64) + nvm.ReadCost(PageSize)
+	if missCost != wantMiss {
+		t.Fatalf("tier miss = %d, want %d", missCost, wantMiss)
+	}
+	hitCost := h.ReadCost(4096+64, 64) // same page now resident
+	if hitCost != dram.ReadCost(64) {
+		t.Fatalf("tier hit = %d, want DRAM cost %d", hitCost, dram.ReadCost(64))
+	}
+	if missCost <= hitCost {
+		t.Fatal("miss must cost more than hit")
+	}
+}
+
+func TestHeteroResetColdsTier(t *testing.T) {
+	h := NewHetero(1 << 20)
+	h.SetTiered(0, 1<<20)
+	h.ReadCost(0, 64)
+	hot := h.ReadCost(0, 64)
+	h.Reset()
+	cold := h.ReadCost(0, 64)
+	if cold <= hot {
+		t.Fatal("Reset did not cold the DRAM page cache")
+	}
+}
+
+func TestHeteroTierEviction(t *testing.T) {
+	// Tiny tier: capacity 8 pages (one set at assoc 8).
+	h := NewHetero(8 * PageSize)
+	h.SetTiered(0, 1<<30)
+	// Touch 9 distinct pages in the same set: first page gets evicted.
+	for p := 0; p < 9; p++ {
+		h.ReadCost(mem.Addr(p*PageSize), 64)
+	}
+	cost := h.ReadCost(0, 64)
+	if cost == DRAM().ReadCost(64) {
+		t.Fatal("page 0 should have been evicted and cost a refill")
+	}
+}
+
+func TestHeteroWriteCosts(t *testing.T) {
+	h := NewHetero(1 << 20)
+	h.SetTiered(0, 4096)
+	nvmW := PCMLikeNVM().WriteCost(64)
+	if got := h.WriteCost(1<<20, 64); got != nvmW {
+		t.Fatalf("untiered write = %d, want %d", got, nvmW)
+	}
+	h.ReadCost(0, 64) // warm the page
+	if got := h.WriteCost(0, 64); got != DRAM().WriteCost(64) {
+		t.Fatalf("tiered warm write = %d, want DRAM cost", got)
+	}
+}
+
+func TestTierRegionHelper(t *testing.T) {
+	h := NewHetero(1 << 20)
+	heap := mem.NewHeap(nil)
+	r := heap.AllocF64("big", 1024)
+	h.TierRegion(r)
+	if !h.isTiered(r.Base()) || !h.isTiered(r.Base()+mem.Addr(r.Bytes())-1) {
+		t.Fatal("TierRegion did not cover the region")
+	}
+	if h.isTiered(r.Base() + mem.Addr(r.Bytes())) {
+		t.Fatal("tiering covers past the region end")
+	}
+}

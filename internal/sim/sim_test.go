@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now() = %d, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	c.Advance(0)
+	c.Advance(32)
+	if got := c.Now(); got != 42 {
+		t.Fatalf("Now() = %d, want 42", got)
+	}
+}
+
+func TestClockSince(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	mark := c.Now()
+	c.Advance(25)
+	if got := c.Since(mark); got != 25 {
+		t.Fatalf("Since(mark) = %d, want 25", got)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(99)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset Now() = %d, want 0", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockMonotonic(t *testing.T) {
+	// Property: any sequence of non-negative advances is monotonic.
+	f := func(deltas []uint16) bool {
+		var c Clock
+		prev := int64(0)
+		for _, d := range deltas {
+			c.Advance(int64(d))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUComputeExactAccumulation(t *testing.T) {
+	var c Clock
+	cpu := &CPU{Clock: &c, OpNS: 0.25}
+	// 7 ops at 0.25 ns = 1.75 ns; clock holds integer ns, remainder kept.
+	cpu.Compute(7)
+	if c.Now() != 1 {
+		t.Fatalf("after 7 ops Now() = %d, want 1", c.Now())
+	}
+	cpu.Compute(1) // total 2.0
+	if c.Now() != 2 {
+		t.Fatalf("after 8 ops Now() = %d, want 2", c.Now())
+	}
+}
+
+func TestCPUComputeNoDrift(t *testing.T) {
+	// Property: total charged time equals floor within 1 ns of ops*OpNS
+	// regardless of how the ops are batched.
+	f := func(batches []uint8) bool {
+		var c Clock
+		cpu := &CPU{Clock: &c, OpNS: 0.3}
+		var total int64
+		for _, b := range batches {
+			cpu.Compute(int64(b))
+			total += int64(b)
+		}
+		want := float64(total) * 0.3
+		got := float64(c.Now())
+		diff := want - got
+		return diff > -1.001 && diff < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUComputeZeroAndNegative(t *testing.T) {
+	var c Clock
+	cpu := DefaultCPU(&c)
+	cpu.Compute(0)
+	cpu.Compute(-5)
+	if c.Now() != 0 {
+		t.Fatalf("Compute(0)/Compute(-5) advanced clock to %d", c.Now())
+	}
+}
+
+func TestDefaultCPU(t *testing.T) {
+	var c Clock
+	cpu := DefaultCPU(&c)
+	if cpu.OpNS <= 0 {
+		t.Fatalf("DefaultCPU OpNS = %v, want > 0", cpu.OpNS)
+	}
+	cpu.Compute(1 << 20)
+	if c.Now() == 0 {
+		t.Fatal("DefaultCPU.Compute(1M) did not advance the clock")
+	}
+}
+
+func TestCountersBasics(t *testing.T) {
+	var cs Counters
+	if got := cs.Get("x"); got != 0 {
+		t.Fatalf("Get on empty = %d, want 0", got)
+	}
+	cs.Add("b", 2)
+	cs.Add("a", 1)
+	cs.Add("b", 3)
+	if got := cs.Get("b"); got != 5 {
+		t.Fatalf("Get(b) = %d, want 5", got)
+	}
+	names := cs.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names() = %v, want [a b]", names)
+	}
+	if got := cs.String(); got != "a=1 b=5" {
+		t.Fatalf("String() = %q, want %q", got, "a=1 b=5")
+	}
+	cs.Reset()
+	if got := cs.Get("b"); got != 0 {
+		t.Fatalf("after Reset Get(b) = %d, want 0", got)
+	}
+}

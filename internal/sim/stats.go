@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named int64 statistic counters. The zero value is
+// ready to use.
+type Counters struct {
+	m map[string]int64
+}
+
+// Add increments the named counter by n.
+func (c *Counters) Add(name string, n int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += n
+}
+
+// Get returns the value of the named counter (zero if never incremented).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears all counters.
+func (c *Counters) Reset() { c.m = nil }
+
+// String renders the counters as "name=value" pairs, sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, name := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, c.m[name])
+	}
+	return b.String()
+}

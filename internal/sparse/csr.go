@@ -1,0 +1,157 @@
+// Package sparse provides the sparse linear-algebra substrate for the
+// CG study (paper §III-B): CSR matrices, an NPB-CG-style generator of
+// symmetric positive-definite systems in classes S through C, and the
+// SpMV/dot/axpy kernels in both native form (plain slices) and
+// simulated form (routed through the crash emulator's memory regions).
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+type CSR struct {
+	N      int
+	RowPtr []int64 // length N+1
+	Col    []int64 // length nnz
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Class describes one NPB-CG-style problem class. The sizes follow the
+// NAS progression (each class roughly an order of magnitude bigger);
+// NnzRow approximates the NPB nonzero densities.
+type Class struct {
+	Name   string
+	N      int
+	NnzRow int
+}
+
+// Classes returns the five problem classes used in the paper's Figure 3,
+// in increasing size order.
+func Classes() []Class {
+	return []Class{
+		{Name: "S", N: 1400, NnzRow: 7},
+		{Name: "W", N: 7000, NnzRow: 8},
+		{Name: "A", N: 14000, NnzRow: 11},
+		{Name: "B", N: 75000, NnzRow: 13},
+		{Name: "C", N: 150000, NnzRow: 15},
+	}
+}
+
+// ClassByName returns the named class.
+func ClassByName(name string) (Class, error) {
+	for _, c := range Classes() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Class{}, fmt.Errorf("sparse: unknown class %q", name)
+}
+
+// GenSPD generates a random sparse symmetric positive-definite matrix of
+// order n with approximately nnzRow nonzeros per row, in the spirit of
+// the NPB CG problem generator: a random symmetric sparsity pattern with
+// values in (0,1) and a diagonal shifted to strict diagonal dominance,
+// which guarantees positive definiteness.
+func GenSPD(n, nnzRow int, seed int64) *CSR {
+	if n <= 0 || nnzRow < 1 {
+		panic(fmt.Sprintf("sparse: invalid GenSPD(%d, %d)", n, nnzRow))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Off-diagonal entries per row in the upper triangle; the mirror
+	// fills the lower triangle.
+	offPerRow := (nnzRow - 1) / 2
+	if offPerRow < 1 {
+		offPerRow = 1
+	}
+	type entry struct {
+		col int
+		val float64
+	}
+	rows := make([][]entry, n)
+	add := func(i, j int, v float64) {
+		rows[i] = append(rows[i], entry{j, v})
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < offPerRow; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.Float64()
+			add(i, j, v)
+			add(j, i, v)
+		}
+	}
+	// Deduplicate columns (sum duplicates), compute row sums, and set
+	// the diagonal to rowSum + 1 for strict dominance.
+	rp := make([]int64, n+1)
+	var cols []int64
+	var vals []float64
+	for i := 0; i < n; i++ {
+		r := rows[i]
+		sort.Slice(r, func(a, b int) bool { return r[a].col < r[b].col })
+		dedup := r[:0]
+		for _, e := range r {
+			if len(dedup) > 0 && dedup[len(dedup)-1].col == e.col {
+				dedup[len(dedup)-1].val += e.val
+			} else {
+				dedup = append(dedup, e)
+			}
+		}
+		rowSum := 0.0
+		for _, e := range dedup {
+			rowSum += e.val
+		}
+		diag := rowSum + 1.0
+		// Merge the diagonal into sorted position.
+		placed := false
+		for _, e := range dedup {
+			if !placed && e.col > i {
+				cols = append(cols, int64(i))
+				vals = append(vals, diag)
+				placed = true
+			}
+			cols = append(cols, int64(e.col))
+			vals = append(vals, e.val)
+		}
+		if !placed {
+			cols = append(cols, int64(i))
+			vals = append(vals, diag)
+		}
+		rp[i+1] = int64(len(cols))
+	}
+	return &CSR{N: n, RowPtr: rp, Col: cols, Val: vals}
+}
+
+// SpMV computes y = A*x natively.
+func SpMV(y []float64, a *CSR, x []float64) {
+	for i := 0; i < a.N; i++ {
+		sum := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			sum += a.Val[k] * x[a.Col[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// Dot returns the native inner product of a and b.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x natively.
+func Axpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
