@@ -70,6 +70,32 @@ func BenchmarkAblationCGCache(b *testing.B)     { benchExperiment(b, "cg-cache")
 func BenchmarkAblationMCFlush(b *testing.B)     { benchExperiment(b, "mc-flush") }
 func BenchmarkAblationMMRank(b *testing.B)      { benchExperiment(b, "mm-k") }
 
+// benchExperimentParallel is benchExperiment with the harness's bounded
+// worker pool engaged, for measuring the fan-out win on multi-core
+// hosts (results are byte-identical to the serial run either way).
+func benchExperimentParallel(b *testing.B, name string, workers int) {
+	b.Helper()
+	e, ok := harness.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	opts := harness.Options{Scale: benchScale(), Parallel: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig4Parallel4(b *testing.B)    { benchExperimentParallel(b, "fig4", 4) }
+func BenchmarkFig8Parallel4(b *testing.B)    { benchExperimentParallel(b, "fig8", 4) }
+func BenchmarkSummaryParallel4(b *testing.B) { benchExperimentParallel(b, "summary", 4) }
+
 // --- substrate micro-benchmarks ---
 
 func newBenchMachine() *crash.Machine {

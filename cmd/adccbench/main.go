@@ -8,7 +8,12 @@
 //	adccbench -experiment all              # every experiment, paper-shape sizes
 //	adccbench -experiment fig3,fig4        # specific experiments
 //	adccbench -experiment fig8 -scale 0.2  # scaled-down quick run
+//	adccbench -experiment all -parallel 4  # fan independent cases out over 4 workers
 //	adccbench -list                        # list experiments
+//
+// Every experiment case is seeded and runs on its own simulated machine,
+// and the harness collects results in case order, so -parallel N output
+// is byte-identical to a serial run.
 package main
 
 import (
@@ -25,6 +30,7 @@ func main() {
 	var (
 		expFlag  = flag.String("experiment", "all", "comma-separated experiment names, or 'all'")
 		scale    = flag.Float64("scale", 1.0, "problem-size scale factor (1.0 = paper-shape defaults)")
+		parallel = flag.Int("parallel", 1, "max concurrent cases per experiment (<=1 = serial; output is identical at any setting)")
 		verbose  = flag.Bool("v", false, "print progress while running")
 		listOnly = flag.Bool("list", false, "list available experiments and exit")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -53,7 +59,7 @@ func main() {
 		}
 	}
 
-	opts := harness.Options{Scale: *scale, Verbose: *verbose, Out: os.Stderr}
+	opts := harness.Options{Scale: *scale, Verbose: *verbose, Out: os.Stderr, Parallel: *parallel}
 	failed := false
 	for _, e := range selected {
 		start := time.Now()

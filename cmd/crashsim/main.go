@@ -21,6 +21,7 @@ import (
 	"adcc/internal/cache"
 	"adcc/internal/core"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 	"adcc/internal/mc"
 	"adcc/internal/mem"
 	"adcc/internal/sparse"
@@ -104,7 +105,7 @@ func main() {
 		s := mc.New(m.Heap, m.CPU, mc.Config{
 			Nuclides: 34, PointsPerNuclide: 500, Lookups: *lookups, Seed: 42,
 		})
-		r := core.NewMCRunner(m, em, s, core.MCAlgoSelective, nil)
+		r := core.NewMCRunner(m, em, s, engine.MustLookup(engine.SchemeAlgoNVM))
 		em.CrashAtTrigger(core.TriggerMCLookup, *occurrence)
 		run = func() { r.Run(0) }
 		recover = func() {

@@ -8,9 +8,9 @@ package main
 import (
 	"fmt"
 
-	"adcc/internal/ckpt"
 	"adcc/internal/core"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 	"adcc/internal/sparse"
 )
 
@@ -37,15 +37,15 @@ func main() {
 	}
 
 	run("native (not restartable)", func(m *crash.Machine) func() {
-		s := core.NewBaselineCG(m, a, opts, core.MechNative, nil)
+		s := core.NewBaselineCG(m, a, opts, nil)
 		return s.Run
 	})
 	run("checkpoint per iteration", func(m *crash.Machine) func() {
-		s := core.NewBaselineCG(m, a, opts, core.MechCkpt, ckpt.NewNVM(m))
+		s := core.NewBaselineCG(m, a, opts, engine.MustLookup(engine.SchemeCkptNVM))
 		return s.Run
 	})
 	run("PMEM undo-log transactions", func(m *crash.Machine) func() {
-		s := core.NewBaselineCG(m, a, opts, core.MechPMEM, nil)
+		s := core.NewBaselineCG(m, a, opts, engine.MustLookup(engine.SchemePMEM))
 		return s.Run
 	})
 	run("algorithm-directed (paper)", func(m *crash.Machine) func() {

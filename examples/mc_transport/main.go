@@ -12,10 +12,11 @@ import (
 	"adcc/internal/cache"
 	"adcc/internal/core"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 	"adcc/internal/mc"
 )
 
-func run(mech core.MCMechanism, cfg mc.Config, withCrash bool) [mc.NumTypes]int64 {
+func run(sc engine.Scheme, cfg mc.Config, withCrash bool) [mc.NumTypes]int64 {
 	m := crash.NewMachine(crash.MachineConfig{
 		System: crash.NVMOnly,
 		Cache: cache.Config{
@@ -25,7 +26,7 @@ func run(mech core.MCMechanism, cfg mc.Config, withCrash bool) [mc.NumTypes]int6
 	})
 	em := crash.NewEmulator(m)
 	s := mc.New(m.Heap, m.CPU, cfg)
-	r := core.NewMCRunner(m, em, s, mech, nil)
+	r := core.NewMCRunner(m, em, s, sc)
 	if withCrash {
 		em.CrashAtTrigger(core.TriggerMCLookup, cfg.Lookups/10)
 		em.Run(func() { r.Run(0) })
@@ -52,13 +53,13 @@ func main() {
 	fmt.Printf("cross-section lookups: %d; crash injected at 10%%\n", cfg.Lookups)
 	fmt.Println("share of each interaction type (types 1-5):")
 
-	noCrash := run(core.MCAlgoNaive, cfg, false)
+	noCrash := run(engine.MustLookup(engine.SchemeAlgoNaive), cfg, false)
 	show("no crash", noCrash, cfg.Lookups)
 
-	naive := run(core.MCAlgoNaive, cfg, true)
+	naive := run(engine.MustLookup(engine.SchemeAlgoNaive), cfg, true)
 	show("crash + naive restart", naive, cfg.Lookups)
 
-	selective := run(core.MCAlgoSelective, cfg, true)
+	selective := run(engine.MustLookup(engine.SchemeAlgoNVM), cfg, true)
 	show("crash + selective-flush restart", selective, cfg.Lookups)
 
 	lost := func(c [mc.NumTypes]int64) int64 {

@@ -1,0 +1,3 @@
+module adcc
+
+go 1.24

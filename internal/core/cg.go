@@ -10,10 +10,9 @@ import (
 	"fmt"
 	"math"
 
-	"adcc/internal/ckpt"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 	"adcc/internal/mem"
-	"adcc/internal/pmem"
 	"adcc/internal/sparse"
 )
 
@@ -328,22 +327,9 @@ func (cg *CG) Recover() CGRecovery {
 
 // --- Baseline CG variants (paper's seven-case comparison) ---
 
-// BaselineMechanism selects how the baseline (non-extended) CG of the
-// paper's Figure 1 establishes a restartable state.
-type BaselineMechanism int
-
-const (
-	// MechNative runs with no fault-tolerance mechanism at all.
-	MechNative BaselineMechanism = iota
-	// MechCkpt checkpoints p, r, z at the end of every iteration.
-	MechCkpt
-	// MechPMEM wraps each iteration's updates of p, r, z in an
-	// undo-log transaction (Intel PMEM library usage in the paper).
-	MechPMEM
-)
-
 // BaselineCG is the unmodified CG of the paper's Figure 1: single work
-// vectors overwritten in place, paired with a conventional mechanism.
+// vectors overwritten in place, paired with a conventional mechanism
+// supplied as an engine.Scheme.
 type BaselineCG struct {
 	M    *crash.Machine
 	A    *sparse.SimCSR
@@ -354,22 +340,26 @@ type BaselineCG struct {
 	N              int
 	Pv, Qv, Rv, Zv *mem.F64
 
-	Mech   BaselineMechanism
-	Ckpt   *ckpt.Checkpointer
-	Pool   *pmem.Pool
+	Scheme engine.Scheme
+	Guard  engine.Guard
 	IterNS []int64
 
 	rho float64
 }
 
-// NewBaselineCG builds the Figure 1 solver with the chosen mechanism.
-// For MechCkpt supply a checkpointer; for MechPMEM a pool is created
-// internally and the three persistent vectors registered.
-func NewBaselineCG(m *crash.Machine, a *sparse.CSR, opts CGOptions, mech BaselineMechanism, cp *ckpt.Checkpointer) *BaselineCG {
+// NewBaselineCG builds the Figure 1 solver under the given scheme's
+// mechanism (nil means native). Checkpoint schemes save p, r, z at the
+// end of every iteration; PMEM schemes wrap each iteration's updates of
+// p, r, z in an undo-log transaction (Intel PMEM library usage in the
+// paper).
+func NewBaselineCG(m *crash.Machine, a *sparse.CSR, opts CGOptions, sc engine.Scheme) *BaselineCG {
 	opts.setDefaults()
+	if sc == nil {
+		sc = engine.MustLookup(engine.SchemeNative)
+	}
 	n := a.N
 	bg := &BaselineCG{
-		M: m, An: a, Opts: opts, N: n, Mech: mech, Ckpt: cp,
+		M: m, An: a, Opts: opts, N: n, Scheme: sc,
 		A:      sparse.NewSimCSR(m.Heap, a, "cg.A"),
 		B:      m.Heap.AllocF64("cg.b", n),
 		Pv:     m.Heap.AllocF64("cg.p", n),
@@ -378,17 +368,11 @@ func NewBaselineCG(m *crash.Machine, a *sparse.CSR, opts CGOptions, mech Baselin
 		Zv:     m.Heap.AllocF64("cg.z", n),
 		IterNS: make([]int64, opts.MaxIter+1),
 	}
-	if mech == MechCkpt && cp == nil {
-		panic("core: MechCkpt requires a checkpointer")
-	}
-	if mech == MechPMEM {
-		// Log capacity: one iteration writes 3 vectors; snapshots are
-		// line-deduplicated, so 3n elements (plus slack) suffice.
-		bg.Pool = pmem.NewPool(m, 4*n+1024)
-		bg.Pool.RegisterF64(bg.Pv)
-		bg.Pool.RegisterF64(bg.Rv)
-		bg.Pool.RegisterF64(bg.Zv)
-	}
+	// Log capacity for transactional schemes: one iteration writes 3
+	// vectors; snapshots are line-deduplicated, so 3n elements (plus
+	// slack) suffice.
+	bg.Guard = sc.NewGuard(m, 4*n+1024)
+	bg.Guard.Register(bg.Pv, bg.Rv, bg.Zv)
 	ones := make([]float64, n)
 	for i := range ones {
 		ones[i] = 1
@@ -414,19 +398,16 @@ func (bg *BaselineCG) Run() {
 	bg.rho = sparse.SimDot(cpu, bg.Rv, 0, bg.Rv, 0, n)
 	for i := 1; i <= bg.Opts.MaxIter; i++ {
 		start := m.Clock.Now()
-		switch bg.Mech {
-		case MechPMEM:
+		if bg.Guard.Pool() != nil {
 			bg.iterPMEM()
-		default:
+		} else {
 			bg.iterPlain()
 		}
-		if bg.Mech == MechCkpt {
-			// Checkpoint p, r, z at the end of each iteration — the
-			// frequency that matches the algorithm-directed
-			// approach's one-iteration recomputation bound (paper
-			// §III-B performance comparison).
-			bg.Ckpt.Checkpoint(int64(i), bg.Pv, bg.Rv, bg.Zv)
-		}
+		// End-of-iteration protection of p, r, z — for checkpoint
+		// schemes this is the frequency that matches the
+		// algorithm-directed approach's one-iteration recomputation
+		// bound (paper §III-B performance comparison).
+		bg.Guard.EndIteration(int64(i), bg.Pv, bg.Rv, bg.Zv)
 		bg.IterNS[i] = m.Clock.Since(start)
 	}
 }
@@ -452,7 +433,7 @@ func (bg *BaselineCG) iterPlain() {
 func (bg *BaselineCG) iterPMEM() {
 	cpu := bg.M.CPU
 	n := bg.N
-	tx := bg.Pool.Begin()
+	tx := bg.Guard.Pool().Begin()
 	bg.A.SpMV(cpu, bg.Qv, 0, bg.Pv, 0)
 	pq := sparse.SimDot(cpu, bg.Pv, 0, bg.Qv, 0, n)
 	alpha := bg.rho / pq
@@ -515,5 +496,5 @@ func AvgIterNS(iterNS []int64) int64 {
 }
 
 func (bg *BaselineCG) String() string {
-	return fmt.Sprintf("BaselineCG{n=%d mech=%d}", bg.N, bg.Mech)
+	return fmt.Sprintf("BaselineCG{n=%d scheme=%s}", bg.N, bg.Scheme.Name())
 }

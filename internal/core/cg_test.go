@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"adcc/internal/cache"
-	"adcc/internal/ckpt"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 	"adcc/internal/sparse"
 )
 
@@ -50,7 +50,7 @@ func TestCGMatchesBaseline(t *testing.T) {
 	ext.Run(1)
 
 	m2 := cgMachine(crash.NVMOnly, 1<<20)
-	base := NewBaselineCG(m2, a, CGOptions{MaxIter: 10}, MechNative, nil)
+	base := NewBaselineCG(m2, a, CGOptions{MaxIter: 10}, nil)
 	base.Run()
 
 	zExt := ext.Z.Live()[ext.row(11):ext.row(12)]
@@ -207,8 +207,8 @@ func TestBaselineCGCheckpointRestart(t *testing.T) {
 	a := sparse.GenSPD(800, 7, 9)
 	m := cgMachine(crash.NVMOnly, 256<<10)
 	em := crash.NewEmulator(m)
-	cp := ckpt.NewNVM(m)
-	bg := NewBaselineCG(m, a, CGOptions{MaxIter: 12}, MechCkpt, cp)
+	bg := NewBaselineCG(m, a, CGOptions{MaxIter: 12}, engine.MustLookup(engine.SchemeCkptNVM))
+	cp := bg.Guard.Checkpointer()
 	crashed := em.Run(func() {
 		bg.Run()
 		crash.InjectCrashNow()
@@ -231,14 +231,14 @@ func TestBaselineCGPMEMRollback(t *testing.T) {
 	a := sparse.GenSPD(400, 7, 10)
 	m := cgMachine(crash.NVMOnly, 256<<10)
 	em := crash.NewEmulator(m)
-	bg := NewBaselineCG(m, a, CGOptions{MaxIter: 6}, MechPMEM, nil)
+	bg := NewBaselineCG(m, a, CGOptions{MaxIter: 6}, engine.MustLookup(engine.SchemePMEM))
 	// Crash mid-run: a transaction will be open.
 	em.CrashAtOp(2_000_00)
 	crashed := em.Run(func() { bg.Run() })
 	if !crashed {
 		t.Skip("op budget too large for this problem; run completed")
 	}
-	rolledBack, _ := bg.Pool.Recover()
+	rolledBack, _ := bg.Guard.Pool().Recover()
 	_ = rolledBack
 	// After recovery, p, r, z hold a transaction-consistent state:
 	// r = b - A z must hold (it holds at every iteration boundary).
@@ -270,7 +270,7 @@ func TestCGOverheadOrdering(t *testing.T) {
 		return m.Clock.Since(start)
 	}
 	native := runNS(func(m *crash.Machine) func() {
-		bg := NewBaselineCG(m, a, CGOptions{MaxIter: iters}, MechNative, nil)
+		bg := NewBaselineCG(m, a, CGOptions{MaxIter: iters}, nil)
 		return bg.Run
 	})
 	algo := runNS(func(m *crash.Machine) func() {
@@ -278,11 +278,11 @@ func TestCGOverheadOrdering(t *testing.T) {
 		return func() { cg.Run(1) }
 	})
 	ck := runNS(func(m *crash.Machine) func() {
-		bg := NewBaselineCG(m, a, CGOptions{MaxIter: iters}, MechCkpt, ckpt.NewNVM(m))
+		bg := NewBaselineCG(m, a, CGOptions{MaxIter: iters}, engine.MustLookup(engine.SchemeCkptNVM))
 		return bg.Run
 	})
 	pm := runNS(func(m *crash.Machine) func() {
-		bg := NewBaselineCG(m, a, CGOptions{MaxIter: iters}, MechPMEM, nil)
+		bg := NewBaselineCG(m, a, CGOptions{MaxIter: iters}, engine.MustLookup(engine.SchemePMEM))
 		return bg.Run
 	})
 	if algo >= ck {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 	"adcc/internal/mc"
 	"adcc/internal/pmem"
 	"adcc/internal/sparse"
@@ -105,7 +106,7 @@ func TestMCRandomCrashPointsBoundedLoss(t *testing.T) {
 		m := mcMachine(crash.NVMOnly, 32<<10)
 		em := crash.NewEmulator(m)
 		s := mc.New(m.Heap, m.CPU, cfg)
-		r := NewMCRunner(m, em, s, MCAlgoSelective, nil)
+		r := NewMCRunner(m, em, s, engine.MustLookup(engine.SchemeAlgoNVM))
 		r.FlushPeriod = period
 		if crashAt > 0 {
 			em.CrashAtOp(crashAt)
@@ -128,7 +129,7 @@ func TestMCRandomCrashPointsBoundedLoss(t *testing.T) {
 	mProf := mcMachine(crash.NVMOnly, 32<<10)
 	emProf := crash.NewEmulator(mProf)
 	sProf := mc.New(mProf.Heap, mProf.CPU, cfg)
-	rProf := NewMCRunner(mProf, emProf, sProf, MCAlgoSelective, nil)
+	rProf := NewMCRunner(mProf, emProf, sProf, engine.MustLookup(engine.SchemeAlgoNVM))
 	rProf.FlushPeriod = period
 	emProf.Run(func() { rProf.Run(0) })
 	total := emProf.OpCount()

@@ -1,62 +1,14 @@
 package core
 
 import (
-	"adcc/internal/ckpt"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 	"adcc/internal/mc"
 	"adcc/internal/mem"
-	"adcc/internal/pmem"
 )
 
 // TriggerMCLookup fires after every completed lookup.
 const TriggerMCLookup = "mc.lookup"
-
-// MCMechanism selects how the Monte-Carlo run establishes restartable
-// state (paper §III-D and the seven-case comparison of Figure 13).
-type MCMechanism int
-
-const (
-	// MCNative runs with no mechanism at all (not restartable).
-	MCNative MCMechanism = iota
-	// MCAlgoNaive is the paper's "basic idea" (Figure 9 discussion):
-	// flush only the loop index line every iteration and restart from
-	// the remaining data in NVM. Produces the biased results of
-	// Figure 10.
-	MCAlgoNaive
-	// MCAlgoSelective is the paper's extension (Figure 11): flush
-	// macro_xs, the five counters, and the loop index every
-	// FlushPeriod lookups (0.01% of the total by default).
-	MCAlgoSelective
-	// MCAlgoEveryIter flushes the critical state on every iteration —
-	// the rejected design the paper measures at ~16% overhead.
-	MCAlgoEveryIter
-	// MCCkpt checkpoints macro_xs, counters, and the loop index every
-	// FlushPeriod lookups.
-	MCCkpt
-	// MCPMEM makes the per-lookup updates of the critical state
-	// transactional via the undo-log library.
-	MCPMEM
-)
-
-// String names the mechanism.
-func (m MCMechanism) String() string {
-	switch m {
-	case MCNative:
-		return "native"
-	case MCAlgoNaive:
-		return "algo-naive"
-	case MCAlgoSelective:
-		return "algo-selective"
-	case MCAlgoEveryIter:
-		return "algo-every-iter"
-	case MCCkpt:
-		return "checkpoint"
-	case MCPMEM:
-		return "pmem"
-	default:
-		return "unknown"
-	}
-}
 
 // DefaultFlushPeriod returns the paper's flush/checkpoint period:
 // 0.01% of the total number of lookups (at least 1).
@@ -68,35 +20,44 @@ func DefaultFlushPeriod(lookups int) int {
 	return p
 }
 
-// MCRunner drives one Monte-Carlo run under a chosen mechanism.
+// MCRunner drives one Monte-Carlo run under a chosen scheme (paper
+// §III-D and the seven-case comparison of Figure 13). The scheme's kind
+// selects the restart mechanism — native, checkpoint, PMEM transactions
+// — and, for the algorithm-directed schemes, its FlushPolicy selects
+// which critical state is flushed per iteration:
+//
+//   - engine.FlushIndexOnly is the paper's "basic idea" (Figure 9
+//     discussion): flush only the loop-index line and restart from the
+//     remaining data in NVM — the biased results of Figure 10;
+//   - engine.FlushSelective flushes macro_xs, the five counters, and the
+//     loop index every FlushPeriod lookups (Figure 11);
+//   - engine.FlushEveryIter flushes that state on every iteration — the
+//     rejected design the paper measures at ~16% overhead.
 type MCRunner struct {
 	M  *crash.Machine
 	Em *crash.Emulator
 	S  *mc.Sim
 
-	Mech        MCMechanism
+	Scheme      engine.Scheme
+	Guard       engine.Guard
 	FlushPeriod int
-	Ckpt        *ckpt.Checkpointer
-	Pool        *pmem.Pool
 }
 
-// NewMCRunner builds a runner. cp is required for MCCkpt. The grids are
-// DRAM-tiered on heterogeneous machines (read-only data), while the
-// critical state (macro_xs, counters, iteration index) stays NVM-direct.
-func NewMCRunner(m *crash.Machine, em *crash.Emulator, s *mc.Sim, mech MCMechanism, cp *ckpt.Checkpointer) *MCRunner {
+// NewMCRunner builds a runner under the given scheme (nil means native).
+// The grids are DRAM-tiered on heterogeneous machines (read-only data),
+// while the critical state (macro_xs, counters, iteration index) stays
+// NVM-direct.
+func NewMCRunner(m *crash.Machine, em *crash.Emulator, s *mc.Sim, sc engine.Scheme) *MCRunner {
+	if sc == nil {
+		sc = engine.MustLookup(engine.SchemeNative)
+	}
 	r := &MCRunner{
-		M: m, Em: em, S: s, Mech: mech,
+		M: m, Em: em, S: s, Scheme: sc,
 		FlushPeriod: DefaultFlushPeriod(s.Cfg.Lookups),
-		Ckpt:        cp,
 	}
-	if mech == MCCkpt && cp == nil {
-		panic("core: MCCkpt requires a checkpointer")
-	}
-	if mech == MCPMEM {
-		r.Pool = pmem.NewPool(m, 64*1024)
-		r.Pool.RegisterF64(s.MacroXS)
-		r.Pool.RegisterI64(s.Counters)
-		r.Pool.RegisterI64(s.Iter)
+	r.Guard = sc.NewGuard(m, 64*1024)
+	r.Guard.Register(s.MacroXS, s.Counters, s.Iter)
+	if r.Guard.Pool() != nil {
 		// Transactional mode tracks completion in the index: iter = i
 		// means lookup i committed. -1 = nothing committed yet.
 		s.Iter.Live()[0] = -1
@@ -119,18 +80,21 @@ func (r *MCRunner) flushCritical() {
 	r.M.Persist(s.Iter.Addr(0), 8)
 }
 
-// Run executes lookups [from, Lookups) under the runner's mechanism.
+// Run executes lookups [from, Lookups) under the runner's scheme.
 // After a crash, call RestartIter to learn where to resume and invoke
 // Run again from there.
 func (r *MCRunner) Run(from int64) {
 	s := r.S
 	total := int64(s.Cfg.Lookups)
 	period := int64(r.FlushPeriod)
+	pool := r.Guard.Pool()
+	checkpoints := r.Guard.Checkpointer() != nil
+	policy := r.Scheme.FlushPolicy()
 	for i := from; i < total; i++ {
-		if r.Mech == MCPMEM {
+		if pool != nil {
 			// Each lookup is a transaction: snapshot the critical
 			// state, run the lookup, flush what it wrote at commit.
-			tx := r.Pool.Begin()
+			tx := pool.Begin()
 			tx.SetI64(s.Iter, 0, i)
 			tx.SnapshotF64(s.MacroXS, mc.MacroOff, mc.NumTypes)
 			for k := 0; k < mc.NumTypes; k++ {
@@ -147,20 +111,19 @@ func (r *MCRunner) Run(from int64) {
 		}
 
 		s.Iter.Set(0, i)
-		switch r.Mech {
-		case MCAlgoNaive:
+		switch policy {
+		case engine.FlushIndexOnly:
 			// Basic idea: flush only the line containing i.
 			r.M.Persist(s.Iter.Addr(0), 8)
-		case MCAlgoSelective:
+		case engine.FlushSelective:
 			if i%period == 0 {
 				r.flushCritical()
 			}
-		case MCAlgoEveryIter:
+		case engine.FlushEveryIter:
 			r.flushCritical()
-		case MCCkpt:
-			if i%period == 0 {
-				r.Ckpt.Checkpoint(i, s.MacroXS, s.Counters, s.Iter)
-			}
+		}
+		if checkpoints && i%period == 0 {
+			r.Guard.EndIteration(i, s.MacroXS, s.Counters, s.Iter)
 		}
 		s.Lookup(i)
 
@@ -170,21 +133,22 @@ func (r *MCRunner) Run(from int64) {
 	}
 }
 
-// RestartIter determines where to resume after a crash, per mechanism:
-// the flushed loop index for the algorithm-directed schemes, the last
+// RestartIter determines where to resume after a crash, per scheme: the
+// flushed loop index for the algorithm-directed schemes, the last
 // checkpoint tag for checkpointing, the rolled-back persistent index for
 // PMEM.
 func (r *MCRunner) RestartIter() int64 {
-	switch r.Mech {
-	case MCCkpt:
-		if !r.Ckpt.Valid() {
+	switch {
+	case r.Guard.Checkpointer() != nil:
+		cp := r.Guard.Checkpointer()
+		if !cp.Valid() {
 			return 0
 		}
-		return r.Ckpt.Restore(r.S.MacroXS, r.S.Counters, r.S.Iter)
-	case MCPMEM:
+		return cp.Restore(r.S.MacroXS, r.S.Counters, r.S.Iter)
+	case r.Guard.Pool() != nil:
 		// Roll back the torn transaction; the persistent index then
 		// names the last committed lookup.
-		r.Pool.Recover()
+		r.Guard.Pool().Recover()
 		return r.S.Iter.Image()[0] + 1
 	default:
 		return r.S.Iter.Image()[0]

@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"adcc/internal/cache"
-	"adcc/internal/ckpt"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 	"adcc/internal/mc"
 )
 
@@ -25,32 +25,24 @@ func mcMachine(kind crash.SystemKind, llc int) *crash.Machine {
 	})
 }
 
-// runNoCrash runs the full lookup loop under a mechanism with no crash.
-func runNoCrash(t *testing.T, mech MCMechanism, cfg mc.Config, llc int) [mc.NumTypes]int64 {
+// runNoCrash runs the full lookup loop under a scheme with no crash.
+func runNoCrash(t *testing.T, sc engine.Scheme, cfg mc.Config, llc int) [mc.NumTypes]int64 {
 	t.Helper()
 	m := mcMachine(crash.NVMOnly, llc)
 	s := mc.New(m.Heap, m.CPU, cfg)
-	var cp *ckpt.Checkpointer
-	if mech == MCCkpt {
-		cp = ckpt.NewNVM(m)
-	}
-	r := NewMCRunner(m, nil, s, mech, cp)
+	r := NewMCRunner(m, nil, s, sc)
 	r.Run(0)
 	return s.Counts()
 }
 
 // runWithCrash crashes at 10% of the lookups (the paper's crash point)
-// and restarts per the mechanism's protocol.
-func runWithCrash(t *testing.T, mech MCMechanism, cfg mc.Config, llc int) [mc.NumTypes]int64 {
+// and restarts per the scheme's protocol.
+func runWithCrash(t *testing.T, sc engine.Scheme, cfg mc.Config, llc int) [mc.NumTypes]int64 {
 	t.Helper()
 	m := mcMachine(crash.NVMOnly, llc)
 	em := crash.NewEmulator(m)
 	s := mc.New(m.Heap, m.CPU, cfg)
-	var cp *ckpt.Checkpointer
-	if mech == MCCkpt {
-		cp = ckpt.NewNVM(m)
-	}
-	r := NewMCRunner(m, em, s, mech, cp)
+	r := NewMCRunner(m, em, s, sc)
 	em.CrashAtTrigger(TriggerMCLookup, cfg.Lookups/10)
 	if !em.Run(func() { r.Run(0) }) {
 		t.Fatal("expected crash at 10% of lookups")
@@ -76,7 +68,7 @@ func absDiffSum(a, b [mc.NumTypes]int64) int64 {
 func TestMCNoCrashUniform(t *testing.T) {
 	cfg := mc.TinyConfig()
 	cfg.Lookups = 5000
-	counts := runNoCrash(t, MCNative, cfg, 64<<10)
+	counts := runNoCrash(t, nil, cfg, 64<<10)
 	total := int64(0)
 	for _, c := range counts {
 		total += c
@@ -99,8 +91,8 @@ func TestMCNaiveRestartBiased(t *testing.T) {
 	cfg := mc.TinyConfig()
 	cfg.Lookups = 20000
 	llc := 32 << 10
-	base := runNoCrash(t, MCAlgoNaive, cfg, llc)
-	crashed := runWithCrash(t, MCAlgoNaive, cfg, llc)
+	base := runNoCrash(t, engine.MustLookup(engine.SchemeAlgoNaive), cfg, llc)
+	crashed := runWithCrash(t, engine.MustLookup(engine.SchemeAlgoNaive), cfg, llc)
 	diff := absDiffSum(base, crashed)
 	// The deficit must be a macroscopic fraction of the pre-crash
 	// counts (2000 lookups happened before the crash).
@@ -115,8 +107,8 @@ func TestMCSelectiveRestartAccurate(t *testing.T) {
 	cfg := mc.TinyConfig()
 	cfg.Lookups = 20000
 	llc := 32 << 10
-	base := runNoCrash(t, MCAlgoSelective, cfg, llc)
-	crashed := runWithCrash(t, MCAlgoSelective, cfg, llc)
+	base := runNoCrash(t, engine.MustLookup(engine.SchemeAlgoNVM), cfg, llc)
+	crashed := runWithCrash(t, engine.MustLookup(engine.SchemeAlgoNVM), cfg, llc)
 	diff := absDiffSum(base, crashed)
 	period := int64(DefaultFlushPeriod(cfg.Lookups))
 	if diff > 4*period+8 {
@@ -129,11 +121,11 @@ func TestMCSelectiveBeatsNaive(t *testing.T) {
 	cfg.Lookups = 20000
 	llc := 32 << 10
 	naiveDiff := absDiffSum(
-		runNoCrash(t, MCAlgoNaive, cfg, llc),
-		runWithCrash(t, MCAlgoNaive, cfg, llc))
+		runNoCrash(t, engine.MustLookup(engine.SchemeAlgoNaive), cfg, llc),
+		runWithCrash(t, engine.MustLookup(engine.SchemeAlgoNaive), cfg, llc))
 	selDiff := absDiffSum(
-		runNoCrash(t, MCAlgoSelective, cfg, llc),
-		runWithCrash(t, MCAlgoSelective, cfg, llc))
+		runNoCrash(t, engine.MustLookup(engine.SchemeAlgoNVM), cfg, llc),
+		runWithCrash(t, engine.MustLookup(engine.SchemeAlgoNVM), cfg, llc))
 	if selDiff >= naiveDiff {
 		t.Fatalf("selective (%d) should be more accurate than naive (%d)", selDiff, naiveDiff)
 	}
@@ -143,8 +135,8 @@ func TestMCCheckpointRestart(t *testing.T) {
 	cfg := mc.TinyConfig()
 	cfg.Lookups = 10000
 	llc := 32 << 10
-	base := runNoCrash(t, MCCkpt, cfg, llc)
-	crashed := runWithCrash(t, MCCkpt, cfg, llc)
+	base := runNoCrash(t, engine.MustLookup(engine.SchemeCkptNVM), cfg, llc)
+	crashed := runWithCrash(t, engine.MustLookup(engine.SchemeCkptNVM), cfg, llc)
 	// Checkpoint restores counters and the index from the same instant,
 	// and sampling is stateless: the result must match exactly.
 	if base != crashed {
@@ -156,8 +148,8 @@ func TestMCPMEMRestart(t *testing.T) {
 	cfg := mc.TinyConfig()
 	cfg.Lookups = 4000
 	llc := 32 << 10
-	base := runNoCrash(t, MCPMEM, cfg, llc)
-	crashed := runWithCrash(t, MCPMEM, cfg, llc)
+	base := runNoCrash(t, engine.MustLookup(engine.SchemePMEM), cfg, llc)
+	crashed := runWithCrash(t, engine.MustLookup(engine.SchemePMEM), cfg, llc)
 	// Transactional updates make every lookup atomic: exact match.
 	if base != crashed {
 		t.Fatalf("PMEM restart diverged: %v vs %v", base, crashed)
@@ -170,14 +162,10 @@ func TestMCOverheadOrdering(t *testing.T) {
 	cfg := mc.TinyConfig()
 	cfg.Lookups = 8000
 	llc := 64 << 10
-	runNS := func(mech MCMechanism) int64 {
+	runNS := func(name string) int64 {
 		m := mcMachine(crash.NVMOnly, llc)
 		s := mc.New(m.Heap, m.CPU, cfg)
-		var cp *ckpt.Checkpointer
-		if mech == MCCkpt {
-			cp = ckpt.NewNVM(m)
-		}
-		r := NewMCRunner(m, nil, s, mech, cp)
+		r := NewMCRunner(m, nil, s, engine.MustLookup(name))
 		// At test scale 0.01% of lookups rounds to every iteration;
 		// use an explicit rare period in the paper's spirit.
 		r.FlushPeriod = 200
@@ -185,10 +173,10 @@ func TestMCOverheadOrdering(t *testing.T) {
 		r.Run(0)
 		return m.Clock.Since(start)
 	}
-	native := runNS(MCNative)
-	selective := runNS(MCAlgoSelective)
-	everyIter := runNS(MCAlgoEveryIter)
-	pm := runNS(MCPMEM)
+	native := runNS(engine.SchemeNative)
+	selective := runNS(engine.SchemeAlgoNVM)
+	everyIter := runNS(engine.SchemeAlgoEvery)
+	pm := runNS(engine.SchemePMEM)
 
 	selOverhead := float64(selective-native) / float64(native)
 	if selOverhead > 0.03 {
@@ -208,7 +196,7 @@ func TestMCRestartIterAfterCrash(t *testing.T) {
 	m := mcMachine(crash.NVMOnly, 32<<10)
 	em := crash.NewEmulator(m)
 	s := mc.New(m.Heap, m.CPU, cfg)
-	r := NewMCRunner(m, em, s, MCAlgoNaive, nil)
+	r := NewMCRunner(m, em, s, engine.MustLookup(engine.SchemeAlgoNaive))
 	em.CrashAtTrigger(TriggerMCLookup, 500)
 	em.Run(func() { r.Run(0) })
 	from := r.RestartIter()
@@ -225,13 +213,5 @@ func TestDefaultFlushPeriod(t *testing.T) {
 	}
 	if p := DefaultFlushPeriod(10); p != 1 {
 		t.Fatalf("tiny period = %d, want 1", p)
-	}
-}
-
-func TestMCMechanismString(t *testing.T) {
-	for _, m := range []MCMechanism{MCNative, MCAlgoNaive, MCAlgoSelective, MCAlgoEveryIter, MCCkpt, MCPMEM} {
-		if m.String() == "" || m.String() == "unknown" {
-			t.Fatalf("mechanism %d has bad name", int(m))
-		}
 	}
 }

@@ -4,11 +4,10 @@ import (
 	"fmt"
 
 	"adcc/internal/abft"
-	"adcc/internal/ckpt"
 	"adcc/internal/crash"
 	"adcc/internal/dense"
+	"adcc/internal/engine"
 	"adcc/internal/mem"
-	"adcc/internal/pmem"
 )
 
 // Named crash points of the extended ABFT matrix multiplication.
@@ -409,41 +408,42 @@ func (mm *MM) runOneBlock(b int) {
 
 // BaselineMM is the classic single-loop ABFT rank-k multiplication of
 // the paper's Figure 5: verify Cf's checksums, then accumulate one
-// rank-k product per iteration, optionally checkpointing Cf or wrapping
-// each update in a PMEM transaction.
+// rank-k product per iteration, with the per-iteration protection
+// (checkpoint of Cf or a PMEM transaction around the update) supplied by
+// the scheme's guard.
 type BaselineMM struct {
 	M    *crash.Machine
 	Opts MMOptions
-	Mech BaselineMechanism
+
+	Scheme engine.Scheme
+	Guard  engine.Guard
 
 	Ac, Br, Cf *dense.SimMatrix
-	Ckpt       *ckpt.Checkpointer
-	Pool       *pmem.Pool
 	PanelNS    []int64
 }
 
-// NewBaselineMM builds the Figure 5 multiplication with a mechanism.
-func NewBaselineMM(m *crash.Machine, opts MMOptions, mech BaselineMechanism, cp *ckpt.Checkpointer) *BaselineMM {
+// NewBaselineMM builds the Figure 5 multiplication under the given
+// scheme's mechanism (nil means native).
+func NewBaselineMM(m *crash.Machine, opts MMOptions, sc engine.Scheme) *BaselineMM {
 	opts.setDefaults()
+	if sc == nil {
+		sc = engine.MustLookup(engine.SchemeNative)
+	}
 	n := opts.N
 	a := dense.Random(n, n, opts.Seed)
 	b := dense.Random(n, n, opts.Seed+1)
 	ac := abft.EncodeColumnChecksum(a.Data, n, n)
 	br := abft.EncodeRowChecksum(b.Data, n, n)
 	bm := &BaselineMM{
-		M: m, Opts: opts, Mech: mech, Ckpt: cp,
+		M: m, Opts: opts, Scheme: sc,
 		Ac:      dense.UploadSim(m.Heap, "mm.Ac", &dense.Matrix{Rows: n + 1, Cols: n, Data: ac}),
 		Br:      dense.UploadSim(m.Heap, "mm.Br", &dense.Matrix{Rows: n, Cols: n + 1, Data: br}),
 		Cf:      dense.NewSim(m.Heap, "mm.Cf", n+1, n+1),
 		PanelNS: make([]int64, n/opts.K),
 	}
-	if mech == MechCkpt && cp == nil {
-		panic("core: MechCkpt requires a checkpointer")
-	}
-	if mech == MechPMEM {
-		bm.Pool = pmem.NewPool(m, (n+1)*(n+1)+1024)
-		bm.Pool.RegisterF64(bm.Cf.R)
-	}
+	// Transactional log capacity: one panel snapshots all of Cf once.
+	bm.Guard = sc.NewGuard(m, (n+1)*(n+1)+1024)
+	bm.Guard.Register(bm.Cf.R)
 	m.TierRegion(bm.Ac.R)
 	m.TierRegion(bm.Br.R)
 	return bm
@@ -457,20 +457,17 @@ func (bm *BaselineMM) Run() {
 		start := bm.M.Clock.Now()
 		// Figure 5 line 2: verify the checksum relationship of Cf.
 		bm.verifyCf()
-		switch bm.Mech {
-		case MechPMEM:
-			tx := bm.Pool.Begin()
+		if pool := bm.Guard.Pool(); pool != nil {
+			tx := pool.Begin()
 			tx.SnapshotF64(bm.Cf.R, 0, n1*n1)
 			dense.GemmAcc(bm.M.CPU, bm.Cf, bm.Ac, bm.Br, s*k, k)
 			// Commit must flush everything the panel wrote.
 			_ = tx.StoreRangeF64(bm.Cf.R, 0, n1*n1)
 			tx.Commit()
-		default:
+		} else {
 			dense.GemmAcc(bm.M.CPU, bm.Cf, bm.Ac, bm.Br, s*k, k)
 		}
-		if bm.Mech == MechCkpt {
-			bm.Ckpt.Checkpoint(int64(s), bm.Cf.R)
-		}
+		bm.Guard.EndIteration(int64(s), bm.Cf.R)
 		bm.PanelNS[s] = bm.M.Clock.Since(start)
 	}
 }

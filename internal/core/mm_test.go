@@ -6,9 +6,9 @@ import (
 
 	"adcc/internal/abft"
 	"adcc/internal/cache"
-	"adcc/internal/ckpt"
 	"adcc/internal/crash"
 	"adcc/internal/dense"
+	"adcc/internal/engine"
 )
 
 func mmMachine(kind crash.SystemKind, llc int) *crash.Machine {
@@ -61,7 +61,7 @@ func TestMMExtendedCorrectness(t *testing.T) {
 func TestMMBaselineCorrectness(t *testing.T) {
 	opts := MMOptions{N: 48, K: 12, Seed: 2}
 	m := mmMachine(crash.NVMOnly, 1<<20)
-	bm := NewBaselineMM(m, opts, MechNative, nil)
+	bm := NewBaselineMM(m, opts, nil)
 	bm.Run()
 	assertMatches(t, bm.Result(), refProduct(opts), "baseline MM")
 }
@@ -69,7 +69,7 @@ func TestMMBaselineCorrectness(t *testing.T) {
 func TestMMBaselinePMEMCorrectness(t *testing.T) {
 	opts := MMOptions{N: 32, K: 8, Seed: 3}
 	m := mmMachine(crash.NVMOnly, 1<<20)
-	bm := NewBaselineMM(m, opts, MechPMEM, nil)
+	bm := NewBaselineMM(m, opts, engine.MustLookup(engine.SchemePMEM))
 	bm.Run()
 	assertMatches(t, bm.Result(), refProduct(opts), "PMEM MM")
 }
@@ -209,8 +209,8 @@ func TestMMCheckpointBaseline(t *testing.T) {
 	opts := MMOptions{N: 64, K: 16, Seed: 8}
 	m := mmMachine(crash.NVMOnly, 256<<10)
 	em := crash.NewEmulator(m)
-	cp := ckpt.NewNVM(m)
-	bm := NewBaselineMM(m, opts, MechCkpt, cp)
+	bm := NewBaselineMM(m, opts, engine.MustLookup(engine.SchemeCkptNVM))
+	cp := bm.Guard.Checkpointer()
 	crashed := em.Run(func() {
 		bm.Run()
 		crash.InjectCrashNow()
@@ -236,7 +236,7 @@ func TestMMOverheadOrdering(t *testing.T) {
 		return m.Clock.Since(start)
 	}
 	native := runNS(func(m *crash.Machine) func() {
-		bm := NewBaselineMM(m, opts, MechNative, nil)
+		bm := NewBaselineMM(m, opts, nil)
 		return bm.Run
 	})
 	algo := runNS(func(m *crash.Machine) func() {
@@ -244,11 +244,11 @@ func TestMMOverheadOrdering(t *testing.T) {
 		return mm.Run
 	})
 	ck := runNS(func(m *crash.Machine) func() {
-		bm := NewBaselineMM(m, opts, MechCkpt, ckpt.NewNVM(m))
+		bm := NewBaselineMM(m, opts, engine.MustLookup(engine.SchemeCkptNVM))
 		return bm.Run
 	})
 	pm := runNS(func(m *crash.Machine) func() {
-		bm := NewBaselineMM(m, opts, MechPMEM, nil)
+		bm := NewBaselineMM(m, opts, engine.MustLookup(engine.SchemePMEM))
 		return bm.Run
 	})
 	if algo >= ck {

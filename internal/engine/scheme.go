@@ -1,0 +1,224 @@
+// Package engine is the shared layer between the workloads (CG, ABFT-MM,
+// Monte-Carlo) and the crash-consistence mechanisms they are evaluated
+// under. It contributes two abstractions:
+//
+//   - Scheme: a named consistency scheme (native, checkpoint variants,
+//     PMEM-style transactions, the paper's algorithm-directed approach)
+//     held in a process-wide registry. A scheme knows which simulated
+//     platform it runs on and how to build its per-run Guard.
+//
+//   - Workload: a crash-consistence study — a computation that runs from
+//     an iteration boundary, recovers after a crash, and verifies its
+//     result — implemented by all three of the paper's algorithms.
+//
+// The experiment drivers in internal/harness iterate the registry instead
+// of switching on case labels, and the workload loops in internal/core
+// drive a Guard instead of switching on a mechanism enum, so adding a new
+// scheme or workload is a one-file change.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"adcc/internal/ckpt"
+	"adcc/internal/crash"
+)
+
+// Kind classifies a scheme's mechanism family.
+type Kind int
+
+const (
+	// KindNative runs with no fault-tolerance mechanism.
+	KindNative Kind = iota
+	// KindCheckpoint saves the protected regions at iteration
+	// boundaries (to HDD or to NVM, per the scheme).
+	KindCheckpoint
+	// KindPMEM wraps iteration updates in undo-log transactions.
+	KindPMEM
+	// KindAlgo is the paper's algorithm-directed approach: the workload
+	// itself maintains a restartable persistent image via selective
+	// cache-line flushes.
+	KindAlgo
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNative:
+		return "native"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindPMEM:
+		return "pmem"
+	case KindAlgo:
+		return "algo"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// FlushPolicy selects which critical state an algorithm-directed scheme
+// flushes per iteration. Only Monte-Carlo distinguishes the variants
+// (paper §III-D); CG and MM have a single algorithm-directed design.
+type FlushPolicy int
+
+const (
+	// FlushNone flushes nothing (non-algo schemes).
+	FlushNone FlushPolicy = iota
+	// FlushIndexOnly is the paper's rejected "basic idea": flush only
+	// the loop-index line each iteration (Figure 9/10 bias).
+	FlushIndexOnly
+	// FlushSelective flushes the full critical state every flush
+	// period (Figure 11, the paper's extension).
+	FlushSelective
+	// FlushEveryIter flushes the critical state on every iteration —
+	// the rejected design the paper measures at ~16% overhead.
+	FlushEveryIter
+)
+
+// Scheme is one consistency scheme of the paper's comparison. Scheme
+// values are immutable and safe for concurrent use; per-run state lives
+// in the Guard a scheme builds.
+type Scheme interface {
+	// Name is the registry key and the row label used in result tables.
+	Name() string
+	// Kind reports the mechanism family.
+	Kind() Kind
+	// System is the simulated platform the scheme runs on in the
+	// paper's seven-case comparison.
+	System() crash.SystemKind
+	// FlushPolicy reports the algorithm-directed flush variant
+	// (FlushNone for non-algo schemes).
+	FlushPolicy() FlushPolicy
+	// NewGuard binds the scheme to a machine. logElems sizes the undo
+	// log of transactional schemes (ignored by the others).
+	NewGuard(m *crash.Machine, logElems int) Guard
+}
+
+// Registry scheme names. The first seven are the paper's presentation
+// order (§III-A); the last two are the Monte-Carlo-specific
+// algorithm-directed variants of §III-D.
+const (
+	SchemeNative     = "native"
+	SchemeCkptHDD    = "ckpt-HDD"
+	SchemeCkptNVM    = "ckpt-NVM-only"
+	SchemeCkptHetero = "ckpt-NVM/DRAM"
+	SchemePMEM       = "PMEM-lib"
+	SchemeAlgoNVM    = "algo-NVM-only"
+	SchemeAlgoHetero = "algo-NVM/DRAM"
+	SchemeAlgoNaive  = "algo-naive"
+	SchemeAlgoEvery  = "algo-every-iter"
+)
+
+// scheme is the standard Scheme implementation.
+type scheme struct {
+	name   string
+	kind   Kind
+	system crash.SystemKind
+	flush  FlushPolicy
+	// ckptHDD selects the HDD checkpoint target for KindCheckpoint.
+	ckptHDD bool
+}
+
+func (s *scheme) Name() string             { return s.name }
+func (s *scheme) Kind() Kind               { return s.kind }
+func (s *scheme) System() crash.SystemKind { return s.system }
+func (s *scheme) FlushPolicy() FlushPolicy { return s.flush }
+
+func (s *scheme) NewGuard(m *crash.Machine, logElems int) Guard {
+	switch s.kind {
+	case KindCheckpoint:
+		if s.ckptHDD {
+			return NewCheckpointGuard(ckpt.NewHDD(m))
+		}
+		return NewCheckpointGuard(ckpt.NewNVM(m))
+	case KindPMEM:
+		return NewPMEMGuard(m, logElems)
+	default:
+		return NewNativeGuard()
+	}
+}
+
+// registry holds the registered schemes. The experiment drivers read it
+// concurrently from worker goroutines, so all access is guarded — a
+// scheme may be Registered at any time, not only during package init.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Scheme{}
+)
+
+// Register adds a scheme to the registry. Registering a name twice
+// panics: schemes are identities, not configuration.
+func Register(s Scheme) {
+	if s == nil || s.Name() == "" {
+		panic("engine: Register of unnamed scheme")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.Name()]; dup {
+		panic(fmt.Sprintf("engine: duplicate scheme %q", s.Name()))
+	}
+	registry[s.Name()] = s
+}
+
+// Lookup finds a scheme by name.
+func Lookup(name string) (Scheme, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// MustLookup finds a scheme by name, panicking on unknown names. Use for
+// the built-in names, which are registered unconditionally.
+func MustLookup(name string) Scheme {
+	s, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("engine: unknown scheme %q", name))
+	}
+	return s
+}
+
+// Names returns every registered scheme name, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SevenCases returns the paper's seven-case comparison in presentation
+// order (§III-A).
+func SevenCases() []Scheme {
+	names := []string{
+		SchemeNative, SchemeCkptHDD, SchemeCkptNVM, SchemeCkptHetero,
+		SchemePMEM, SchemeAlgoNVM, SchemeAlgoHetero,
+	}
+	out := make([]Scheme, len(names))
+	for i, n := range names {
+		out[i] = MustLookup(n)
+	}
+	return out
+}
+
+func init() {
+	for _, s := range []*scheme{
+		{name: SchemeNative, kind: KindNative, system: crash.NVMOnly},
+		{name: SchemeCkptHDD, kind: KindCheckpoint, system: crash.NVMOnly, ckptHDD: true},
+		{name: SchemeCkptNVM, kind: KindCheckpoint, system: crash.NVMOnly},
+		{name: SchemeCkptHetero, kind: KindCheckpoint, system: crash.Hetero},
+		{name: SchemePMEM, kind: KindPMEM, system: crash.NVMOnly},
+		{name: SchemeAlgoNVM, kind: KindAlgo, system: crash.NVMOnly, flush: FlushSelective},
+		{name: SchemeAlgoHetero, kind: KindAlgo, system: crash.Hetero, flush: FlushSelective},
+		{name: SchemeAlgoNaive, kind: KindAlgo, system: crash.NVMOnly, flush: FlushIndexOnly},
+		{name: SchemeAlgoEvery, kind: KindAlgo, system: crash.NVMOnly, flush: FlushEveryIter},
+	} {
+		Register(s)
+	}
+}

@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"adcc/internal/crash"
+)
+
+// Workload is one crash-consistence study: a computation that can run
+// from an iteration boundary, recover after an injected crash, and
+// verify its final result. CG, ABFT-MM, and Monte-Carlo implement it in
+// internal/core; conformance is asserted for all three by the engine
+// test suite.
+//
+// The lifecycle is:
+//
+//	w.Prepare(m, em)        // allocate state on the machine
+//	em.Run(func(){ w.Run(w.Start()) })  // fresh run, possibly crashing
+//	from, err := w.Recover()            // after a crash+restart
+//	w.Run(from)                         // complete the computation
+//	err = w.Verify()                    // check the result
+//	stats := w.Metrics()                // workload-specific measurements
+type Workload interface {
+	// Name identifies the workload ("cg", "mm", "mc").
+	Name() string
+	// Prepare allocates the workload's state on the machine. em may be
+	// nil when no crash will be injected. Prepare must be called
+	// exactly once, before Run.
+	Prepare(m *crash.Machine, em *crash.Emulator) error
+	// Start returns the token a fresh (non-recovery) Run starts from.
+	Start() int64
+	// Run executes the computation from a resume token: Start() for a
+	// fresh run, or the value returned by Recover after a crash.
+	Run(from int64)
+	// Recover inspects the post-crash persistent image (the machine
+	// must have restarted, live = image) and returns the token to
+	// resume Run from.
+	Recover() (int64, error)
+	// Verify checks the final result against the workload's native
+	// reference, returning an error on corruption.
+	Verify() error
+	// Metrics reports workload-specific measurements of the last run
+	// (residuals, per-iteration times, recovery statistics).
+	Metrics() map[string]float64
+}

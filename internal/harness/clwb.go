@@ -6,6 +6,7 @@ import (
 	"adcc/internal/cache"
 	"adcc/internal/core"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 	"adcc/internal/mc"
 	"adcc/internal/sparse"
 )
@@ -59,22 +60,15 @@ func RunCLWBAblation(o Options) (*Table, error) {
 	// re-written immediately, so CLFLUSH pays a refill per flush.
 	cfg := mcConfig(o)
 	mcRun := func(instr crash.FlushInstr) int64 {
-		m := crash.NewMachine(crash.MachineConfig{
-			System: crash.NVMOnly,
-			Cache: cache.Config{
-				SizeBytes: mcLLCBytes, LineBytes: 64, Assoc: mcAssoc, HitNS: 4,
-				FlushChargesClean: true, PrefetchStreams: 16,
-			},
-			Flush: instr,
-		})
+		m := newM(instr, mcLLCBytes, mcAssoc)
 		s := mc.New(m.Heap, m.CPU, cfg)
-		r := core.NewMCRunner(m, nil, s, core.MCAlgoEveryIter, nil)
+		r := core.NewMCRunner(m, nil, s, engine.MustLookup(engine.SchemeAlgoEvery))
 		start := m.Clock.Now()
 		r.Run(0)
 		return m.Clock.Since(start)
 	}
 
-	rows := []struct {
+	workloads := []struct {
 		name string
 		run  func(crash.FlushInstr) int64
 	}{
@@ -82,10 +76,19 @@ func RunCLWBAblation(o Options) (*Table, error) {
 		{"ABFT-MM (algo)", mmRun},
 		{"MC (flush-every-iter)", mcRun},
 	}
-	for _, w := range rows {
-		o.logf("clwb: %s", w.name)
-		base := w.run(crash.CLFLUSH)
-		opt := w.run(crash.CLWB)
+	instrs := []crash.FlushInstr{crash.CLFLUSH, crash.CLWB}
+	times, err := runCases(o, len(workloads)*len(instrs), func(i int) (int64, error) {
+		w := workloads[i/len(instrs)]
+		instr := instrs[i%len(instrs)]
+		o.logf("clwb: %s instr=%d", w.name, instr)
+		return w.run(instr), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range workloads {
+		base := times[wi*len(instrs)]
+		opt := times[wi*len(instrs)+1]
 		t.AddRow(w.name, "CLFLUSH", fmt.Sprintf("%.2f", float64(base)/1e6), 1.0)
 		t.AddRow(w.name, "CLWB", fmt.Sprintf("%.2f", float64(opt)/1e6), normalize(opt, base))
 	}

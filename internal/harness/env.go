@@ -3,6 +3,7 @@ package harness
 import (
 	"adcc/internal/cache"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 )
 
 // llcConfig builds the standard LLC configuration used by the
@@ -40,33 +41,22 @@ func newMachineTier(kind crash.SystemKind, llcBytes, assoc, dramCacheBytes int) 
 	})
 }
 
-// Mechanism labels for the seven-case comparison (paper §III-A).
+// Case labels for the seven-case comparison (paper §III-A), aliased to
+// the engine's scheme-registry names so table rows and registry lookups
+// cannot drift apart.
 const (
-	caseNative     = "native"
-	caseCkptHDD    = "ckpt-HDD"
-	caseCkptNVM    = "ckpt-NVM-only"
-	caseCkptHetero = "ckpt-NVM/DRAM"
-	casePMEM       = "PMEM-lib"
-	caseAlgoNVM    = "algo-NVM-only"
-	caseAlgoHetero = "algo-NVM/DRAM"
+	caseNative     = engine.SchemeNative
+	caseCkptHDD    = engine.SchemeCkptHDD
+	caseCkptNVM    = engine.SchemeCkptNVM
+	caseCkptHetero = engine.SchemeCkptHetero
+	casePMEM       = engine.SchemePMEM
+	caseAlgoNVM    = engine.SchemeAlgoNVM
+	caseAlgoHetero = engine.SchemeAlgoHetero
 )
 
-// sevenCases returns the labels in the paper's presentation order.
-func sevenCases() []string {
-	return []string{
-		caseNative, caseCkptHDD, caseCkptNVM, caseCkptHetero,
-		casePMEM, caseAlgoNVM, caseAlgoHetero,
-	}
-}
-
-// systemOf maps a case label to the platform it runs on.
-func systemOf(c string) crash.SystemKind {
-	switch c {
-	case caseCkptHetero, caseAlgoHetero:
-		return crash.Hetero
-	default:
-		return crash.NVMOnly
-	}
+// sevenCases returns the schemes in the paper's presentation order.
+func sevenCases() []engine.Scheme {
+	return engine.SevenCases()
 }
 
 // normalize computes t/base as a ratio string-friendly float.

@@ -3,9 +3,9 @@ package harness
 import (
 	"fmt"
 
-	"adcc/internal/ckpt"
 	"adcc/internal/core"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 	"adcc/internal/mc"
 )
 
@@ -31,20 +31,15 @@ func mcConfig(o Options) mc.Config {
 	return cfg
 }
 
-// runMCResult runs the lookup loop under a mechanism, optionally
-// crashing at 10% of the lookups and restarting. It returns the final
-// counts and the simulated runtime of the main loop (excluding setup).
-func runMCResult(mech core.MCMechanism, cfg mc.Config, withCrash bool) ([mc.NumTypes]int64, int64) {
-	kind := systemOf(mechSystemLabel(mech))
-	m := newMachineTier(kind, mcLLCBytes, mcAssoc, mcDRAMCache)
+// runMCResult runs the lookup loop under a scheme, optionally crashing
+// at 10% of the lookups and restarting. It returns the final counts and
+// the simulated runtime of the main loop (excluding setup). The accuracy
+// comparisons of Figures 10/12 all run on the NVM-only platform.
+func runMCResult(sc engine.Scheme, cfg mc.Config, withCrash bool) ([mc.NumTypes]int64, int64) {
+	m := newMachineTier(crash.NVMOnly, mcLLCBytes, mcAssoc, mcDRAMCache)
 	em := crash.NewEmulator(m)
 	s := mc.New(m.Heap, m.CPU, cfg)
-	var cp *ckpt.Checkpointer
-	switch mech {
-	case core.MCCkpt:
-		cp = ckpt.NewNVM(m)
-	}
-	r := core.NewMCRunner(m, em, s, mech, cp)
+	r := core.NewMCRunner(m, em, s, sc)
 	r.FlushPeriod = harnessFlushPeriod(cfg.Lookups)
 	start := m.Clock.Now()
 	if withCrash {
@@ -59,12 +54,6 @@ func runMCResult(mech core.MCMechanism, cfg mc.Config, withCrash bool) ([mc.NumT
 		r.Run(0)
 	}
 	return s.Counts(), m.Clock.Since(start)
-}
-
-// mechSystemLabel maps MC mechanisms onto the seven-case system choice
-// (only used to pick NVM-only vs heterogeneous platforms).
-func mechSystemLabel(mech core.MCMechanism) string {
-	return caseNative // MC comparisons in Figures 10/12 run on one platform
 }
 
 // harnessFlushPeriod is the paper's 0.01%-of-lookups period with a floor
@@ -96,11 +85,17 @@ func runtimeFlushPeriod(lookups int) int {
 
 // mcComparisonTable builds the Figure 10/12 style table comparing
 // no-crash and crash-and-restart counts for a flush policy.
-func mcComparisonTable(name, title string, o Options, mech core.MCMechanism) (*Table, error) {
+func mcComparisonTable(name, title string, o Options, sc engine.Scheme) (*Table, error) {
 	cfg := mcConfig(o)
 	o.logf("%s: lookups=%d grid-points=%d", name, cfg.Lookups, cfg.PointsPerNuclide*cfg.Nuclides)
-	base, _ := runMCResult(mech, cfg, false)
-	crashed, _ := runMCResult(mech, cfg, true)
+	counts, err := runCases(o, 2, func(i int) ([mc.NumTypes]int64, error) {
+		c, _ := runMCResult(sc, cfg, i == 1)
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base, crashed := counts[0], counts[1]
 	t := &Table{
 		Name:    name,
 		Title:   title,
@@ -131,7 +126,7 @@ func mcComparisonTable(name, title string, o Options, mech core.MCMechanism) (*T
 func RunFig10(o Options) (*Table, error) {
 	return mcComparisonTable("fig10",
 		"XSBench interaction counts: no-crash vs naive crash-restart",
-		o, core.MCAlgoNaive)
+		o, engine.MustLookup(engine.SchemeAlgoNaive))
 }
 
 // RunFig12 reproduces Figure 12: with selective flushing of macro_xs,
@@ -140,7 +135,18 @@ func RunFig10(o Options) (*Table, error) {
 func RunFig12(o Options) (*Table, error) {
 	return mcComparisonTable("fig12",
 		"XSBench interaction counts: no-crash vs selective-flush crash-restart",
-		o, core.MCAlgoSelective)
+		o, engine.MustLookup(engine.SchemeAlgoNVM))
+}
+
+// fig13Run measures the lookup loop's runtime under one scheme.
+func fig13Run(sc engine.Scheme, cfg mc.Config) int64 {
+	m := newMachineTier(sc.System(), mcLLCBytes, mcAssoc, mcDRAMCache)
+	s := mc.New(m.Heap, m.CPU, cfg)
+	r := core.NewMCRunner(m, nil, s, sc)
+	r.FlushPeriod = runtimeFlushPeriod(cfg.Lookups)
+	start := m.Clock.Now()
+	r.Run(0)
+	return m.Clock.Since(start)
 }
 
 // RunFig13 reproduces Figure 13: runtime of the lookup loop under the
@@ -161,53 +167,40 @@ func RunFig13(o Options) (*Table, error) {
 		caseAlgoNVM:    "<=1.0005",
 		caseAlgoHetero: "<=1.0005",
 	}
-	run := func(label string) int64 {
-		kind := systemOf(label)
-		m := newMachineTier(kind, mcLLCBytes, mcAssoc, mcDRAMCache)
+	kinds := []crash.SystemKind{crash.NVMOnly, crash.Hetero}
+	baseTimes, err := runCases(o, len(kinds), func(i int) (int64, error) {
+		m := newMachineTier(kinds[i], mcLLCBytes, mcAssoc, mcDRAMCache)
 		s := mc.New(m.Heap, m.CPU, cfg)
-		var mech core.MCMechanism
-		var cp *ckpt.Checkpointer
-		switch label {
-		case caseNative:
-			mech = core.MCNative
-		case caseCkptHDD:
-			mech = core.MCCkpt
-			cp = ckpt.NewHDD(m)
-		case caseCkptNVM, caseCkptHetero:
-			mech = core.MCCkpt
-			cp = ckpt.NewNVM(m)
-		case casePMEM:
-			mech = core.MCPMEM
-		case caseAlgoNVM, caseAlgoHetero:
-			mech = core.MCAlgoSelective
-		}
-		r := core.NewMCRunner(m, nil, s, mech, cp)
-		r.FlushPeriod = runtimeFlushPeriod(cfg.Lookups)
+		r := core.NewMCRunner(m, nil, s, nil)
 		start := m.Clock.Now()
 		r.Run(0)
-		return m.Clock.Since(start)
+		return m.Clock.Since(start), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	base := map[crash.SystemKind]int64{}
-	for _, kind := range []crash.SystemKind{crash.NVMOnly, crash.Hetero} {
-		m := newMachineTier(kind, mcLLCBytes, mcAssoc, mcDRAMCache)
-		s := mc.New(m.Heap, m.CPU, cfg)
-		r := core.NewMCRunner(m, nil, s, core.MCNative, nil)
-		start := m.Clock.Now()
-		r.Run(0)
-		base[kind] = m.Clock.Since(start)
+	for i, kind := range kinds {
+		base[kind] = baseTimes[i]
 	}
-	for _, label := range sevenCases() {
-		o.logf("fig13: case %s", label)
-		var ns int64
-		if label == caseNative {
-			ns = base[crash.NVMOnly]
-		} else {
-			ns = run(label)
+	cases := sevenCases()
+	times, err := runCases(o, len(cases), func(i int) (int64, error) {
+		sc := cases[i]
+		o.logf("fig13: case %s", sc.Name())
+		if sc.Name() == caseNative {
+			return base[crash.NVMOnly], nil
 		}
-		sys := systemOf(label)
-		t.AddRow(label, sys.String(),
+		return fig13Run(sc, cfg), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range cases {
+		ns := times[i]
+		sys := sc.System()
+		t.AddRow(sc.Name(), sys.String(),
 			fmt.Sprintf("%.2f", float64(ns)/1e6),
-			normalize(ns, base[sys]), paperRef[label])
+			normalize(ns, base[sys]), paperRef[sc.Name()])
 	}
 	t.AddNote("checkpoint/flush period = %d lookups (event-work-to-computation ratio of the paper's 0.01%% of 1.5e7 setup)", runtimeFlushPeriod(cfg.Lookups))
 	return t, nil
@@ -223,15 +216,18 @@ func RunMCFlushAblation(o Options) (*Table, error) {
 		Title:   "Flush period vs runtime overhead and restart accuracy",
 		Headers: []string{"Period", "Overhead(%)", "MaxDelta(pp)"},
 	}
+	selective := engine.MustLookup(engine.SchemeAlgoNVM)
 	// Native baseline.
-	baseCounts, baseNS := runMCResult(core.MCNative, cfg, false)
+	baseCounts, baseNS := runMCResult(nil, cfg, false)
 	basePct := mc.Percentages(baseCounts, cfg.Lookups)
-	for _, period := range []int{1, 10, 100, core.DefaultFlushPeriod(cfg.Lookups) * 10} {
+	periods := []int{1, 10, 100, core.DefaultFlushPeriod(cfg.Lookups) * 10}
+	rows, err := runCases(o, len(periods), func(i int) ([]any, error) {
+		period := periods[i]
 		o.logf("mc-flush: period=%d", period)
 		// Runtime without crash.
 		m := newMachine(crash.NVMOnly, mcLLCBytes, mcAssoc)
 		s := mc.New(m.Heap, m.CPU, cfg)
-		r := core.NewMCRunner(m, nil, s, core.MCAlgoSelective, nil)
+		r := core.NewMCRunner(m, nil, s, selective)
 		r.FlushPeriod = period
 		start := m.Clock.Now()
 		r.Run(0)
@@ -241,7 +237,7 @@ func RunMCFlushAblation(o Options) (*Table, error) {
 		m2 := newMachine(crash.NVMOnly, mcLLCBytes, mcAssoc)
 		em2 := crash.NewEmulator(m2)
 		s2 := mc.New(m2.Heap, m2.CPU, cfg)
-		r2 := core.NewMCRunner(m2, em2, s2, core.MCAlgoSelective, nil)
+		r2 := core.NewMCRunner(m2, em2, s2, selective)
 		r2.FlushPeriod = period
 		em2.CrashAtTrigger(core.TriggerMCLookup, cfg.Lookups/10)
 		if !em2.Run(func() { r2.Run(0) }) {
@@ -261,9 +257,15 @@ func RunMCFlushAblation(o Options) (*Table, error) {
 				maxDelta = d
 			}
 		}
-		t.AddRow(period,
+		return []any{period,
 			fmt.Sprintf("%.2f", 100*normalize(ns-baseNS, baseNS)),
-			fmt.Sprintf("%.2f", maxDelta))
+			fmt.Sprintf("%.2f", maxDelta)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	t.AddNote("paper: flushing every iteration costs ~16%%; every 0.01%% of lookups is ~free and bounds loss to 0.01%%")
 	return t, nil

@@ -3,9 +3,9 @@ package harness
 import (
 	"fmt"
 
-	"adcc/internal/ckpt"
 	"adcc/internal/core"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 	"adcc/internal/sparse"
 )
 
@@ -29,7 +29,9 @@ func RunFig3(o Options) (*Table, error) {
 		},
 	}
 	crashIter := 15
-	for _, cl := range sparse.Classes() {
+	classes := sparse.Classes()
+	rows, err := runCases(o, len(classes), func(ci int) ([]any, error) {
+		cl := classes[ci]
 		n := o.scaleInt(cl.N, 200)
 		o.logf("fig3: class %s n=%d", cl.Name, n)
 		a := sparse.GenSPD(n, cl.NnzRow, 1000+int64(len(cl.Name)))
@@ -47,43 +49,58 @@ func RunFig3(o Options) (*Table, error) {
 		cg.Run(rec.RestartIter)
 		resume := m.Clock.Since(resumeStart)
 
-		t.AddRow(cl.Name, n, rec.IterationsLost,
+		return []any{cl.Name, n, rec.IterationsLost,
 			normalize(rec.DetectNS, avg), normalize(resume, avg),
-			normalize(rec.DetectNS+resume, avg))
+			normalize(rec.DetectNS+resume, avg)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	t.AddNote("crash at end of iteration %d on the NVM/DRAM system (paper setup)", crashIter)
 	t.AddNote("paper: classes S,W lose all 15 iterations; classes B,C lose 1")
 	return t, nil
 }
 
-// cgCase runs one of the seven cases for CG and returns total simulated
-// runtime.
-func cgCase(label string, a *sparse.CSR, opts core.CGOptions) int64 {
-	m := newMachine(systemOf(label), cgLLCBytes, 16)
-	start := m.Clock.Now()
-	switch label {
-	case caseNative:
-		bg := core.NewBaselineCG(m, a, opts, core.MechNative, nil)
-		start = m.Clock.Now()
-		bg.Run()
-	case caseCkptHDD:
-		bg := core.NewBaselineCG(m, a, opts, core.MechCkpt, ckpt.NewHDD(m))
-		start = m.Clock.Now()
-		bg.Run()
-	case caseCkptNVM, caseCkptHetero:
-		bg := core.NewBaselineCG(m, a, opts, core.MechCkpt, ckpt.NewNVM(m))
-		start = m.Clock.Now()
-		bg.Run()
-	case casePMEM:
-		bg := core.NewBaselineCG(m, a, opts, core.MechPMEM, nil)
-		start = m.Clock.Now()
-		bg.Run()
-	case caseAlgoNVM, caseAlgoHetero:
+// cgCase runs one scheme of the seven-case comparison for CG and returns
+// total simulated runtime. Algorithm-directed schemes run the extended
+// solver; the others run the Figure 1 baseline under the scheme's guard.
+func cgCase(sc engine.Scheme, a *sparse.CSR, opts core.CGOptions) int64 {
+	m := newMachine(sc.System(), cgLLCBytes, 16)
+	var start int64
+	if sc.Kind() == engine.KindAlgo {
 		cg := core.NewCG(m, nil, a, opts)
 		start = m.Clock.Now()
 		cg.Run(1)
+	} else {
+		bg := core.NewBaselineCG(m, a, opts, sc)
+		start = m.Clock.Now()
+		bg.Run()
 	}
 	return m.Clock.Since(start)
+}
+
+// cgNativeBase measures native execution on both memory systems, the
+// normalization denominators of Figure 4.
+func cgNativeBase(o Options, a *sparse.CSR, opts core.CGOptions) (map[crash.SystemKind]int64, error) {
+	kinds := []crash.SystemKind{crash.NVMOnly, crash.Hetero}
+	times, err := runCases(o, len(kinds), func(i int) (int64, error) {
+		m := newMachine(kinds[i], cgLLCBytes, 16)
+		bg := core.NewBaselineCG(m, a, opts, nil)
+		start := m.Clock.Now()
+		bg.Run()
+		return m.Clock.Since(start), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := map[crash.SystemKind]int64{}
+	for i, kind := range kinds {
+		base[kind] = times[i]
+	}
+	return base, nil
 }
 
 // RunFig4 reproduces Figure 4: CG runtime under the seven mechanisms,
@@ -114,27 +131,29 @@ func RunFig4(o Options) (*Table, error) {
 		caseAlgoHetero: "<1.03",
 	}
 
-	base := map[crash.SystemKind]int64{}
-	for _, kind := range []crash.SystemKind{crash.NVMOnly, crash.Hetero} {
-		m := newMachine(kind, cgLLCBytes, 16)
-		bg := core.NewBaselineCG(m, a, opts, core.MechNative, nil)
-		start := m.Clock.Now()
-		bg.Run()
-		base[kind] = m.Clock.Since(start)
+	base, err := cgNativeBase(o, a, opts)
+	if err != nil {
+		return nil, err
 	}
 
-	for _, label := range sevenCases() {
-		o.logf("fig4: case %s", label)
-		var ns int64
-		if label == caseNative {
-			ns = base[crash.NVMOnly]
-		} else {
-			ns = cgCase(label, a, opts)
+	cases := sevenCases()
+	times, err := runCases(o, len(cases), func(i int) (int64, error) {
+		sc := cases[i]
+		o.logf("fig4: case %s", sc.Name())
+		if sc.Name() == caseNative {
+			return base[crash.NVMOnly], nil
 		}
-		sys := systemOf(label)
-		t.AddRow(label, sys.String(),
+		return cgCase(sc, a, opts), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range cases {
+		ns := times[i]
+		sys := sc.System()
+		t.AddRow(sc.Name(), sys.String(),
 			fmt.Sprintf("%.2f", float64(ns)/1e6),
-			normalize(ns, base[sys]), paperRef[label])
+			normalize(ns, base[sys]), paperRef[sc.Name()])
 	}
 	t.AddNote("checkpoint/PMEM act once per CG iteration (same recomputation bound as algo)")
 	return t, nil
@@ -154,7 +173,9 @@ func RunCGCacheAblation(o Options) (*Table, error) {
 	n := o.scaleInt(cl.N, 1000)
 	a := sparse.GenSPD(n, cl.NnzRow, 88)
 	crashIter := 15
-	for _, llc := range []int{256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20} {
+	llcs := []int{256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+	rows, err := runCases(o, len(llcs), func(i int) ([]any, error) {
+		llc := llcs[i]
 		m := newMachine(crash.NVMOnly, llc, 16)
 		em := crash.NewEmulator(m)
 		cg := core.NewCG(m, em, a, core.CGOptions{MaxIter: crashIter})
@@ -167,8 +188,14 @@ func RunCGCacheAblation(o Options) (*Table, error) {
 		resumeStart := m.Clock.Now()
 		cg.Run(rec.RestartIter)
 		resume := m.Clock.Since(resumeStart)
-		t.AddRow(fmt.Sprintf("%dKB", llc>>10), rec.IterationsLost,
-			normalize(rec.DetectNS, avg), normalize(rec.DetectNS+resume, avg))
+		return []any{fmt.Sprintf("%dKB", llc>>10), rec.IterationsLost,
+			normalize(rec.DetectNS, avg), normalize(rec.DetectNS+resume, avg)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	t.AddNote("larger caches retain more dirty history rows, increasing loss — the inverse of Figure 3's input-size effect")
 	return t, nil

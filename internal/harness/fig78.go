@@ -3,9 +3,9 @@ package harness
 import (
 	"fmt"
 
-	"adcc/internal/ckpt"
 	"adcc/internal/core"
 	"adcc/internal/crash"
+	"adcc/internal/engine"
 )
 
 // MM experiment scaling: the paper uses n = 2000..8000 with an 8 MB LLC
@@ -29,22 +29,34 @@ func RunFig7(o Options) (*Table, error) {
 		},
 	}
 	k := o.scaleInt(40, 8)
+	type mmCrashCase struct {
+		n, loop int
+	}
+	var cases []mmCrashCase
 	for _, nBase := range []int{200, 400, 600, 800} {
 		n := o.scaleInt(nBase, 5*k)
 		n = (n / k) * k // keep divisibility
 		for _, loop := range []int{1, 2} {
-			o.logf("fig7: n=%d crash in loop %d", n, loop)
-			if err := fig7One(o, t, n, k, loop); err != nil {
-				return nil, err
-			}
+			cases = append(cases, mmCrashCase{n: n, loop: loop})
 		}
+	}
+	rows, err := runCases(o, len(cases), func(i int) ([]any, error) {
+		c := cases[i]
+		o.logf("fig7: n=%d crash in loop %d", c.n, c.loop)
+		return fig7One(c.n, k, c.loop)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	t.AddNote("rank k=%d (paper: 400, same n/k ratio); crash at end of 4th iteration of each loop", k)
 	t.AddNote("paper: smallest size loses ~2 submatrix multiplications, larger sizes lose 1; additions always lose 1")
 	return t, nil
 }
 
-func fig7One(o Options, t *Table, n, k, loop int) error {
+func fig7One(n, k, loop int) ([]any, error) {
 	m := newMachine(crash.Hetero, mmLLCBytes, 16)
 	em := crash.NewEmulator(m)
 	mm := core.NewMM(m, em, core.MMOptions{N: n, K: k, Seed: int64(n + loop)})
@@ -54,7 +66,7 @@ func fig7One(o Options, t *Table, n, k, loop int) error {
 	}
 	em.CrashAtTrigger(trigger, 4)
 	if !em.Run(mm.Run) {
-		return fmt.Errorf("fig7: n=%d loop=%d did not crash", n, loop)
+		return nil, fmt.Errorf("fig7: n=%d loop=%d did not crash", n, loop)
 	}
 
 	var rec core.MMRecovery
@@ -104,10 +116,9 @@ func fig7One(o Options, t *Table, n, k, loop int) error {
 	if loop == 2 {
 		loopName = "loop2 (submat add)"
 	}
-	t.AddRow(n, loopName, unitsLost,
+	return []any{n, loopName, unitsLost,
 		normalize(rec.DetectNS, avg), normalize(resume, avg),
-		normalize(rec.DetectNS+resume, avg))
-	return nil
+		normalize(rec.DetectNS+resume, avg)}, nil
 }
 
 func avgPositive(v []int64) int64 {
@@ -125,32 +136,19 @@ func avgPositive(v []int64) int64 {
 	return sum / int64(cnt)
 }
 
-// mmCase runs one of the seven cases for the multiplication and returns
-// total simulated runtime.
-func mmCase(label string, opts core.MMOptions) int64 {
-	m := newMachine(systemOf(label), mmLLCBytes, 16)
+// mmCase runs one scheme of the seven-case comparison for the
+// multiplication and returns total simulated runtime.
+func mmCase(sc engine.Scheme, opts core.MMOptions) int64 {
+	m := newMachine(sc.System(), mmLLCBytes, 16)
 	var start int64
-	switch label {
-	case caseNative:
-		bm := core.NewBaselineMM(m, opts, core.MechNative, nil)
-		start = m.Clock.Now()
-		bm.Run()
-	case caseCkptHDD:
-		bm := core.NewBaselineMM(m, opts, core.MechCkpt, ckpt.NewHDD(m))
-		start = m.Clock.Now()
-		bm.Run()
-	case caseCkptNVM, caseCkptHetero:
-		bm := core.NewBaselineMM(m, opts, core.MechCkpt, ckpt.NewNVM(m))
-		start = m.Clock.Now()
-		bm.Run()
-	case casePMEM:
-		bm := core.NewBaselineMM(m, opts, core.MechPMEM, nil)
-		start = m.Clock.Now()
-		bm.Run()
-	case caseAlgoNVM, caseAlgoHetero:
+	if sc.Kind() == engine.KindAlgo {
 		mm := core.NewMM(m, nil, opts)
 		start = m.Clock.Now()
 		mm.Run()
+	} else {
+		bm := core.NewBaselineMM(m, opts, sc)
+		start = m.Clock.Now()
+		bm.Run()
 	}
 	return m.Clock.Now() - start
 }
@@ -172,28 +170,51 @@ func RunFig8(o Options) (*Table, error) {
 	// as n (8000 -> 640).
 	ranks := []int{n / 40, n / 20, n / 8}
 	o.logf("fig8: n=%d ranks=%v", n, ranks)
-	for _, k := range ranks {
+
+	// Native baselines per rank and system, the normalization
+	// denominators.
+	kinds := []crash.SystemKind{crash.NVMOnly, crash.Hetero}
+	baseTimes, err := runCases(o, len(ranks)*len(kinds), func(i int) (int64, error) {
+		k := ranks[i/len(kinds)]
+		kind := kinds[i%len(kinds)]
 		opts := core.MMOptions{N: n, K: k, Seed: int64(k)}
-		base := map[crash.SystemKind]int64{}
-		for _, kind := range []crash.SystemKind{crash.NVMOnly, crash.Hetero} {
-			m := newMachine(kind, mmLLCBytes, 16)
-			bm := core.NewBaselineMM(m, opts, core.MechNative, nil)
-			start := m.Clock.Now()
-			bm.Run()
-			base[kind] = m.Clock.Since(start)
+		m := newMachine(kind, mmLLCBytes, 16)
+		bm := core.NewBaselineMM(m, opts, nil)
+		start := m.Clock.Now()
+		bm.Run()
+		return m.Clock.Since(start), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := make([]map[crash.SystemKind]int64, len(ranks))
+	for ri := range ranks {
+		base[ri] = map[crash.SystemKind]int64{}
+		for ki, kind := range kinds {
+			base[ri][kind] = baseTimes[ri*len(kinds)+ki]
 		}
-		for _, label := range sevenCases() {
-			o.logf("fig8: k=%d case %s", k, label)
-			var ns int64
-			if label == caseNative {
-				ns = base[crash.NVMOnly]
-			} else {
-				ns = mmCase(label, opts)
-			}
-			sys := systemOf(label)
-			t.AddRow(k, label, sys.String(),
+	}
+
+	cases := sevenCases()
+	times, err := runCases(o, len(ranks)*len(cases), func(i int) (int64, error) {
+		ri, ci := i/len(cases), i%len(cases)
+		k, sc := ranks[ri], cases[ci]
+		o.logf("fig8: k=%d case %s", k, sc.Name())
+		if sc.Name() == caseNative {
+			return base[ri][crash.NVMOnly], nil
+		}
+		return mmCase(sc, core.MMOptions{N: n, K: k, Seed: int64(k)}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, k := range ranks {
+		for ci, sc := range cases {
+			ns := times[ri*len(cases)+ci]
+			sys := sc.System()
+			t.AddRow(k, sc.Name(), sys.String(),
 				fmt.Sprintf("%.2f", float64(ns)/1e6),
-				normalize(ns, base[sys]))
+				normalize(ns, base[ri][sys]))
 		}
 	}
 	t.AddNote("paper: algo <= 1.082 at rank 200, 1.013 at rank 1000; ckpt-NVM/DRAM >= 1.218 at rank 200")
@@ -213,11 +234,14 @@ func RunMMKAblation(o Options) (*Table, error) {
 		},
 	}
 	n := o.scaleInt(400, 80)
+	var ks []int
 	for _, div := range []int{40, 20, 10, 5, 2} {
-		k := n / div
-		if k < 1 {
-			continue
+		if k := n / div; k >= 1 {
+			ks = append(ks, k)
 		}
+	}
+	rows, err := runCases(o, len(ks), func(i int) ([]any, error) {
+		k := ks[i]
 		opts := core.MMOptions{N: (n / k) * k, K: k, Seed: 9}
 		m := newMachine(crash.NVMOnly, mmLLCBytes, 16)
 		mm := core.NewMM(m, nil, opts)
@@ -227,8 +251,14 @@ func RunMMKAblation(o Options) (*Table, error) {
 		// Checksum flushes per panel (one row + one column of lines),
 		// paid once per panel — so total flush work grows as 1/k.
 		perPanel := (opts.N+1+7)/8 + opts.N + 1
-		t.AddRow(k, opts.N/k, fmt.Sprintf("%.1f", tempMB),
-			fmt.Sprintf("%.2f", float64(avg)/1e6), perPanel*(opts.N/k))
+		return []any{k, opts.N / k, fmt.Sprintf("%.1f", tempMB),
+			fmt.Sprintf("%.2f", float64(avg)/1e6), perPanel * (opts.N / k)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	t.AddNote("smaller k: more temporal matrices (memory) and more frequent flushes; larger k: bigger recompute unit")
 	return t, nil

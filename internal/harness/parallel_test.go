@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCasesPreservesOrder(t *testing.T) {
+	o := Options{Parallel: 8}
+	got, err := runCases(o, 100, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunCasesBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	o := Options{Parallel: workers}
+	_, err := runCases(o, 64, func(i int) (int, error) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		for j := 0; j < 1000; j++ { // widen the overlap window
+			_ = j
+		}
+		active.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds bound %d", p, workers)
+	}
+}
+
+func TestRunCasesReportsLowestIndexError(t *testing.T) {
+	o := Options{Parallel: 4}
+	errA := errors.New("case 2 failed")
+	_, err := runCases(o, 8, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("case 5 failed")
+		}
+		if i == 2 {
+			return 0, errA
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the lowest-index failure", err)
+	}
+}
+
+func TestRunCasesSerialFallback(t *testing.T) {
+	for _, par := range []int{0, 1, -3} {
+		got, err := runCases(Options{Parallel: par}, 5, func(i int) (string, error) {
+			return fmt.Sprint(i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 5 || got[4] != "4" {
+			t.Fatalf("parallel=%d: got %v", par, got)
+		}
+	}
+}
+
+// TestParallelRunsAreByteIdentical is the harness's determinism
+// contract: every experiment's table must be byte-identical whether its
+// cases run serially or through the worker pool. Each case builds its
+// own seeded machine, so scheduling cannot leak into results.
+func TestParallelRunsAreByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			serialTab, err := e.Run(Options{Scale: 0.05})
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			parTab, err := e.Run(Options{Scale: 0.05, Parallel: 4})
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			serial, par := serialTab.String(), parTab.String()
+			if serial != par {
+				t.Fatalf("parallel table differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, par)
+			}
+		})
+	}
+}

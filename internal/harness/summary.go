@@ -27,23 +27,27 @@ func RunSummary(o Options) (*Table, error) {
 		t.AddNote("WARNING: run at -scale 1.0 — the claims are defined for paper-shape sizes; scaled-down runs inflate fixed costs and fit working sets into caches")
 	}
 
-	fail := func(msg string, args ...interface{}) {
+	fail := func(msg string, args ...any) {
 		t.AddRow(fmt.Sprintf(msg, args...), "", "FAIL")
 	}
 
-	// Gather the three runtime figures.
-	fig4, err := RunFig4(o)
+	// Gather every figure the claims draw on. The six experiments are
+	// themselves independent cases, so they go through the same bounded
+	// executor — with their own inner fan-out disabled, so the total
+	// concurrency stays within o.Parallel rather than multiplying.
+	subRuns := []func(Options) (*Table, error){
+		RunFig4, RunFig8, RunFig13, RunFig3, RunFig10, RunFig12,
+	}
+	inner := o
+	inner.Parallel = 1
+	subTabs, err := runCases(o, len(subRuns), func(i int) (*Table, error) {
+		return subRuns[i](inner)
+	})
 	if err != nil {
 		return nil, err
 	}
-	fig8, err := RunFig8(o)
-	if err != nil {
-		return nil, err
-	}
-	fig13, err := RunFig13(o)
-	if err != nil {
-		return nil, err
-	}
+	fig4, fig8, fig13 := subTabs[0], subTabs[1], subTabs[2]
+	fig3, fig10, fig12 := subTabs[3], subTabs[4], subTabs[5]
 
 	// Claim 1: algo overhead bounded.
 	var algoOverheads []float64
@@ -79,10 +83,6 @@ func RunSummary(o Options) (*Table, error) {
 		status)
 
 	// Claim 2: Figure 3 monotonicity.
-	fig3, err := RunFig3(o)
-	if err != nil {
-		return nil, err
-	}
 	lostFirst, _ := strconv.ParseFloat(fig3.Rows[0][2], 64)
 	lostLast, _ := strconv.ParseFloat(fig3.Rows[len(fig3.Rows)-1][2], 64)
 	status = "PASS"
@@ -132,14 +132,6 @@ func RunSummary(o Options) (*Table, error) {
 		strings.Join(evidence, "; "), status)
 
 	// Claim 4: naive MC restart is wrong, selective is exact.
-	fig10, err := RunFig10(o)
-	if err != nil {
-		return nil, err
-	}
-	fig12, err := RunFig12(o)
-	if err != nil {
-		return nil, err
-	}
 	maxDelta := func(tab *Table) float64 {
 		worst := 0.0
 		for _, r := range tab.Rows {

@@ -24,7 +24,7 @@ type Table struct {
 }
 
 // AddRow appends a row, formatting each cell with %v.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -40,7 +40,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 }
 
 // AddNote appends a formatted note line.
-func (t *Table) AddNote(format string, args ...interface{}) {
+func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
@@ -122,6 +122,10 @@ type Options struct {
 	Verbose bool
 	// Out receives progress output when Verbose is set.
 	Out io.Writer
+	// Parallel bounds how many of an experiment's independent cases run
+	// concurrently; values <= 1 run serially. Results are collected in
+	// case order, so tables are byte-identical at any setting.
+	Parallel int
 }
 
 func (o Options) scale() float64 {
@@ -140,7 +144,7 @@ func (o Options) scaleInt(v, floor int) int {
 	return s
 }
 
-func (o Options) logf(format string, args ...interface{}) {
+func (o Options) logf(format string, args ...any) {
 	if o.Verbose && o.Out != nil {
 		fmt.Fprintf(o.Out, format+"\n", args...)
 	}
