@@ -11,27 +11,38 @@
 package adcc_test
 
 import (
+	"fmt"
 	"os"
 	"strconv"
+	"sync"
 	"testing"
 
+	"adcc/internal/bench"
 	"adcc/internal/cache"
-	"adcc/internal/ckpt"
 	"adcc/internal/core"
 	"adcc/internal/crash"
 	"adcc/internal/dense"
 	"adcc/internal/harness"
-	"adcc/internal/mc"
 	"adcc/internal/mem"
-	"adcc/internal/pmem"
 	"adcc/internal/sparse"
 )
 
+// benchScaleWarn makes the malformed-ADCC_BENCH_SCALE warning fire once
+// per test binary rather than once per benchmark.
+var benchScaleWarn sync.Once
+
+// benchScale reads ADCC_BENCH_SCALE (documented in README.md). A value
+// that does not parse as a positive float is reported on stderr — not
+// silently ignored — and the default reduced scale is used.
 func benchScale() float64 {
 	if s := os.Getenv("ADCC_BENCH_SCALE"); s != "" {
 		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
 			return v
 		}
+		benchScaleWarn.Do(func() {
+			fmt.Fprintf(os.Stderr,
+				"bench: ignoring malformed ADCC_BENCH_SCALE=%q (want a positive float, e.g. 0.05); using default 0.05\n", s)
+		})
 	}
 	return 0.05
 }
@@ -105,56 +116,13 @@ func newBenchMachine() *crash.Machine {
 	})
 }
 
-// BenchmarkCacheSimLoad measures the raw overhead of one simulated
-// element load through the LLC model (hit path).
-func BenchmarkCacheSimLoad(b *testing.B) {
-	m := newBenchMachine()
-	r := m.Heap.AllocF64("v", 1024)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = r.At(i & 1023)
-	}
-}
-
-// BenchmarkCacheSimStream measures streaming stores with eviction and
-// writeback activity.
-func BenchmarkCacheSimStream(b *testing.B) {
-	m := newBenchMachine()
-	r := m.Heap.AllocF64("v", 1<<20)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.Set(i&(1<<20-1), float64(i))
-	}
-}
-
-// BenchmarkSimSpMV measures the simulated sparse matrix-vector kernel.
-func BenchmarkSimSpMV(b *testing.B) {
-	m := newBenchMachine()
-	a := sparse.GenSPD(20000, 11, 1)
-	sa := sparse.NewSimCSR(m.Heap, a, "A")
-	x := m.Heap.AllocF64("x", a.N)
-	y := m.Heap.AllocF64("y", a.N)
-	for i := 0; i < a.N; i++ {
-		x.Set(i, 1)
-	}
-	b.SetBytes(int64(sa.Bytes()))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sa.SpMV(m.CPU, y, 0, x, 0)
-	}
-}
-
-// BenchmarkNativeSpMV is the un-instrumented reference kernel.
-func BenchmarkNativeSpMV(b *testing.B) {
-	a := sparse.GenSPD(20000, 11, 1)
-	x := make([]float64, a.N)
-	y := make([]float64, a.N)
-	for i := range x {
-		x[i] = 1
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sparse.SpMV(y, a, x)
+// BenchmarkKernels runs the shared kernel micro-benchmark suite — the
+// same definitions `adccbench -bench` measures and CI gates through
+// cmd/benchdiff — as sub-benchmarks, so `go test -bench` and the JSON
+// pipeline can never drift apart.
+func BenchmarkKernels(b *testing.B) {
+	for _, k := range bench.Kernels() {
+		b.Run(k.Name, k.Bench)
 	}
 }
 
@@ -169,46 +137,6 @@ func BenchmarkGemmAcc(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dense.GemmAcc(m.CPU, C, A, B, 0, 64)
-	}
-}
-
-// BenchmarkMCLookup measures one macroscopic cross-section lookup.
-func BenchmarkMCLookup(b *testing.B) {
-	m := newBenchMachine()
-	s := mc.New(m.Heap, m.CPU, mc.Config{
-		Nuclides: 34, PointsPerNuclide: 1000, Lookups: 1 << 30, Seed: 42,
-	})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.Lookup(int64(i))
-	}
-}
-
-// BenchmarkPMEMTransaction measures an undo-log transaction over one
-// cache line, the hot path behind the paper's 329% PMEM overhead.
-func BenchmarkPMEMTransaction(b *testing.B) {
-	m := newBenchMachine()
-	p := pmem.NewPool(m, 1<<20)
-	r := m.Heap.AllocF64("v", 1024)
-	p.RegisterF64(r)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tx := p.Begin()
-		tx.SetF64(r, i&1023, float64(i))
-		tx.Commit()
-	}
-}
-
-// BenchmarkCheckpoint measures a memory-based checkpoint of a 1 MB
-// region.
-func BenchmarkCheckpoint(b *testing.B) {
-	m := newBenchMachine()
-	c := ckpt.NewNVM(m)
-	r := m.Heap.AllocF64("v", 128<<10)
-	b.SetBytes(int64(r.Bytes()))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Checkpoint(int64(i), r)
 	}
 }
 

@@ -10,6 +10,13 @@
 //	adccbench -experiment fig8 -scale 0.2  # scaled-down quick run
 //	adccbench -experiment all -parallel 4  # fan independent cases out over 4 workers
 //	adccbench -list                        # list experiments
+//	adccbench -bench -json out.json        # machine-readable benchmark suite
+//
+// The -bench mode runs the kernel micro-benchmarks (wall-clock ns/op and
+// allocs/op plus deterministic simulated metrics) and the timed harness
+// experiments, and emits a schema-stable JSON suite for cmd/benchdiff.
+// Unless -scale is given explicitly, -bench runs the experiments at the
+// default bench scale (0.05), matching the root bench_test defaults.
 //
 // Every experiment case is seeded and runs on its own simulated machine,
 // and the harness collects results in case order, so -parallel N output
@@ -23,17 +30,29 @@ import (
 	"strings"
 	"time"
 
+	"adcc/internal/bench"
 	"adcc/internal/harness"
 )
 
+// defaultBenchScale is the harness scale -bench uses when -scale is not
+// given explicitly: the same reduced scale as the root bench_test
+// defaults, so CI-sized runs and local runs agree.
+const defaultBenchScale = 0.05
+
+// benchExperiments are the timed harness experiments whose per-case
+// simulated timings feed the bench suite.
+var benchExperiments = []string{"fig3", "fig4", "fig8", "fig13"}
+
 func main() {
 	var (
-		expFlag  = flag.String("experiment", "all", "comma-separated experiment names, or 'all'")
-		scale    = flag.Float64("scale", 1.0, "problem-size scale factor (1.0 = paper-shape defaults)")
-		parallel = flag.Int("parallel", 1, "max concurrent cases per experiment (<=1 = serial; output is identical at any setting)")
-		verbose  = flag.Bool("v", false, "print progress while running")
-		listOnly = flag.Bool("list", false, "list available experiments and exit")
-		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		expFlag   = flag.String("experiment", "all", "comma-separated experiment names, or 'all'")
+		scale     = flag.Float64("scale", 1.0, "problem-size scale factor (1.0 = paper-shape defaults)")
+		parallel  = flag.Int("parallel", 1, "max concurrent cases per experiment (<=1 = serial; output is identical at any setting)")
+		verbose   = flag.Bool("v", false, "print progress while running")
+		listOnly  = flag.Bool("list", false, "list available experiments and exit")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		benchMode = flag.Bool("bench", false, "run the benchmark suite (kernels + timed experiments) and emit machine-readable results")
+		jsonPath  = flag.String("json", "", "with -bench: write the JSON suite to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -42,6 +61,20 @@ func main() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.Title)
 		}
 		return
+	}
+
+	if *benchMode {
+		s := *scale
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if !scaleSet {
+			s = defaultBenchScale
+		}
+		os.Exit(runBench(*jsonPath, s, *parallel, *verbose))
 	}
 
 	var selected []harness.Experiment
@@ -82,4 +115,57 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runBench executes the kernel micro-benchmarks and the timed harness
+// experiments, assembles a bench.Suite, and writes its canonical JSON
+// encoding to jsonPath (stdout when empty). Returns the process exit
+// code.
+func runBench(jsonPath string, scale float64, parallel int, verbose bool) int {
+	if verbose {
+		fmt.Fprintf(os.Stderr, "bench: kernels + %s at scale %g\n",
+			strings.Join(benchExperiments, ","), scale)
+	}
+	results := bench.RunKernels()
+
+	col := bench.NewCollector()
+	opts := harness.Options{
+		Scale: scale, Parallel: parallel,
+		Verbose: verbose, Out: os.Stderr,
+		Collector: col,
+	}
+	for _, name := range benchExperiments {
+		e, ok := harness.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "adccbench: unknown bench experiment %q\n", name)
+			return 1
+		}
+		start := time.Now()
+		if _, err := e.Run(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "adccbench: bench experiment %s failed: %v\n", name, err)
+			return 1
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "[bench %s completed in %v]\n", name, time.Since(start))
+		}
+	}
+
+	suite := bench.NewSuite(scale, append(results, col.Results()...))
+	if jsonPath == "" {
+		b, err := suite.EncodeJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adccbench: encode: %v\n", err)
+			return 1
+		}
+		os.Stdout.Write(b)
+		return 0
+	}
+	if err := suite.WriteFile(jsonPath); err != nil {
+		fmt.Fprintf(os.Stderr, "adccbench: %v\n", err)
+		return 1
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(suite.Results), jsonPath)
+	}
+	return 0
 }

@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func sampleSuite() Suite {
+	return NewSuite(0.05, []Result{
+		{Name: "fig4/native", SimNS: 12155604},
+		{Name: "cache/flush", Iterations: 1000, NsPerOp: 48.5, AllocsPerOp: 0,
+			SimNS: 371200, SimFlushes: 4096},
+		{Name: "fig3/class-S", SimNS: 349947, RecoveryNS: 72300},
+		{Name: "sparse/spmv", Iterations: 144, NsPerOp: 8414754.0625, SimNS: 1585656},
+	})
+}
+
+// TestSuiteGolden pins the canonical JSON encoding byte for byte: the
+// schema surface cmd/benchdiff and CI artifacts depend on.
+func TestSuiteGolden(t *testing.T) {
+	got, err := sampleSuite().EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "suite_golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate by writing the EncodeJSON output to %s)", err, golden)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("encoding drifted from golden file\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSuiteRoundTrip checks decode(encode(s)) == s and that a second
+// encode is byte-stable.
+func TestSuiteRoundTrip(t *testing.T) {
+	s := sampleSuite()
+	b1, err := s.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Suite
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := back.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("round trip not byte-stable:\n%s\nvs\n%s", b1, b2)
+	}
+	if len(back.Results) != len(s.Results) {
+		t.Fatalf("round trip lost results: %d != %d", len(back.Results), len(s.Results))
+	}
+	for i := range back.Results {
+		if back.Results[i] != s.Results[i] {
+			t.Errorf("result %d changed: %+v != %+v", i, back.Results[i], s.Results[i])
+		}
+	}
+}
+
+// TestReadFileRejectsSchema ensures mismatched schema tags are refused.
+func TestReadFileRejectsSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9","results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("expected schema error, got nil")
+	}
+}
+
+// TestNewSuiteSortsAndCopies verifies order independence of the
+// canonical form.
+func TestNewSuiteSortsAndCopies(t *testing.T) {
+	in := []Result{{Name: "b"}, {Name: "a"}, {Name: "c"}}
+	s := NewSuite(1, in)
+	if s.Results[0].Name != "a" || s.Results[2].Name != "c" {
+		t.Errorf("not sorted: %+v", s.Results)
+	}
+	in[0].Name = "zzz" // mutating the input must not affect the suite
+	if s.Results[1].Name != "b" {
+		t.Errorf("suite shares backing array with input")
+	}
+}
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.Record(Result{Name: "x"}) // must not panic
+	if c.Len() != 0 || c.Results() != nil {
+		t.Errorf("nil collector not empty")
+	}
+}
+
+// TestCollectorDeterministicUnderParallel records the same results from
+// 4 goroutines in scrambled orders and asserts the snapshot equals the
+// serial one — the property that keeps `adccbench -bench -parallel N`
+// output byte-identical to a serial run.
+func TestCollectorDeterministicUnderParallel(t *testing.T) {
+	results := make([]Result, 64)
+	for i := range results {
+		results[i] = Result{Name: fmt.Sprintf("case-%02d", i), SimNS: int64(1000 + i)}
+	}
+
+	serial := NewCollector()
+	for _, r := range results {
+		serial.Record(r)
+	}
+
+	parallel := NewCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker records a strided, rotated subset so arrival
+			// order differs from the serial loop.
+			for i := 0; i < len(results); i++ {
+				idx := (i*7 + w*13) % len(results)
+				if idx%4 == w {
+					parallel.Record(results[idx])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	a, err := NewSuite(0.05, serial.Results()).EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSuite(0.05, parallel.Results()).EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("parallel collection not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func diffOf(base, cand Suite) Report {
+	return Diff(base, cand, DiffOptions{WallThreshold: 0.25, SimThreshold: 0.02})
+}
+
+func TestDiffNoRegression(t *testing.T) {
+	base := NewSuite(1, []Result{{Name: "k", Iterations: 1, NsPerOp: 100, SimNS: 1000}})
+	cand := NewSuite(1, []Result{{Name: "k", Iterations: 1, NsPerOp: 110, SimNS: 1000}})
+	rep := diffOf(base, cand)
+	if rep.HasRegression() {
+		t.Errorf("10%% wall growth under a 25%% threshold flagged: %+v", rep)
+	}
+}
+
+func TestDiffWallRegression(t *testing.T) {
+	base := NewSuite(1, []Result{{Name: "k", Iterations: 1, NsPerOp: 100}})
+	cand := NewSuite(1, []Result{{Name: "k", Iterations: 1, NsPerOp: 130}})
+	rep := diffOf(base, cand)
+	if !rep.HasRegression() {
+		t.Error("30% wall growth under a 25% threshold not flagged")
+	}
+	if rep.HasBlockingRegression(true) {
+		t.Error("wall-advisory mode still blocked on a wall-only regression")
+	}
+	if !rep.HasBlockingRegression(false) {
+		t.Error("strict mode did not block on a wall regression")
+	}
+}
+
+// TestDiffMeasuredZeroAllocs: a kernel whose allocs/op goes from a
+// measured 0 to N is a regression (zero is a real value when the
+// wall-clock runner executed), and N to 0 is an improvement.
+func TestDiffMeasuredZeroAllocs(t *testing.T) {
+	base := NewSuite(1, []Result{{Name: "k", Iterations: 1, NsPerOp: 100, AllocsPerOp: 0}})
+	cand := NewSuite(1, []Result{{Name: "k", Iterations: 1, NsPerOp: 100, AllocsPerOp: 500}})
+	rep := diffOf(base, cand)
+	if !rep.HasRegression() {
+		t.Error("allocs/op 0 -> 500 not flagged as a regression")
+	}
+	back := diffOf(cand, base)
+	if back.HasRegression() {
+		t.Errorf("allocs/op 500 -> 0 flagged as a regression: %+v", back)
+	}
+}
+
+// TestDiffSimRegressionBlocksEvenWallAdvisory: sim drift must block
+// regardless of the wall-advisory setting.
+func TestDiffSimRegressionBlocksEvenWallAdvisory(t *testing.T) {
+	base := NewSuite(1, []Result{{Name: "k", SimNS: 1000, SimFlushes: 0}})
+	cand := NewSuite(1, []Result{{Name: "k", SimNS: 1000, SimFlushes: 64}})
+	rep := diffOf(base, cand)
+	if !rep.HasBlockingRegression(true) {
+		t.Error("sim_flushes appearing from a measured 0 did not block in wall-advisory mode")
+	}
+}
+
+// TestDiffLostMetricIsRegression: a metric family the baseline
+// guaranteed (here the sim probe) disappearing from a surviving
+// benchmark name is flagged like a missing benchmark, and blocks even
+// in wall-advisory mode.
+func TestDiffLostMetricIsRegression(t *testing.T) {
+	base := NewSuite(1, []Result{{Name: "k", Iterations: 1, NsPerOp: 100, SimNS: 1000}})
+	cand := NewSuite(1, []Result{{Name: "k", Iterations: 1, NsPerOp: 100}})
+	rep := diffOf(base, cand)
+	if !rep.HasRegression() || !rep.HasBlockingRegression(true) {
+		t.Errorf("dropped sim probe not flagged: %+v", rep)
+	}
+	if len(rep.Missing) == 0 {
+		t.Error("lost sim metrics not reported in Missing")
+	}
+}
+
+// TestDiffZeroThresholdIsExact: an explicit zero threshold demands
+// exact equality rather than silently falling back to a default.
+func TestDiffZeroThresholdIsExact(t *testing.T) {
+	base := NewSuite(1, []Result{{Name: "k", SimNS: 1000}})
+	cand := NewSuite(1, []Result{{Name: "k", SimNS: 1001}})
+	rep := Diff(base, cand, DiffOptions{WallThreshold: 0.25, SimThreshold: 0})
+	if !rep.HasRegression() {
+		t.Error("0.1% sim drift under an explicit zero threshold not flagged")
+	}
+}
+
+func TestDiffSimRegressionIsTight(t *testing.T) {
+	base := NewSuite(1, []Result{{Name: "k", SimNS: 1000}})
+	cand := NewSuite(1, []Result{{Name: "k", SimNS: 1050}})
+	rep := diffOf(base, cand)
+	if !rep.HasRegression() {
+		t.Error("5% simulated-time growth under a 2% threshold not flagged")
+	}
+}
+
+func TestDiffImprovementIsNotRegression(t *testing.T) {
+	base := NewSuite(1, []Result{{Name: "k", Iterations: 1, NsPerOp: 100, SimNS: 1000}})
+	cand := NewSuite(1, []Result{{Name: "k", Iterations: 1, NsPerOp: 40, SimNS: 1000}})
+	rep := diffOf(base, cand)
+	if rep.HasRegression() {
+		t.Errorf("improvement flagged as regression: %+v", rep)
+	}
+	improved := false
+	for _, d := range rep.Deltas {
+		if d.Metric == "ns/op" && d.Improved {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("2.5x improvement not marked Improved")
+	}
+}
+
+func TestDiffMissingBenchmarkIsRegression(t *testing.T) {
+	base := NewSuite(1, []Result{{Name: "gone", Iterations: 1, NsPerOp: 100}, {Name: "kept", Iterations: 1, NsPerOp: 100}})
+	cand := NewSuite(1, []Result{{Name: "kept", Iterations: 1, NsPerOp: 100}, {Name: "new", Iterations: 1, NsPerOp: 5}})
+	rep := diffOf(base, cand)
+	if !rep.HasRegression() {
+		t.Error("missing benchmark not treated as a regression")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "gone" {
+		t.Errorf("Missing = %v, want [gone]", rep.Missing)
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "new" {
+		t.Errorf("Added = %v, want [new]", rep.Added)
+	}
+}
+
+// TestDiffSkipsUnmeasuredMetrics: a metric absent (zero) on either side
+// is not compared, so sim-only harness results diff cleanly against
+// each other.
+func TestDiffSkipsUnmeasuredMetrics(t *testing.T) {
+	base := NewSuite(1, []Result{{Name: "k", SimNS: 1000}})
+	cand := NewSuite(1, []Result{{Name: "k", NsPerOp: 50, SimNS: 1000}})
+	rep := diffOf(base, cand)
+	for _, d := range rep.Deltas {
+		if d.Metric == "ns/op" {
+			t.Errorf("compared ns/op with no baseline measurement: %+v", d)
+		}
+	}
+	if rep.HasRegression() {
+		t.Errorf("unexpected regression: %+v", rep)
+	}
+}

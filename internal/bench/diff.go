@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// DiffOptions tunes the regression comparison. Thresholds are used
+// exactly as given: zero demands exact equality (any growth flags).
+// cmd/benchdiff supplies its own defaults (0.25 wall, 0.02 sim).
+type DiffOptions struct {
+	// WallThreshold is the allowed fractional growth of host
+	// wall-clock metrics (ns/op, allocs/op, B/op) before a delta
+	// counts as a regression. Wall numbers vary across machines, so
+	// this should be generous.
+	WallThreshold float64
+	// SimThreshold is the allowed fractional growth of simulated
+	// metrics (sim_ns, sim_flushes, recovery_sim_ns). These are
+	// deterministic, so drift means the simulated behaviour changed.
+	SimThreshold float64
+}
+
+// Delta is one metric comparison between two suites.
+type Delta struct {
+	Name   string  // benchmark name
+	Metric string  // metric label, e.g. "ns/op" or "sim_ns"
+	Old    float64 // baseline value
+	New    float64 // candidate value
+	// Sim marks deterministic simulated metrics (gated tightly and
+	// still enforced when wall metrics are advisory).
+	Sim bool
+	// Ratio is New/Old (+Inf when the metric appeared from zero).
+	Ratio float64
+	// Regression is set when the growth exceeds the metric's threshold.
+	Regression bool
+	// Improved is set when the metric shrank beyond the same threshold.
+	Improved bool
+}
+
+// Report is the outcome of comparing a candidate suite to a baseline.
+type Report struct {
+	Deltas []Delta
+	// Missing lists benchmarks present in the baseline but absent from
+	// the candidate — treated as regressions (a benchmark that
+	// disappears is a lost perf guarantee).
+	Missing []string
+	// Added lists benchmarks only present in the candidate.
+	Added []string
+}
+
+// metric describes one comparable Result field. measured distinguishes
+// a true zero (comparable: allocs/op of an allocation-free kernel,
+// sim_flushes of a flush-free probe) from "this result never measured
+// that metric" (harness cases carry no wall numbers, wall-only kernels
+// no sim probe).
+type metric struct {
+	label    string
+	get      func(Result) float64
+	measured func(Result) bool
+	sim      bool // deterministic simulated metric: tight threshold
+}
+
+// wallMeasured: the wall-clock runner executed (testing.Benchmark
+// always reports at least one iteration).
+func wallMeasured(r Result) bool { return r.Iterations > 0 }
+
+// simMeasured: the deterministic probe ran (every probe advances the
+// simulated clock, so SimNS is positive whenever sim metrics exist).
+func simMeasured(r Result) bool { return r.SimNS > 0 }
+
+var metrics = []metric{
+	{"ns/op", func(r Result) float64 { return r.NsPerOp }, wallMeasured, false},
+	{"allocs/op", func(r Result) float64 { return r.AllocsPerOp }, wallMeasured, false},
+	{"B/op", func(r Result) float64 { return r.BytesPerOp }, wallMeasured, false},
+	{"sim_ns", func(r Result) float64 { return float64(r.SimNS) }, simMeasured, true},
+	{"sim_flushes", func(r Result) float64 { return float64(r.SimFlushes) }, simMeasured, true},
+	{"recovery_sim_ns", func(r Result) float64 { return float64(r.RecoveryNS) },
+		func(r Result) bool { return r.RecoveryNS > 0 }, true},
+}
+
+// Diff compares candidate against base metric by metric. A metric is
+// compared when both suites measured it; a measured zero is a real
+// value, so 0 -> N flags as a regression and N -> 0 as an improvement.
+func Diff(base, candidate Suite, o DiffOptions) Report {
+	var rep Report
+	newByName := candidate.byName()
+	for _, b := range base.Results {
+		n, ok := newByName[b.Name]
+		if !ok {
+			rep.Missing = append(rep.Missing, b.Name)
+			continue
+		}
+		for _, m := range metrics {
+			if m.measured(b) && !m.measured(n) {
+				// A metric family the baseline guaranteed is no longer
+				// measured: a lost perf guarantee, same as a missing
+				// benchmark.
+				rep.Missing = append(rep.Missing, b.Name+" ["+m.label+"]")
+				continue
+			}
+			if !m.measured(b) || !m.measured(n) {
+				continue
+			}
+			ov, nv := m.get(b), m.get(n)
+			if ov == 0 && nv == 0 {
+				continue
+			}
+			thr := o.WallThreshold
+			if m.sim {
+				thr = o.SimThreshold
+			}
+			d := Delta{Name: b.Name, Metric: m.label, Old: ov, New: nv, Sim: m.sim}
+			switch {
+			case ov == 0: // metric appeared from a measured zero
+				d.Ratio = math.Inf(1)
+				d.Regression = true
+			default:
+				d.Ratio = nv / ov
+				d.Regression = d.Ratio > 1+thr
+				d.Improved = d.Ratio < 1-thr
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+	baseNames := base.byName()
+	for _, n := range candidate.Results {
+		if _, ok := baseNames[n.Name]; !ok {
+			rep.Added = append(rep.Added, n.Name)
+		}
+	}
+	return rep
+}
+
+// HasRegression reports whether any metric regressed or any baseline
+// benchmark went missing.
+func (r Report) HasRegression() bool {
+	if len(r.Missing) > 0 {
+		return true
+	}
+	for _, d := range r.Deltas {
+		if d.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// HasBlockingRegression is HasRegression with wall-clock metrics
+// optionally advisory: with wallAdvisory set, only simulated-metric
+// regressions and missing benchmarks block. Used by CI on main, where
+// the runner hardware differs from the machine that recorded the
+// baseline and wall numbers are not comparable across hosts.
+func (r Report) HasBlockingRegression(wallAdvisory bool) bool {
+	if len(r.Missing) > 0 {
+		return true
+	}
+	for _, d := range r.Deltas {
+		if d.Regression && (d.Sim || !wallAdvisory) {
+			return true
+		}
+	}
+	return false
+}
+
+// Format writes a human-readable summary. With verbose set every
+// comparison is printed; otherwise only regressions, improvements, and
+// the roll-up counts.
+func (r Report) Format(w io.Writer, verbose bool) {
+	regressions, improvements, ok := 0, 0, 0
+	for _, d := range r.Deltas {
+		switch {
+		case d.Regression:
+			regressions++
+		case d.Improved:
+			improvements++
+		default:
+			ok++
+		}
+	}
+	for _, d := range r.Deltas {
+		tag := ""
+		switch {
+		case d.Regression:
+			tag = "REGRESSION "
+		case d.Improved:
+			tag = "improved   "
+		case verbose:
+			tag = "ok         "
+		default:
+			continue
+		}
+		change := fmt.Sprintf("%+.1f%%", 100*(d.Ratio-1))
+		if math.IsInf(d.Ratio, 1) {
+			change = "appeared from 0"
+		}
+		fmt.Fprintf(w, "%s %-34s %-15s %12.1f -> %12.1f  (%s)\n",
+			tag, d.Name, d.Metric, d.Old, d.New, change)
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(w, "MISSING     %s (in baseline, absent from candidate)\n", name)
+	}
+	for _, name := range r.Added {
+		fmt.Fprintf(w, "added       %s (not in baseline)\n", name)
+	}
+	fmt.Fprintf(w, "benchdiff: %d regressed, %d improved, %d unchanged, %d missing, %d added\n",
+		regressions, improvements, ok, len(r.Missing), len(r.Added))
+}

@@ -18,6 +18,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"adcc/internal/mem"
 	"adcc/internal/sim"
@@ -41,6 +42,19 @@ type CostModel interface {
 // mem.Heap implements it.
 type WritebackSink interface {
 	Writeback(a mem.Addr, size int)
+}
+
+// ConstantCostModel is an optional CostModel refinement for memory
+// systems whose access costs do not depend on the address (the NVM-only
+// Uniform system). When the cache's CostModel implements it and reports
+// ok, the four line-sized costs are computed once at construction and
+// the hot paths skip the per-access interface calls and float
+// arithmetic of the general path. The cached values come from the same
+// cost methods, so simulated timings are identical either way.
+type ConstantCostModel interface {
+	// ConstantLineCosts returns the fixed costs of a size-byte access
+	// and reports whether costs are in fact address-independent.
+	ConstantLineCosts(size int) (read, readSeq, write, writeSeq int64, ok bool)
 }
 
 // Config describes cache geometry and timing.
@@ -115,6 +129,39 @@ type Cache struct {
 	tick  uint64
 	stats Stats
 
+	// Address-arithmetic fast paths: line size and set count are powers
+	// of two for every practical geometry, turning the per-access
+	// divisions of the hot path into shifts and masks. The slow
+	// (divide/modulo) forms remain as fallback for odd geometries.
+	pow2Line  bool
+	lineShift uint
+	pow2Sets  bool
+	setMask   uint64
+
+	// wayOf is the line directory: a flat slice keyed by line number
+	// whose entries name the way the line was last filled into (stored
+	// as wayIndex+1; 0 = never filled). It replaces the per-access
+	// associative set scan of the hit, flush, and CLWB paths with an
+	// O(1) lookup. Entries are never cleared: a line is resident iff
+	// its last fill target still holds its tag valid, so the lookup's
+	// tag check is the single source of truth and eviction, flush, and
+	// DiscardAll need no directory bookkeeping.
+	wayOf []uint32
+
+	// MRU memo: the way that served the most recent hit or fill.
+	// Element accesses touch the same 64-byte line several times in a
+	// row (and selective flushes target the just-written line), so this
+	// skips even the directory load for the common case. Validity is
+	// re-checked against the way's tag on every use.
+	lastLn  uint64
+	lastWay *way
+
+	// Line-sized costs precomputed from a ConstantCostModel; valid only
+	// when constCost is set (address-independent memory system).
+	constCost               bool
+	lineRead, lineReadSeq   int64
+	lineWrite, lineWriteSeq int64
+
 	// Prefetcher state: the line numbers that would extend each
 	// tracked stream, in round-robin replacement order.
 	streams    []uint64
@@ -132,7 +179,7 @@ func New(cfg Config, clock *sim.Clock, memory CostModel, sink WritebackSink) *Ca
 		panic(fmt.Sprintf("cache: size %d not divisible by line*assoc", cfg.SizeBytes))
 	}
 	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
-	return &Cache{
+	c := &Cache{
 		cfg:     cfg,
 		nsets:   uint64(nsets),
 		ways:    make([]way, nsets*cfg.Assoc),
@@ -141,6 +188,54 @@ func New(cfg Config, clock *sim.Clock, memory CostModel, sink WritebackSink) *Ca
 		sink:    sink,
 		streams: make([]uint64, cfg.PrefetchStreams),
 	}
+	if cfg.LineBytes&(cfg.LineBytes-1) == 0 {
+		c.pow2Line = true
+		c.lineShift = uint(bits.TrailingZeros64(uint64(cfg.LineBytes)))
+	}
+	if nsets&(nsets-1) == 0 {
+		c.pow2Sets = true
+		c.setMask = uint64(nsets) - 1
+	}
+	if m, ok := memory.(ConstantCostModel); ok {
+		if r, rs, w, ws, fixed := m.ConstantLineCosts(cfg.LineBytes); fixed {
+			c.constCost = true
+			c.lineRead, c.lineReadSeq = r, rs
+			c.lineWrite, c.lineWriteSeq = w, ws
+		}
+	}
+	return c
+}
+
+// readCost prices a line fill at a (non-sequential).
+func (c *Cache) readCost(a mem.Addr) int64 {
+	if c.constCost {
+		return c.lineRead
+	}
+	return c.mem.ReadCost(a, c.cfg.LineBytes)
+}
+
+// readSeqCost prices a prefetched (stream-covered) line fill at a.
+func (c *Cache) readSeqCost(a mem.Addr) int64 {
+	if c.constCost {
+		return c.lineReadSeq
+	}
+	return c.mem.ReadCostSeq(a, c.cfg.LineBytes)
+}
+
+// writeCost prices a line writeback at a (non-sequential).
+func (c *Cache) writeCost(a mem.Addr) int64 {
+	if c.constCost {
+		return c.lineWrite
+	}
+	return c.mem.WriteCost(a, c.cfg.LineBytes)
+}
+
+// writeSeqCost prices a write-combined streaming writeback at a.
+func (c *Cache) writeSeqCost(a mem.Addr) int64 {
+	if c.constCost {
+		return c.lineWriteSeq
+	}
+	return c.mem.WriteCostSeq(a, c.cfg.LineBytes)
 }
 
 // Config returns the cache configuration.
@@ -153,17 +248,66 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 func (c *Cache) lineNumber(a mem.Addr) uint64 {
+	if c.pow2Line {
+		return uint64(a) >> c.lineShift
+	}
 	return uint64(a) / uint64(c.cfg.LineBytes)
 }
 
 func (c *Cache) lineAddr(tag uint64) mem.Addr {
+	if c.pow2Line {
+		return mem.Addr(tag << c.lineShift)
+	}
 	return mem.Addr(tag * uint64(c.cfg.LineBytes))
+}
+
+// setBase returns the index of the first way of the set holding line
+// number ln.
+func (c *Cache) setBase(ln uint64) uint64 {
+	var s uint64
+	if c.pow2Sets {
+		s = ln & c.setMask
+	} else {
+		s = ln % c.nsets
+	}
+	return s * uint64(c.cfg.Assoc)
 }
 
 // set returns the ways of the set holding line number ln.
 func (c *Cache) set(ln uint64) []way {
-	s := ln % c.nsets
-	return c.ways[s*uint64(c.cfg.Assoc) : (s+1)*uint64(c.cfg.Assoc)]
+	b := c.setBase(ln)
+	return c.ways[b : b+uint64(c.cfg.Assoc)]
+}
+
+// lookupWay returns the way holding line ln, or nil when the line is
+// not resident. The MRU memo is consulted first, then the line
+// directory; in both cases the way's own valid bit and tag are the
+// source of truth, so stale entries can never alias another line (a
+// resident line is always in the way it was last filled into).
+func (c *Cache) lookupWay(ln uint64) *way {
+	if w := c.lastWay; w != nil && c.lastLn == ln && w.valid && w.tag == ln {
+		return w
+	}
+	if ln < uint64(len(c.wayOf)) {
+		if e := c.wayOf[ln]; e != 0 {
+			w := &c.ways[e-1]
+			if w.valid && w.tag == ln {
+				c.lastLn, c.lastWay = ln, w
+				return w
+			}
+		}
+	}
+	return nil
+}
+
+// setDir records that line ln was filled into way index wi.
+func (c *Cache) setDir(ln uint64, wi uint64) {
+	if ln >= uint64(len(c.wayOf)) {
+		grown := make([]uint32, ln+ln/2+64)
+		copy(grown, c.wayOf)
+		c.wayOf = grown
+	}
+	c.wayOf[ln] = uint32(wi) + 1
 }
 
 // Load implements mem.Accessor.
@@ -185,40 +329,37 @@ func (c *Cache) access(a mem.Addr, size int, store bool) {
 	first := c.lineNumber(a)
 	last := c.lineNumber(a + mem.Addr(size) - 1)
 	for ln := first; ln <= last; ln++ {
-		c.touchLine(ln, store)
-	}
-}
-
-// touchLine performs the hit/miss/evict protocol for one line.
-func (c *Cache) touchLine(ln uint64, store bool) {
-	c.tick++
-	set := c.set(ln)
-
-	// Hit path.
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == ln {
+		c.tick++
+		// Hit path, inlined: O(1) via the MRU memo / line directory.
+		if w := c.lookupWay(ln); w != nil {
 			w.use = c.tick
 			if store {
 				w.dirty = true
 			}
 			c.stats.LineHits++
 			c.clock.Advance(c.cfg.HitNS)
-			return
+			continue
 		}
+		c.missLine(ln, store)
 	}
+}
 
-	// Miss: choose a victim (invalid way first, else LRU).
+// missLine performs the miss/evict/fill protocol for one line (the
+// caller has already bumped the tick and ruled out a hit).
+func (c *Cache) missLine(ln uint64, store bool) {
+	// Choose a victim within the set (invalid way first, else LRU).
 	c.stats.LineMisses++
-	victim := &set[0]
+	base := c.setBase(ln)
+	set := c.ways[base : base+uint64(c.cfg.Assoc)]
+	victim, vi := &set[0], uint64(0)
 	for i := range set {
 		w := &set[i]
 		if !w.valid {
-			victim = w
+			victim, vi = w, uint64(i)
 			break
 		}
 		if w.use < victim.use {
-			victim = w
+			victim, vi = w, uint64(i)
 		}
 	}
 	if victim.valid && victim.dirty {
@@ -230,14 +371,16 @@ func (c *Cache) touchLine(ln uint64, store bool) {
 	// bandwidth-only cost.
 	if c.streamHit(ln) {
 		c.stats.Prefetched++
-		c.clock.Advance(c.mem.ReadCostSeq(c.lineAddr(ln), c.cfg.LineBytes))
+		c.clock.Advance(c.readSeqCost(c.lineAddr(ln)))
 	} else {
-		c.clock.Advance(c.mem.ReadCost(c.lineAddr(ln), c.cfg.LineBytes))
+		c.clock.Advance(c.readCost(c.lineAddr(ln)))
 	}
 	victim.tag = ln
 	victim.valid = true
 	victim.dirty = store
 	victim.use = c.tick
+	c.setDir(ln, base+vi)
+	c.lastLn, c.lastWay = ln, victim
 }
 
 // streamHit reports whether line ln extends a tracked stream, updating
@@ -268,9 +411,9 @@ func (c *Cache) evict(w *way) {
 	}
 	// Consecutive writebacks (streaming dirty data) are write-combined.
 	if len(c.streams) > 0 && w.tag == c.lastWbLine+1 {
-		c.clock.Advance(c.mem.WriteCostSeq(addr, c.cfg.LineBytes))
+		c.clock.Advance(c.writeSeqCost(addr))
 	} else {
-		c.clock.Advance(c.mem.WriteCost(addr, c.cfg.LineBytes))
+		c.clock.Advance(c.writeCost(addr))
 	}
 	c.lastWbLine = w.tag
 	w.dirty = false
@@ -293,30 +436,32 @@ func (c *Cache) Flush(a mem.Addr, size int) {
 
 func (c *Cache) flushLine(ln uint64) {
 	c.stats.Flushes++
-	set := c.set(ln)
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == ln {
-			if w.dirty {
-				c.stats.FlushDirty++
-				addr := c.lineAddr(ln)
-				if c.sink != nil {
-					c.sink.Writeback(addr, c.cfg.LineBytes)
-				}
-				c.clock.Advance(c.mem.WriteCost(addr, c.cfg.LineBytes))
-			} else if c.cfg.FlushChargesClean {
-				c.clock.Advance(c.mem.WriteCost(c.lineAddr(ln), c.cfg.LineBytes))
-			}
-			w.valid = false
-			w.dirty = false
-			return
-		}
+	if w := c.lookupWay(ln); w != nil {
+		c.flushResident(w, ln)
+		return
 	}
 	// Absent line: CLFLUSH still issues and, per the paper, costs the
 	// same order as flushing a resident line.
 	if c.cfg.FlushChargesClean {
-		c.clock.Advance(c.mem.WriteCost(c.lineAddr(ln), c.cfg.LineBytes))
+		c.clock.Advance(c.writeCost(c.lineAddr(ln)))
 	}
+}
+
+// flushResident performs the CLFLUSH protocol on a resident line:
+// write back if dirty, charge per the clean-flush policy, invalidate.
+func (c *Cache) flushResident(w *way, ln uint64) {
+	if w.dirty {
+		c.stats.FlushDirty++
+		addr := c.lineAddr(ln)
+		if c.sink != nil {
+			c.sink.Writeback(addr, c.cfg.LineBytes)
+		}
+		c.clock.Advance(c.writeCost(addr))
+	} else if c.cfg.FlushChargesClean {
+		c.clock.Advance(c.writeCost(c.lineAddr(ln)))
+	}
+	w.valid = false
+	w.dirty = false
 }
 
 // FlushOpt emulates CLWB (cache-line write-back) over [a, a+size):
@@ -339,26 +484,28 @@ func (c *Cache) FlushOpt(a mem.Addr, size int) {
 
 func (c *Cache) flushOptLine(ln uint64) {
 	c.stats.Flushes++
-	set := c.set(ln)
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == ln {
-			if w.dirty {
-				c.stats.FlushDirty++
-				addr := c.lineAddr(ln)
-				if c.sink != nil {
-					c.sink.Writeback(addr, c.cfg.LineBytes)
-				}
-				c.clock.Advance(c.mem.WriteCost(addr, c.cfg.LineBytes))
-				w.dirty = false
-			} else {
-				c.clock.Advance(c.cfg.HitNS)
-			}
-			return
-		}
+	if w := c.lookupWay(ln); w != nil {
+		c.flushOptResident(w, ln)
+		return
 	}
 	// Absent line: CLWB retires without memory traffic.
 	c.clock.Advance(c.cfg.HitNS)
+}
+
+// flushOptResident performs the CLWB protocol on a resident line: write
+// back if dirty, keep the line valid and clean.
+func (c *Cache) flushOptResident(w *way, ln uint64) {
+	if w.dirty {
+		c.stats.FlushDirty++
+		addr := c.lineAddr(ln)
+		if c.sink != nil {
+			c.sink.Writeback(addr, c.cfg.LineBytes)
+		}
+		c.clock.Advance(c.writeCost(addr))
+		w.dirty = false
+	} else {
+		c.clock.Advance(c.cfg.HitNS)
+	}
 }
 
 // WritebackAll writes back every dirty line, leaving lines valid and
@@ -380,6 +527,8 @@ func (c *Cache) DiscardAll() {
 	for i := range c.ways {
 		c.ways[i] = way{}
 	}
+	// Directory entries need no clearing: every lookup re-validates
+	// against the (now invalid) ways.
 }
 
 // Contains reports whether the line holding address a is resident, and

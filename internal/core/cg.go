@@ -267,6 +267,11 @@ func (cg *CG) Recover() CGRecovery {
 	}
 	bImg := cg.B.Image()
 
+	// One scratch vector reused across candidate iterations; SpMVImage
+	// overwrites every element, so no clearing is needed between
+	// candidates.
+	az := make([]float64, n)
+
 	j := rec.CrashIter
 	for ; j >= 1; j-- {
 		rec.Checked++
@@ -296,7 +301,6 @@ func (cg *CG) Recover() CGRecovery {
 		}
 		// Residual invariant (Eq. 2): r = b - A z, one SpMV on the
 		// image.
-		az := make([]float64, n)
 		cg.A.SpMVImage(az, z)
 		m.ChargeNVMRead(cg.A.Bytes() + 8*n)
 		m.CPU.Compute(int64(2 * cg.An.NNZ()))
@@ -479,20 +483,10 @@ func (bg *BaselineCG) Residual() float64 {
 	return math.Sqrt(num / den)
 }
 
-// AvgIterNS returns the mean simulated iteration time of a completed run.
+// AvgIterNS returns the mean simulated iteration time of a completed
+// run (entry 0 of the 1-based iteration record is unused).
 func AvgIterNS(iterNS []int64) int64 {
-	var sum int64
-	cnt := 0
-	for _, v := range iterNS[1:] {
-		if v > 0 {
-			sum += v
-			cnt++
-		}
-	}
-	if cnt == 0 {
-		return 0
-	}
-	return sum / int64(cnt)
+	return AvgPositiveNS(iterNS[1:])
 }
 
 func (bg *BaselineCG) String() string {

@@ -420,6 +420,8 @@ type BaselineMM struct {
 
 	Ac, Br, Cf *dense.SimMatrix
 	PanelNS    []int64
+
+	colSums []float64 // verifyCf scratch, reused across panels
 }
 
 // NewBaselineMM builds the Figure 5 multiplication under the given
@@ -440,6 +442,7 @@ func NewBaselineMM(m *crash.Machine, opts MMOptions, sc engine.Scheme) *Baseline
 		Br:      dense.UploadSim(m.Heap, "mm.Br", &dense.Matrix{Rows: n, Cols: n + 1, Data: br}),
 		Cf:      dense.NewSim(m.Heap, "mm.Cf", n+1, n+1),
 		PanelNS: make([]int64, n/opts.K),
+		colSums: make([]float64, n+1),
 	}
 	// Transactional log capacity: one panel snapshots all of Cf once.
 	bm.Guard = sc.NewGuard(m, (n+1)*(n+1)+1024)
@@ -473,10 +476,14 @@ func (bm *BaselineMM) Run() {
 }
 
 // verifyCf streams Cf once, recomputing row and column sums (the ABFT
-// error detection step of Figure 5).
+// error detection step of Figure 5). The column-sum scratch is reused
+// across panels instead of being reallocated per iteration.
 func (bm *BaselineMM) verifyCf() {
 	n1 := bm.Opts.N + 1
-	colSums := make([]float64, n1)
+	colSums := bm.colSums[:n1]
+	for j := range colSums {
+		colSums[j] = 0
+	}
 	for i := 0; i < n1; i++ {
 		row := bm.Cf.RowLoad(i, 0, n1)
 		s := 0.0

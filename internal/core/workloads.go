@@ -165,13 +165,16 @@ func (w *MMWorkload) Metrics() map[string]float64 {
 	}
 	return map[string]float64{
 		"panels":       float64(w.mm.NumPanels()),
-		"avg_panel_ns": float64(avgPositiveNS(w.mm.PanelNS)),
+		"avg_panel_ns": float64(AvgPositiveNS(w.mm.PanelNS)),
 		"recompute":    float64(recompute),
 		"detect_ns":    float64(w.rec.DetectNS),
 	}
 }
 
-func avgPositiveNS(v []int64) int64 {
+// AvgPositiveNS returns the mean of the positive entries of v, or 0
+// when there are none. It is the shared positive-average helper behind
+// AvgIterNS and the harness's per-unit normalizations.
+func AvgPositiveNS(v []int64) int64 {
 	var sum int64
 	cnt := 0
 	for _, x := range v {

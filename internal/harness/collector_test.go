@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"adcc/internal/bench"
+)
+
+// TestCollectorDeterministicUnderParallel4 runs a collector-fed
+// experiment serially and with four workers and asserts the collected
+// bench suites are byte-identical: case fan-out must not leak into the
+// perf pipeline's output.
+func TestCollectorDeterministicUnderParallel4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel collector determinism is not short")
+	}
+	run := func(parallel int) []byte {
+		col := bench.NewCollector()
+		opts := Options{Scale: 0.02, Parallel: parallel, Collector: col}
+		e, ok := ByName("fig4")
+		if !ok {
+			t.Fatal("fig4 experiment missing")
+		}
+		if _, err := e.Run(opts); err != nil {
+			t.Fatalf("fig4 (parallel=%d): %v", parallel, err)
+		}
+		if col.Len() == 0 {
+			t.Fatalf("fig4 (parallel=%d): collector stayed empty", parallel)
+		}
+		b, err := bench.NewSuite(0.02, col.Results()).EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("collector output differs between serial and -parallel 4:\n%s\nvs\n%s",
+			serial, parallel)
+	}
+}
+
+// TestCollectorRecordsRecoveryMetrics checks the fig3 driver feeds
+// recovery timings into the collector.
+func TestCollectorRecordsRecoveryMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig3 at test scale is not short")
+	}
+	col := bench.NewCollector()
+	e, _ := ByName("fig3")
+	if _, err := e.Run(Options{Scale: 0.02, Collector: col}); err != nil {
+		t.Fatalf("fig3: %v", err)
+	}
+	found := false
+	for _, r := range col.Results() {
+		if r.Name == "fig3/class-S" {
+			found = true
+			if r.RecoveryNS <= 0 || r.SimNS <= 0 {
+				t.Errorf("fig3/class-S missing sim metrics: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("fig3/class-S not recorded; got %d results", col.Len())
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"adcc/internal/bench"
 	"adcc/internal/core"
 	"adcc/internal/crash"
 	"adcc/internal/engine"
@@ -198,6 +199,7 @@ func RunFig13(o Options) (*Table, error) {
 	for i, sc := range cases {
 		ns := times[i]
 		sys := sc.System()
+		o.Collector.Record(bench.Result{Name: "fig13/" + sc.Name(), SimNS: ns})
 		t.AddRow(sc.Name(), sys.String(),
 			fmt.Sprintf("%.2f", float64(ns)/1e6),
 			normalize(ns, base[sys]), paperRef[sc.Name()])

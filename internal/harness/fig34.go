@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"adcc/internal/bench"
 	"adcc/internal/core"
 	"adcc/internal/crash"
 	"adcc/internal/engine"
@@ -49,6 +50,11 @@ func RunFig3(o Options) (*Table, error) {
 		cg.Run(rec.RestartIter)
 		resume := m.Clock.Since(resumeStart)
 
+		o.Collector.Record(bench.Result{
+			Name:       "fig3/class-" + cl.Name,
+			SimNS:      rec.DetectNS + resume,
+			RecoveryNS: rec.DetectNS,
+		})
 		return []any{cl.Name, n, rec.IterationsLost,
 			normalize(rec.DetectNS, avg), normalize(resume, avg),
 			normalize(rec.DetectNS+resume, avg)}, nil
@@ -151,6 +157,7 @@ func RunFig4(o Options) (*Table, error) {
 	for i, sc := range cases {
 		ns := times[i]
 		sys := sc.System()
+		o.Collector.Record(bench.Result{Name: "fig4/" + sc.Name(), SimNS: ns})
 		t.AddRow(sc.Name(), sys.String(),
 			fmt.Sprintf("%.2f", float64(ns)/1e6),
 			normalize(ns, base[sys]), paperRef[sc.Name()])

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"adcc/internal/bench"
 	"adcc/internal/core"
 	"adcc/internal/crash"
 	"adcc/internal/engine"
@@ -121,19 +122,13 @@ func fig7One(n, k, loop int) ([]any, error) {
 		normalize(rec.DetectNS+resume, avg)}, nil
 }
 
+// avgPositive is core.AvgPositiveNS with a floor of 1, so it can serve
+// as a normalization denominator even when no unit completed.
 func avgPositive(v []int64) int64 {
-	var sum int64
-	cnt := 0
-	for _, x := range v {
-		if x > 0 {
-			sum += x
-			cnt++
-		}
+	if a := core.AvgPositiveNS(v); a > 0 {
+		return a
 	}
-	if cnt == 0 {
-		return 1
-	}
-	return sum / int64(cnt)
+	return 1
 }
 
 // mmCase runs one scheme of the seven-case comparison for the
@@ -212,6 +207,10 @@ func RunFig8(o Options) (*Table, error) {
 		for ci, sc := range cases {
 			ns := times[ri*len(cases)+ci]
 			sys := sc.System()
+			o.Collector.Record(bench.Result{
+				Name:  fmt.Sprintf("fig8/k=%d/%s", k, sc.Name()),
+				SimNS: ns,
+			})
 			t.AddRow(k, sc.Name(), sys.String(),
 				fmt.Sprintf("%.2f", float64(ns)/1e6),
 				normalize(ns, base[ri][sys]))

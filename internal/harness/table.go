@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"adcc/internal/bench"
 )
 
 // Table is a rendered experiment result.
@@ -126,6 +128,12 @@ type Options struct {
 	// concurrently; values <= 1 run serially. Results are collected in
 	// case order, so tables are byte-identical at any setting.
 	Parallel int
+	// Collector, when non-nil, receives one bench.Result per measured
+	// experiment case (named "<experiment>/<case>"), carrying the
+	// deterministic simulated timings. Recording is concurrency-safe
+	// and sorted on snapshot, so the collected suite is identical
+	// between serial and parallel runs.
+	Collector *bench.Collector
 }
 
 func (o Options) scale() float64 {

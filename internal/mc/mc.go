@@ -214,21 +214,57 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// streamC separates the per-lookup sample streams; twoStreamC is
+// 2*streamC mod 2^64, computed through a function call because the
+// doubled value overflows a uint64 constant expression.
+const streamC uint64 = 0xda942042e4dd58b5
+
+var twoStreamC = func(c uint64) uint64 { return c + c }(streamC)
+
+// toUnit maps a 64-bit hash onto [0,1). Multiplying by the exact
+// reciprocal of 2^53 is bit-identical to dividing by 2^53.
+func toUnit(x uint64) float64 {
+	return float64(x>>11) * (1.0 / (1 << 53))
+}
+
+// sampleBase returns the per-lookup hash all sample streams derive
+// from. Sampling is stateless and per-Sim: there is no shared RNG, so
+// concurrent simulations (one Sim per worker goroutine) never contend.
+func (s *Sim) sampleBase(i int64) uint64 {
+	return uint64(s.Cfg.Seed)<<32 ^ uint64(i)*0x9e3779b97f4a7c15
+}
+
 // Sample returns the stream-th uniform(0,1) sample of lookup i.
 func (s *Sim) Sample(i int64, stream uint64) float64 {
-	x := splitmix64(uint64(s.Cfg.Seed)<<32 ^ uint64(i)*0x9e3779b97f4a7c15 ^ stream*0xda942042e4dd58b5)
-	return float64(x>>11) / float64(1<<53)
+	return toUnit(splitmix64(s.sampleBase(i) ^ stream*streamC))
 }
 
 // MaterialOf returns the material sampled for lookup i.
 func (s *Sim) MaterialOf(i int64) int {
-	u := s.Sample(i, 1)
+	return s.materialFromU(s.Sample(i, 1))
+}
+
+// materialFromU maps a uniform sample onto the material CDF.
+func (s *Sim) materialFromU(u float64) int {
 	for m, c := range s.matCDF {
 		if u < c {
 			return m
 		}
 	}
 	return len(s.matCDF) - 1
+}
+
+// SampleLookup returns the sampled inputs of lookup i — the energy, the
+// material, and the interaction-choice uniform — in one call. It is the
+// sampling path of Lookup, exposed so the benchmark suite can measure
+// it in isolation. Batching the three streams computes the per-lookup
+// base hash once; the values are bit-identical to Sample(i, 0..2).
+func (s *Sim) SampleLookup(i int64) (energy float64, mat int, choice float64) {
+	base := s.sampleBase(i)
+	energy = toUnit(splitmix64(base))
+	mat = s.materialFromU(toUnit(splitmix64(base ^ streamC)))
+	choice = toUnit(splitmix64(base ^ twoStreamC))
+	return energy, mat, choice
 }
 
 // Lookup executes lookup i (paper Figure 9 plus the CDF extension):
@@ -238,8 +274,7 @@ func (s *Sim) MaterialOf(i int64) int {
 // the accumulated macro_xs and bump its counter. The chosen type is
 // returned.
 func (s *Sim) Lookup(i int64) int {
-	energy := s.Sample(i, 0)
-	mat := s.MaterialOf(i)
+	energy, mat, choice := s.SampleLookup(i)
 
 	// Binary search on the unionized energy grid (each probe is a
 	// simulated memory access, as in the real benchmark).
@@ -292,7 +327,7 @@ func (s *Sim) Lookup(i int64) int {
 	}
 	t := NumTypes - 1
 	if sum > 0 {
-		u := s.Sample(i, 2) * sum
+		u := choice * sum
 		for k := 0; k < NumTypes; k++ {
 			if u < cdf[k] {
 				t = k

@@ -1,0 +1,41 @@
+package mc
+
+import (
+	"testing"
+
+	"adcc/internal/mem"
+	"adcc/internal/sim"
+)
+
+// TestSampleLookupMatchesSampleStreams pins the batched sampling path
+// to the stream-indexed Sample definition: the batch must be
+// bit-identical, or crashed-and-restarted runs would replay different
+// inputs than the figures assume.
+func TestSampleLookupMatchesSampleStreams(t *testing.T) {
+	h := mem.NewHeap(nil)
+	clock := &sim.Clock{}
+	s := New(h, sim.DefaultCPU(clock), TinyConfig())
+	for i := int64(0); i < 10_000; i++ {
+		energy, mat, choice := s.SampleLookup(i)
+		if want := s.Sample(i, 0); energy != want {
+			t.Fatalf("lookup %d: energy %v != Sample(i,0) %v", i, energy, want)
+		}
+		if want := s.MaterialOf(i); mat != want {
+			t.Fatalf("lookup %d: material %d != MaterialOf %d", i, mat, want)
+		}
+		if want := s.Sample(i, 2); choice != want {
+			t.Fatalf("lookup %d: choice %v != Sample(i,2) %v", i, choice, want)
+		}
+	}
+}
+
+// TestTwoStreamC pins the wrapped doubled stream constant.
+func TestTwoStreamC(t *testing.T) {
+	var want uint64
+	for k := 0; k < 2; k++ {
+		want += streamC
+	}
+	if twoStreamC != want {
+		t.Fatalf("twoStreamC = %#x, want %#x", twoStreamC, want)
+	}
+}

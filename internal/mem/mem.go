@@ -77,6 +77,14 @@ type Heap struct {
 	next    Addr
 	regions []Region // sorted by base address
 	acc     Accessor
+	// lastFind (with its bounds denormalized into plain values, so the
+	// memo check costs two compares and no interface calls) memoizes
+	// the region of the most recent lookup: writebacks stream through
+	// one region at a time, so the binary search is almost always
+	// skipped.
+	lastFind Region
+	lastBase Addr
+	lastEnd  Addr
 }
 
 // NewHeap returns an empty heap whose accesses are observed by acc.
@@ -131,16 +139,21 @@ func (h *Heap) Writeback(a Addr, size int) {
 		if r == nil {
 			return
 		}
-		off := int(a - r.Base())
-		n := min(size, r.Bytes()-off)
+		// find has primed lastBase/lastEnd with r's bounds.
+		off := int(a - h.lastBase)
+		n := min(size, int(h.lastEnd-a))
 		r.writeback(off, n)
 		a += Addr(n)
 		size -= n
 	}
 }
 
-// find returns the region containing address a, or nil.
+// find returns the region containing address a, or nil, leaving the
+// region's bounds in lastBase/lastEnd.
 func (h *Heap) find(a Addr) Region {
+	if r := h.lastFind; r != nil && a >= h.lastBase && a < h.lastEnd {
+		return r
+	}
 	i := sort.Search(len(h.regions), func(i int) bool {
 		return h.regions[i].Base() > a
 	})
@@ -148,9 +161,12 @@ func (h *Heap) find(a Addr) Region {
 		return nil
 	}
 	r := h.regions[i-1]
-	if a >= r.Base()+Addr(r.Bytes()) {
+	base := r.Base()
+	end := base + Addr(r.Bytes())
+	if a >= end {
 		return nil
 	}
+	h.lastFind, h.lastBase, h.lastEnd = r, base, end
 	return r
 }
 

@@ -146,6 +146,15 @@ func (u *Uniform) ReadCostSeq(_ mem.Addr, size int) int64 { return u.Model.ReadC
 // WriteCostSeq implements System.
 func (u *Uniform) WriteCostSeq(_ mem.Addr, size int) int64 { return u.Model.WriteCostSeq(size) }
 
+// ConstantLineCosts implements cache.ConstantCostModel: a uniform
+// system's costs never depend on the address, so the cache simulator
+// can precompute them once per line size instead of re-deriving them on
+// every fill and writeback.
+func (u *Uniform) ConstantLineCosts(size int) (read, readSeq, write, writeSeq int64, ok bool) {
+	return u.Model.ReadCost(size), u.Model.ReadCostSeq(size),
+		u.Model.WriteCost(size), u.Model.WriteCostSeq(size), true
+}
+
 // Name implements System.
 func (u *Uniform) Name() string { return u.Model.Name }
 

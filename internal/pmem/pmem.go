@@ -41,6 +41,16 @@ type Pool struct {
 	f64s []*mem.F64
 	i64s []*mem.I64
 
+	// snapF64/snapI64 hold one epoch stamp per cache line of each
+	// registered region, keyed by line index — the flat-slice
+	// replacement for the per-transaction map that used to dedup
+	// snapshots. A line is snapshotted in the current transaction iff
+	// its stamp equals epoch; Begin bumps epoch, invalidating every
+	// stamp in O(1).
+	snapF64 [][]uint64
+	snapI64 [][]uint64
+	epoch   uint64
+
 	// Undo log: meta holds (kind, regionID, start, n) quadruples,
 	// vals holds the old element values (int64 payloads bit-cast).
 	// head[0] is the number of valid entries; it is flushed on every
@@ -54,6 +64,16 @@ type Pool struct {
 	entries int
 
 	inTx bool
+	// tx is the pool's reusable transaction object; Begin hands it out
+	// after resetting it, so steady-state transactions allocate nothing.
+	tx Tx
+}
+
+// lineStamps allocates one epoch stamp per cache line covering n
+// elements (8 bytes each).
+func lineStamps(n int) []uint64 {
+	const perLine = mem.LineSize / 8
+	return make([]uint64, (n+perLine-1)/perLine)
 }
 
 // metaSlots is the number of I64 slots per log entry header.
@@ -84,11 +104,13 @@ func NewPool(m *crash.Machine, logElems int) *Pool {
 // RegisterF64 adds a float64 region to the pool's transactional domain.
 func (p *Pool) RegisterF64(r *mem.F64) {
 	p.f64s = append(p.f64s, r)
+	p.snapF64 = append(p.snapF64, lineStamps(r.Len()))
 }
 
 // RegisterI64 adds an int64 region to the pool's transactional domain.
 func (p *Pool) RegisterI64(r *mem.I64) {
 	p.i64s = append(p.i64s, r)
+	p.snapI64 = append(p.snapI64, lineStamps(r.Len()))
 }
 
 func (p *Pool) f64ID(r *mem.F64) int64 {
@@ -109,12 +131,11 @@ func (p *Pool) i64ID(r *mem.I64) int64 {
 	panic(fmt.Sprintf("pmem: region %q not registered", r.Name()))
 }
 
-// Tx is an open transaction. It is not safe for concurrent use.
+// Tx is an open transaction. It is not safe for concurrent use, and is
+// only valid between the Begin that returned it and the matching
+// Commit (the pool reuses one Tx object across transactions).
 type Tx struct {
 	p *Pool
-	// snapshotted dedups per-line snapshots: key is
-	// (kind, regionID, elementLine).
-	snapshotted map[[3]int64]bool
 	// written records modified element ranges for the commit flush.
 	written []writtenRange
 }
@@ -132,7 +153,10 @@ func (p *Pool) Begin() *Tx {
 		panic("pmem: nested transaction")
 	}
 	p.inTx = true
-	return &Tx{p: p, snapshotted: make(map[[3]int64]bool)}
+	p.epoch++ // invalidates all snapshot-dedup stamps at once
+	p.tx.p = p
+	p.tx.written = p.tx.written[:0]
+	return &p.tx
 }
 
 // InTx reports whether a transaction is open.
@@ -141,10 +165,11 @@ func (p *Pool) InTx() bool { return p.inTx }
 // LogEntries returns the number of undo entries currently in the log.
 func (p *Pool) LogEntries() int { return p.entries }
 
-// appendEntry writes one undo entry (header + payload) to the log and
-// flushes it, then bumps and flushes the head counter. This is the
-// ordering-critical persistence path.
-func (p *Pool) appendEntry(kind regionKind, id int64, start, n int, payload func(dst []float64)) {
+// beginEntry reserves one undo entry, writes its header, and returns
+// the payload destination in the log's value area. The caller fills the
+// payload and then calls finishEntry — split this way so the snapshot
+// paths need no per-line closures.
+func (p *Pool) beginEntry(kind regionKind, id int64, start, n int) []float64 {
 	if p.valsLen+n > p.vals.Len() || p.metaLen+metaSlots > p.meta.Len() {
 		panic("pmem: undo log overflow; increase pool log capacity")
 	}
@@ -153,9 +178,13 @@ func (p *Pool) appendEntry(kind regionKind, id int64, start, n int, payload func
 	hdr[1] = id
 	hdr[2] = int64(start)
 	hdr[3] = int64(n)
-	dst := p.vals.StoreRange(p.valsLen, n)
-	payload(dst)
+	return p.vals.StoreRange(p.valsLen, n)
+}
 
+// finishEntry flushes the entry written by the matching beginEntry and
+// bumps and flushes the head counter. This is the ordering-critical
+// persistence path.
+func (p *Pool) finishEntry(n int) {
 	// Flush the entry before the head so a torn append is invisible.
 	p.m.LLC.Flush(p.meta.Addr(p.metaLen), 8*metaSlots)
 	p.m.LLC.Flush(p.vals.Addr(p.valsLen), 8*n)
@@ -171,49 +200,57 @@ func (p *Pool) appendEntry(kind regionKind, id int64, start, n int, payload func
 
 // SnapshotF64 logs the old contents of elements [i, i+n) of r, as
 // pmemobj_tx_add_range does. Redundant snapshots within one transaction
-// are deduplicated at line granularity.
+// are deduplicated at line granularity via the pool's epoch stamps.
 func (tx *Tx) SnapshotF64(r *mem.F64, i, n int) {
-	id := tx.p.f64ID(r)
-	tx.snapshotSpan(kindF64, id, i, n, r.Len(), func(lo, ln int) {
-		old := r.LoadRange(lo, ln)
-		tx.p.appendEntry(kindF64, id, lo, ln, func(dst []float64) {
-			copy(dst, old)
-		})
-	})
-}
-
-// SnapshotI64 logs the old contents of elements [i, i+n) of r.
-func (tx *Tx) SnapshotI64(r *mem.I64, i, n int) {
-	id := tx.p.i64ID(r)
-	tx.snapshotSpan(kindI64, id, i, n, r.Len(), func(lo, ln int) {
-		old := r.LoadRange(lo, ln)
-		tx.p.appendEntry(kindI64, id, lo, ln, func(dst []float64) {
-			for k, v := range old {
-				dst[k] = math.Float64frombits(uint64(v))
-			}
-		})
-	})
-}
-
-// snapshotSpan walks the element range line by line (8 elements per
-// 64-byte line), invoking log for each line not yet snapshotted. The
-// final line is clamped to the region's element count.
-func (tx *Tx) snapshotSpan(kind regionKind, id int64, i, n, limit int, log func(lo, ln int)) {
 	const perLine = mem.LineSize / 8
+	p := tx.p
+	id := p.f64ID(r)
+	stamps := p.snapF64[id]
+	limit := r.Len()
 	first := i / perLine
 	last := (i + n - 1) / perLine
 	for line := first; line <= last; line++ {
-		key := [3]int64{int64(kind), id, int64(line)}
-		if tx.snapshotted[key] {
+		if stamps[line] == p.epoch {
 			continue
 		}
-		tx.snapshotted[key] = true
+		stamps[line] = p.epoch
 		lo := line * perLine
 		ln := perLine
 		if lo+ln > limit {
 			ln = limit - lo
 		}
-		log(lo, ln)
+		old := r.LoadRange(lo, ln)
+		dst := p.beginEntry(kindF64, id, lo, ln)
+		copy(dst, old)
+		p.finishEntry(ln)
+	}
+}
+
+// SnapshotI64 logs the old contents of elements [i, i+n) of r.
+func (tx *Tx) SnapshotI64(r *mem.I64, i, n int) {
+	const perLine = mem.LineSize / 8
+	p := tx.p
+	id := p.i64ID(r)
+	stamps := p.snapI64[id]
+	limit := r.Len()
+	first := i / perLine
+	last := (i + n - 1) / perLine
+	for line := first; line <= last; line++ {
+		if stamps[line] == p.epoch {
+			continue
+		}
+		stamps[line] = p.epoch
+		lo := line * perLine
+		ln := perLine
+		if lo+ln > limit {
+			ln = limit - lo
+		}
+		old := r.LoadRange(lo, ln)
+		dst := p.beginEntry(kindI64, id, lo, ln)
+		for k, v := range old {
+			dst[k] = math.Float64frombits(uint64(v))
+		}
+		p.finishEntry(ln)
 	}
 }
 

@@ -129,12 +129,17 @@ func GenSPD(n, nnzRow int, seed int64) *CSR {
 	return &CSR{N: n, RowPtr: rp, Col: cols, Val: vals}
 }
 
-// SpMV computes y = A*x natively.
+// SpMV computes y = A*x natively. The CSR arrays are hoisted into
+// locals and y is re-sliced to the row count so the compiler can prove
+// the inner-loop indexing in bounds.
 func SpMV(y []float64, a *CSR, x []float64) {
-	for i := 0; i < a.N; i++ {
+	rowPtr, cols, vals := a.RowPtr, a.Col, a.Val
+	y = y[:a.N]
+	for i := range y {
 		sum := 0.0
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			sum += a.Val[k] * x[a.Col[k]]
+		end := rowPtr[i+1]
+		for k := rowPtr[i]; k < end; k++ {
+			sum += vals[k] * x[cols[k]]
 		}
 		y[i] = sum
 	}

@@ -41,16 +41,24 @@ func (a *SimCSR) Bytes() int {
 
 // SpMV computes dst[dstOff : dstOff+N] = A * x[xOff : xOff+N] through
 // the simulated memory system, charging 2 flops per nonzero to the CPU.
+// The simulated access stream (row-pointer pair, column range, value
+// range, one x load per nonzero, one dst store) is part of the model
+// and must not change; the host-side loop hoists the region handles
+// and slices cols/vals to a common length for bounds-check elimination.
 func (a *SimCSR) SpMV(cpu *sim.CPU, dst *mem.F64, dstOff int, x *mem.F64, xOff int) {
+	rowPtr, col, val := a.RowPtr, a.Col, a.Val
 	for i := 0; i < a.N; i++ {
-		rp := a.RowPtr.LoadRange(i, 2)
+		rp := rowPtr.LoadRange(i, 2)
 		start, end := int(rp[0]), int(rp[1])
 		nnz := end - start
-		cols := a.Col.LoadRange(start, nnz)
-		vals := a.Val.LoadRange(start, nnz)
+		cols := col.LoadRange(start, nnz)
+		vals := val.LoadRange(start, nnz)
+		if len(vals) > len(cols) {
+			vals = vals[:len(cols)]
+		}
 		sum := 0.0
-		for k := 0; k < nnz; k++ {
-			sum += vals[k] * x.At(xOff+int(cols[k]))
+		for k, c := range cols {
+			sum += vals[k] * x.At(xOff+int(c))
 		}
 		dst.Set(dstOff+i, sum)
 		cpu.Compute(int64(2 * nnz))
@@ -63,9 +71,11 @@ func (a *SimCSR) SpMVImage(y []float64, x []float64) {
 	rp := a.RowPtr.Image()
 	cols := a.Col.Image()
 	vals := a.Val.Image()
-	for i := 0; i < a.N; i++ {
+	y = y[:a.N]
+	for i := range y {
 		sum := 0.0
-		for k := rp[i]; k < rp[i+1]; k++ {
+		end := rp[i+1]
+		for k := rp[i]; k < end; k++ {
 			sum += vals[k] * x[cols[k]]
 		}
 		y[i] = sum
