@@ -1,7 +1,8 @@
 // Command adccbench regenerates the tables and figures of the paper's
 // evaluation (Yang et al., "Algorithm-Directed Crash Consistence in
 // Non-Volatile Memory for HPC", CLUSTER 2017) on the simulated NVM
-// platform, plus the ablation studies listed in DESIGN.md.
+// platform, plus ablation studies and the statistical crash-injection
+// campaign (run -list for the full set).
 //
 // Usage:
 //
@@ -11,6 +12,9 @@
 //	adccbench -experiment all -parallel 4  # fan independent cases out over 4 workers
 //	adccbench -list                        # list experiments
 //	adccbench -bench -json out.json        # machine-readable benchmark suite
+//
+//	# statistical crash-injection campaign; -json adds the full report:
+//	adccbench -experiment campaign -scale 0.1 -parallel 4 -json campaign.json
 //
 // The -bench mode runs the kernel micro-benchmarks (wall-clock ns/op and
 // allocs/op plus deterministic simulated metrics) and the timed harness
@@ -40,8 +44,10 @@ import (
 const defaultBenchScale = 0.05
 
 // benchExperiments are the timed harness experiments whose per-case
-// simulated timings feed the bench suite.
-var benchExperiments = []string{"fig3", "fig4", "fig8", "fig13"}
+// simulated timings feed the bench suite. The campaign contributes one
+// result per injection cell, so benchdiff gates recovery-rate
+// regressions alongside the timing metrics.
+var benchExperiments = []string{"fig3", "fig4", "fig8", "fig13", "campaign"}
 
 func main() {
 	var (
@@ -52,7 +58,7 @@ func main() {
 		listOnly  = flag.Bool("list", false, "list available experiments and exit")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		benchMode = flag.Bool("bench", false, "run the benchmark suite (kernels + timed experiments) and emit machine-readable results")
-		jsonPath  = flag.String("json", "", "with -bench: write the JSON suite to this file instead of stdout")
+		jsonPath  = flag.String("json", "", "with -bench: write the JSON suite to this file instead of stdout; with -experiment campaign: write the campaign report here")
 	)
 	flag.Parse()
 
@@ -92,7 +98,10 @@ func main() {
 		}
 	}
 
-	opts := harness.Options{Scale: *scale, Verbose: *verbose, Out: os.Stderr, Parallel: *parallel}
+	opts := harness.Options{
+		Scale: *scale, Verbose: *verbose, Out: os.Stderr, Parallel: *parallel,
+		CampaignJSON: *jsonPath,
+	}
 	failed := false
 	for _, e := range selected {
 		start := time.Now()

@@ -11,6 +11,13 @@
 //	crashsim -workload cg -n 6000 -occurrence 15
 //	crashsim -workload mm -n 400 -loop 2 -occurrence 4
 //	crashsim -workload mc -lookups 50000 -crash-op 2000000
+//
+// With -campaign, crashsim instead sweeps the selected workload through
+// the statistical fault-injection campaign (internal/campaign) across
+// every supported scheme and both platforms, printing the per-scheme
+// survival table (and the full JSON report with -json):
+//
+//	crashsim -workload mc -campaign -campaign-scale 0.1 -parallel 4
 package main
 
 import (
@@ -19,9 +26,11 @@ import (
 	"os"
 
 	"adcc/internal/cache"
+	"adcc/internal/campaign"
 	"adcc/internal/core"
 	"adcc/internal/crash"
 	"adcc/internal/engine"
+	"adcc/internal/harness"
 	"adcc/internal/mc"
 	"adcc/internal/mem"
 	"adcc/internal/sparse"
@@ -38,8 +47,34 @@ func main() {
 		crashOp    = flag.Int64("crash-op", 0, "crash after this many memory operations (overrides -occurrence)")
 		llcKB      = flag.Int("llc", 2048, "LLC size in KB")
 		hetero     = flag.Bool("hetero", false, "use the heterogeneous NVM/DRAM system")
+
+		campaignMode  = flag.Bool("campaign", false, "sweep the workload through the fault-injection campaign instead of one crash point")
+		campaignScale = flag.Float64("campaign-scale", 0.1, "with -campaign: problem-size and sweep-density scale")
+		parallel      = flag.Int("parallel", 1, "with -campaign: max concurrent injections (report identical at any setting)")
+		jsonPath      = flag.String("json", "", "with -campaign: write the machine-readable campaign report to this file")
 	)
 	flag.Parse()
+
+	if *campaignMode {
+		// The campaign builds its own machines and sweeps its own crash
+		// points; single-point flags would be silently ignored, so
+		// reject them instead.
+		singlePoint := map[string]bool{
+			"n": true, "k": true, "loop": true, "lookups": true,
+			"occurrence": true, "crash-op": true, "llc": true, "hetero": true,
+		}
+		conflict := ""
+		flag.Visit(func(f *flag.Flag) {
+			if singlePoint[f.Name] {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(os.Stderr, "crashsim: -%s applies to single-point mode and is ignored by -campaign (the campaign sweeps both platforms with its own sizes); drop it\n", conflict)
+			os.Exit(2)
+		}
+		os.Exit(runCampaign(*workload, *campaignScale, *parallel, *jsonPath))
+	}
 
 	kind := crash.NVMOnly
 	if *hetero {
@@ -128,6 +163,41 @@ func main() {
 	fmt.Printf("--- post-crash (restarted from NVM image) ---\n")
 	recover()
 	fmt.Printf("simulated time at exit: %.3f ms\n", float64(m.Clock.Now())/1e6)
+}
+
+// runCampaign sweeps one workload through the injection campaign and
+// prints its survival table, reusing the harness renderer so crashsim
+// and adccbench present identical tables. Returns the process exit
+// code; any silent corruption or unrecoverable injection under the
+// paper's selective-flush algorithm-directed schemes is a failure.
+func runCampaign(workload string, scale float64, parallel int, jsonPath string) int {
+	rep, err := campaign.Run(campaign.Config{
+		Scale:     scale,
+		Parallel:  parallel,
+		Workloads: []string{workload},
+		Verbose:   true,
+		Out:       os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashsim: %v\n", err)
+		return 1
+	}
+	harness.CampaignTable(rep).Fprint(os.Stdout)
+	if jsonPath != "" {
+		if err := rep.WriteFile(jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "crashsim: %v\n", err)
+			return 1
+		}
+	}
+	for _, c := range rep.Cells {
+		if c.Failures() > 0 &&
+			(c.Scheme == engine.SchemeAlgoNVM || c.Scheme == engine.SchemeAlgoHetero) {
+			fmt.Fprintf(os.Stderr, "crashsim: %s/%s@%s: %d of %d injections failed\n",
+				c.Workload, c.Scheme, c.System, c.Failures(), c.Injections)
+			return 1
+		}
+	}
+	return 0
 }
 
 // reportCacheState prints, per region, how many of its lines are

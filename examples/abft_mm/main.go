@@ -1,4 +1,4 @@
-// abft_mm demonstrates crash consistence for ABFT matrix multiplication
+// Command abft_mm demonstrates crash consistence for ABFT matrix multiplication
 // (paper §III-C): the two-loop extension stores submatrix products in
 // checksummed temporal matrices whose checksums are flushed; after a
 // crash, checksum verification over the NVM image classifies every block

@@ -1,4 +1,4 @@
-// cg_solver compares the cost of making a CG solve crash-consistent
+// Command cg_solver compares the cost of making a CG solve crash-consistent
 // with the three families of mechanisms the paper evaluates: per-
 // iteration checkpointing, PMEM-style undo-log transactions, and the
 // algorithm-directed history extension — all configured for the same

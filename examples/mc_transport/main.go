@@ -1,4 +1,4 @@
-// mc_transport demonstrates the Monte-Carlo study (paper §III-D): MC is
+// Command mc_transport demonstrates the Monte-Carlo study (paper §III-D): MC is
 // statistically error tolerant, so it seems crash consistence should be
 // free — but the interaction-type counters and macro_xs accumulator stay
 // hot in the volatile cache, and a naive restart (flush only the loop

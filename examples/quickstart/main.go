@@ -1,4 +1,4 @@
-// Quickstart: solve a sparse SPD system with the crash-consistent CG
+// Command quickstart solves a sparse SPD system with the crash-consistent CG
 // solver, inject a crash two thirds of the way through, and let the
 // algorithm-directed recovery find the restart point from the NVM image
 // — no checkpoint, no log, one flushed cache line per iteration.

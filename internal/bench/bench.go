@@ -53,6 +53,13 @@ type Result struct {
 	// RecoveryNS is the simulated post-crash detection time, for cases
 	// that exercise a recovery protocol.
 	RecoveryNS int64 `json:"recovery_sim_ns,omitempty"`
+	// Injections and Failures summarize a fault-injection campaign
+	// cell (internal/campaign): how many crash points were swept and
+	// how many ended without a verified result (silent corruption or
+	// unrecoverable state). Failures is gated as a deterministic
+	// metric, so a recovery-rate regression fails benchdiff.
+	Injections int64 `json:"injections,omitempty"`
+	Failures   int64 `json:"failures,omitempty"`
 }
 
 // Suite is a full benchmark run: schema tag, the harness scale it ran

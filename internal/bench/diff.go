@@ -77,6 +77,11 @@ var metrics = []metric{
 	{"sim_flushes", func(r Result) float64 { return float64(r.SimFlushes) }, simMeasured, true},
 	{"recovery_sim_ns", func(r Result) float64 { return float64(r.RecoveryNS) },
 		func(r Result) bool { return r.RecoveryNS > 0 }, true},
+	// Campaign failure counts are deterministic, and a measured zero is
+	// the expected healthy value for the algorithm-directed schemes, so
+	// any failure appearing from zero flags as a regression.
+	{"failures", func(r Result) float64 { return float64(r.Failures) },
+		func(r Result) bool { return r.Injections > 0 }, true},
 }
 
 // Diff compares candidate against base metric by metric. A metric is

@@ -7,7 +7,7 @@
 // evicted or flushed dirty line into the persistent NVM image. With a
 // single simulated core and a write-back policy, a resident line always
 // holds the most recent value of every byte it covers, so this is exact
-// (DESIGN.md §5).
+// (ARCHITECTURE.md, "Metadata-only cache exactness").
 //
 // Timing: every access advances a sim.Clock — a flat hit cost on hits,
 // and the memory system's read/write costs on fills and writebacks. The

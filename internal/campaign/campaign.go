@@ -1,0 +1,491 @@
+// Package campaign is the statistical fault-injection engine built on
+// the crash emulator: where cmd/crashsim inspects one hand-picked crash
+// point, a campaign sweeps thousands of deterministic points — seeded
+// random memory-operation counts plus random occurrences of every
+// instrumented program point — across every supported workload x scheme
+// x platform cell, recovers each injection under the cell's scheme, and
+// classifies the end state (clean recovery, detected-and-recomputed,
+// silent corruption, unrecoverable) together with recovery-cost
+// statistics (rework ops, flush traffic, simulated time).
+//
+// Every injection runs on its own freshly built simulated machine and
+// every crash point derives from a per-cell seed, so the campaign is
+// fully deterministic: the aggregated Report is byte-identical for any
+// worker-pool width (shards fan through engine.RunCases and are
+// collected by index). The JSON report feeds cmd/benchdiff via
+// Report.BenchResults, letting CI gate on recovery-rate regressions.
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"adcc/internal/cache"
+	"adcc/internal/core"
+	"adcc/internal/crash"
+	"adcc/internal/dense"
+	"adcc/internal/engine"
+	"adcc/internal/mc"
+	"adcc/internal/sparse"
+)
+
+// Config parameterizes a campaign run.
+type Config struct {
+	// Scale multiplies problem sizes and sweep density; 1.0 is the full
+	// campaign (thousands of injections), small values give CI-sized
+	// smokes. Zero means 1.0.
+	Scale float64
+	// Seed drives crash-point selection (per-cell seeds derive from it).
+	// The default 0 is a valid seed.
+	Seed int64
+	// Parallel bounds how many injections run concurrently through the
+	// engine's worker pool; <= 1 is serial. The report is byte-identical
+	// at any setting.
+	Parallel int
+	// PerCell overrides the number of injections per cell (0 = scaled
+	// default: 120 at scale 1.0, floor 8).
+	PerCell int
+	// Workloads restricts the sweep to the named workloads ("cg", "mm",
+	// "mc"); nil means all three.
+	Workloads []string
+	// Schemes restricts the sweep to the named schemes; nil means every
+	// scheme supported by each workload.
+	Schemes []string
+	// Verbose enables progress notes on Out.
+	Verbose bool
+	Out     io.Writer
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1.0
+	}
+	return c.Scale
+}
+
+func (c Config) scaleInt(v, floor int) int {
+	s := int(float64(v) * c.scale())
+	if s < floor {
+		return floor
+	}
+	return s
+}
+
+func (c Config) perCell() int {
+	if c.PerCell > 0 {
+		return c.PerCell
+	}
+	return c.scaleInt(120, 8)
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Verbose && c.Out != nil {
+		fmt.Fprintf(c.Out, format+"\n", args...)
+	}
+}
+
+// campaignLLCBytes sizes the injection machines' LLC. 1 MB sits between
+// the campaign's scaled working sets, so both cache-resident (lose-many
+// -iterations) and streaming (lose-one-iteration) crash behaviours
+// appear in the sweep.
+const campaignLLCBytes = 1 << 20
+
+// cell is one workload x scheme x platform combination of the sweep
+// grid.
+type cell struct {
+	Workload string
+	Scheme   engine.Scheme
+	System   crash.SystemKind
+}
+
+func (c cell) String() string {
+	return fmt.Sprintf("%s/%s@%s", c.Workload, c.Scheme.Name(), c.System)
+}
+
+// seed derives the cell's crash-point seed from the campaign seed via
+// FNV-1a over the cell coordinates, so cells are decorrelated but
+// stable across runs and subset selections.
+func (c cell) seed(base int64) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d", c.Workload, c.Scheme.Name(), c.System, base)
+	return int64(h.Sum64() >> 1)
+}
+
+// workloadNames is the sweep order of the paper's three studies.
+var workloadNames = []string{"cg", "mm", "mc"}
+
+// schemesFor returns the schemes a workload can run AND recover under.
+// CG and MM pair the extended (algorithm-directed) implementation with
+// a single algo scheme: their algorithm-directed design has no
+// flush-policy variants (FlushPolicy only differentiates MC), and the
+// campaign's System axis already covers both platforms, so listing
+// algo-NVM/DRAM too would re-run an identical configuration under a
+// different label. MC selects its mechanism entirely through the
+// scheme, so it sweeps all algo variants including the rejected
+// index-only and every-iteration designs.
+func schemesFor(workload string) []string {
+	conventional := []string{
+		engine.SchemeNative, engine.SchemeCkptHDD, engine.SchemeCkptNVM,
+		engine.SchemeCkptHetero, engine.SchemePMEM,
+	}
+	if workload == "mc" {
+		return append(conventional,
+			engine.SchemeAlgoNVM, engine.SchemeAlgoHetero,
+			engine.SchemeAlgoNaive, engine.SchemeAlgoEvery)
+	}
+	return append(conventional, engine.SchemeAlgoNVM)
+}
+
+// systems is the sweep order of the paper's two platforms. Every cell
+// runs on both, regardless of the scheme's paper pairing — the campaign
+// is a grid, not the seven-case comparison.
+var systems = []crash.SystemKind{crash.NVMOnly, crash.Hetero}
+
+// cells enumerates the sweep grid in deterministic order, honoring the
+// config's workload/scheme filters.
+func (c Config) cells() ([]cell, error) {
+	inWorkloads := func(w string) bool {
+		if len(c.Workloads) == 0 {
+			return true
+		}
+		for _, x := range c.Workloads {
+			if x == w {
+				return true
+			}
+		}
+		return false
+	}
+	inSchemes := func(s string) bool {
+		if len(c.Schemes) == 0 {
+			return true
+		}
+		for _, x := range c.Schemes {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	var out []cell
+	for _, w := range workloadNames {
+		if !inWorkloads(w) {
+			continue
+		}
+		for _, name := range schemesFor(w) {
+			if !inSchemes(name) {
+				continue
+			}
+			sc, ok := engine.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("campaign: unknown scheme %q", name)
+			}
+			for _, sys := range systems {
+				out = append(out, cell{Workload: w, Scheme: sc, System: sys})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("campaign: no cells match workloads=%v schemes=%v", c.Workloads, c.Schemes)
+	}
+	return out, nil
+}
+
+// newMachine builds one injection platform: per-cell system kind, the
+// campaign LLC, defaults elsewhere.
+func (c cell) newMachine() *crash.Machine {
+	return crash.NewMachine(crash.MachineConfig{
+		System: c.System,
+		Cache: cache.Config{
+			SizeBytes:         campaignLLCBytes,
+			LineBytes:         64,
+			Assoc:             16,
+			HitNS:             4,
+			FlushChargesClean: true,
+			PrefetchStreams:   16,
+		},
+	})
+}
+
+// cellAssets holds the expensive pure inputs of a workload — the
+// generated CG matrix and the MM verification oracle. They depend only
+// on the workload name and the campaign scale, so one instance per
+// workload is computed up front and shared read-only by every cell and
+// injection.
+type cellAssets struct {
+	cgA    *sparse.CSR
+	mmWant *dense.Matrix
+}
+
+// newAssets precomputes a workload's shared inputs.
+func newAssets(workload string, cfg Config) *cellAssets {
+	as := &cellAssets{}
+	switch workload {
+	case "cg":
+		as.cgA = sparse.GenSPD(cfg.scaleInt(1200, 300), 9, 11)
+	case "mm":
+		as.mmWant = core.MMWant(mmOpts(cfg))
+	}
+	return as
+}
+
+// mmOpts is the MM configuration at the campaign scale.
+func mmOpts(cfg Config) core.MMOptions {
+	const k = 16
+	return core.MMOptions{N: k * cfg.scaleInt(8, 3), K: k, Seed: 12}
+}
+
+// newWorkload builds a fresh workload instance for one injection of the
+// cell. Sizes scale with the campaign scale; seeds are fixed, so the
+// only varying coordinate of an injection is its crash point.
+func (c cell) newWorkload(cfg Config, as *cellAssets) engine.Workload {
+	algo := c.Scheme.Kind() == engine.KindAlgo
+	switch c.Workload {
+	case "cg":
+		opts := core.CGOptions{MaxIter: 15, Seed: 11}
+		if algo {
+			return &core.CGWorkload{A: as.cgA, Opts: opts}
+		}
+		return &core.BaselineCGWorkload{A: as.cgA, Opts: opts, Scheme: c.Scheme}
+	case "mm":
+		opts := mmOpts(cfg)
+		if algo {
+			return &core.MMWorkload{Opts: opts, Want: as.mmWant}
+		}
+		return &core.BaselineMMWorkload{Opts: opts, Want: as.mmWant, Scheme: c.Scheme}
+	case "mc":
+		return &core.MCWorkload{
+			Cfg: mc.Config{
+				Nuclides:         16,
+				PointsPerNuclide: 128,
+				Lookups:          cfg.scaleInt(20_000, 2500),
+				Seed:             42,
+			},
+			Scheme: c.Scheme,
+		}
+	default:
+		panic(fmt.Sprintf("campaign: unknown workload %q", c.Workload))
+	}
+}
+
+// injection is the outcome of one crash point.
+type injection struct {
+	Outcome   Outcome
+	CrashOps  int64
+	ReworkOps int64 // ops redone beyond the not-yet-executed remainder
+	Flushes   int64
+	RecoverNS int64
+	ResumeNS  int64
+}
+
+// plan is one cell with its shared assets and enumerated crash points.
+type plan struct {
+	Cell    cell
+	Assets  *cellAssets
+	Profile crash.RunProfile
+	Points  []crash.CrashPoint
+}
+
+// job is one injection task of the flattened sweep.
+type job struct {
+	PlanIdx int
+	Point   crash.CrashPoint
+}
+
+// Run executes the campaign and returns its aggregated report.
+func Run(cfg Config) (*Report, error) {
+	cells, err := cfg.cells()
+	if err != nil {
+		return nil, err
+	}
+	perCell := cfg.perCell()
+	cfg.logf("campaign: %d cells x %d injections at scale %g",
+		len(cells), perCell, cfg.scale())
+
+	// Shared per-workload inputs (CG matrix, MM oracle), computed once.
+	assets := map[string]*cellAssets{}
+	for _, cl := range cells {
+		if assets[cl.Workload] == nil {
+			assets[cl.Workload] = newAssets(cl.Workload, cfg)
+		}
+	}
+
+	// Stage 1: profile each cell once to learn its crash-point space,
+	// then enumerate the cell's seeded points.
+	plans, err := engine.RunCases(cfg.Parallel, len(cells), func(i int) (plan, error) {
+		cl := cells[i]
+		as := assets[cl.Workload]
+		m := cl.newMachine()
+		em := crash.NewEmulator(m)
+		w := cl.newWorkload(cfg, as)
+		if err := w.Prepare(m, em); err != nil {
+			return plan{}, fmt.Errorf("campaign: %s: %w", cl, err)
+		}
+		prof := em.Profile(func() { w.Run(w.Start()) })
+		if prof.Ops == 0 {
+			return plan{}, fmt.Errorf("campaign: %s: profile saw no memory operations", cl)
+		}
+		if err := w.Verify(); err != nil {
+			return plan{}, fmt.Errorf("campaign: %s: crash-free run failed verification: %w", cl, err)
+		}
+		cfg.logf("campaign: %s profile: %d ops, %d trigger names", cl, prof.Ops, len(prof.Triggers))
+		return plan{Cell: cl, Assets: as, Profile: prof, Points: prof.Points(perCell, cl.seed(cfg.Seed))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: flatten every (cell, point) into an independent job and
+	// fan the shards through the bounded pool. Collection by index keeps
+	// the aggregation byte-identical for any pool width.
+	var jobs []job
+	for pi, p := range plans {
+		for _, pt := range p.Points {
+			jobs = append(jobs, job{PlanIdx: pi, Point: pt})
+		}
+	}
+	results, err := engine.RunCases(cfg.Parallel, len(jobs), func(i int) (injection, error) {
+		p := plans[jobs[i].PlanIdx]
+		return runInjection(cfg, p, jobs[i].Point), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: aggregate per cell.
+	rep := &Report{Schema: SchemaVersion, Scale: cfg.scale(), Seed: cfg.Seed}
+	byPlan := make([]CellReport, len(plans))
+	for pi, p := range plans {
+		byPlan[pi] = CellReport{
+			Workload:   p.Cell.Workload,
+			Scheme:     p.Cell.Scheme.Name(),
+			System:     p.Cell.System.String(),
+			ProfileOps: p.Profile.Ops,
+			GrainOps:   p.Profile.MainTriggerOps(),
+		}
+	}
+	for i, r := range results {
+		cr := &byPlan[jobs[i].PlanIdx]
+		cr.Injections++
+		switch r.Outcome {
+		case OutcomeClean:
+			cr.Clean++
+		case OutcomeRecomputed:
+			cr.Recomputed++
+		case OutcomeCorrupt:
+			cr.Corrupt++
+		case OutcomeUnrecoverable:
+			cr.Unrecoverable++
+		case OutcomeNoCrash:
+			cr.NoCrash++
+		}
+		cr.ReworkOps += r.ReworkOps
+		if r.ReworkOps > cr.MaxReworkOps {
+			cr.MaxReworkOps = r.ReworkOps
+		}
+		cr.FlushLines += r.Flushes
+		cr.RecoverSimNS += r.RecoverNS
+		cr.ResumeSimNS += r.ResumeNS
+	}
+	for i := range byPlan {
+		c := &byPlan[i]
+		if crashed := c.Injections - c.NoCrash; crashed > 0 {
+			c.RecoveryRate = float64(c.Clean+c.Recomputed) / float64(crashed)
+		}
+		rep.Injections += c.Injections
+	}
+	rep.Cells = byPlan
+	sortCells(rep.Cells)
+	return rep, nil
+}
+
+// runInjection executes one crash point on a fresh machine: run to the
+// crash, recover under the cell's scheme, resume with op counting, and
+// verify. Panics in recovery or resumption are contained and classified
+// as unrecoverable — a campaign survives pathological injections.
+func runInjection(cfg Config, p plan, pt crash.CrashPoint) injection {
+	var inj injection
+	m := p.Cell.newMachine()
+	em := crash.NewEmulator(m)
+	w := p.Cell.newWorkload(cfg, p.Assets)
+	if err := w.Prepare(m, em); err != nil {
+		inj.Outcome = OutcomeUnrecoverable
+		return inj
+	}
+	em.Arm(pt)
+	if !em.Run(func() { w.Run(w.Start()) }) {
+		inj.Outcome = OutcomeNoCrash
+		return inj
+	}
+	inj.CrashOps = em.CrashOps()
+	flushes0 := m.LLC.Stats().Flushes
+
+	// Post-crash detection/restore under the scheme.
+	recStart := m.Clock.Now()
+	from, err := safeRecover(w)
+	inj.RecoverNS = m.Clock.Since(recStart)
+	if err != nil {
+		inj.Outcome = OutcomeUnrecoverable
+		return inj
+	}
+
+	// Resume with the emulator disarmed but still counting ops: the
+	// count is the rework the scheme forced.
+	em.Disarm()
+	resStart := m.Clock.Now()
+	crashedAgain, err := safeResume(em, w, from)
+	inj.ResumeNS = m.Clock.Since(resStart)
+	inj.Flushes = m.LLC.Stats().Flushes - flushes0
+	remaining := p.Profile.Ops - inj.CrashOps
+	if rework := em.OpCount() - remaining; rework > 0 {
+		inj.ReworkOps = rework
+	}
+	if err != nil || crashedAgain {
+		inj.Outcome = OutcomeUnrecoverable
+		return inj
+	}
+
+	if err := safeVerify(w); err != nil {
+		inj.Outcome = OutcomeCorrupt
+		return inj
+	}
+	// Clean if the forced rework stayed within ~one main-loop iteration
+	// (plus one iteration of slack for partially re-executed work).
+	if inj.ReworkOps <= 2*p.Profile.MainTriggerOps() {
+		inj.Outcome = OutcomeClean
+	} else {
+		inj.Outcome = OutcomeRecomputed
+	}
+	return inj
+}
+
+// safeRecover calls w.Recover, converting panics into errors.
+func safeRecover(w engine.Workload) (from int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovery panic: %v", r)
+		}
+	}()
+	return w.Recover()
+}
+
+// safeResume completes the computation from the recovery token inside
+// the emulator (for op counting), converting panics into errors.
+func safeResume(em *crash.Emulator, w engine.Workload, from int64) (crashed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("resume panic: %v", r)
+		}
+	}()
+	return em.Run(func() { w.Run(from) }), nil
+}
+
+// safeVerify calls w.Verify, converting panics into errors.
+func safeVerify(w engine.Workload) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("verify panic: %v", r)
+		}
+	}()
+	return w.Verify()
+}

@@ -38,6 +38,11 @@ type Checkpointer struct {
 	memoryBased bool
 
 	saved map[string]*snapshot
+	// spare holds per-region staging buffers: Checkpoint stages into
+	// them and swaps them with saved at its commit point, so the hot
+	// checkpoint loop allocates nothing in steady state while a crash
+	// mid-save still leaves the previous checkpoint intact.
+	spare map[string]*snapshot
 	tag   int64
 	valid bool
 	// tierFlushNS is the fixed per-checkpoint cost of flushing the
@@ -54,7 +59,10 @@ type snapshot struct {
 
 // NewHDD returns a checkpointer writing to a local hard drive.
 func NewHDD(m *crash.Machine) *Checkpointer {
-	return &Checkpointer{m: m, target: nvm.HDD(), name: "ckpt-HDD", memoryBased: false, saved: map[string]*snapshot{}}
+	return &Checkpointer{
+		m: m, target: nvm.HDD(), name: "ckpt-HDD", memoryBased: false,
+		saved: map[string]*snapshot{}, spare: map[string]*snapshot{},
+	}
 }
 
 // NewNVM returns a memory-based checkpointer writing to the machine's
@@ -68,6 +76,7 @@ func NewNVM(m *crash.Machine) *Checkpointer {
 		name:        "ckpt-" + m.System().String(),
 		memoryBased: true,
 		saved:       map[string]*snapshot{},
+		spare:       map[string]*snapshot{},
 	}
 	if tier := m.DRAMCacheBytes(); tier > 0 {
 		// Flushing the DRAM cache is a scan over its capacity at DRAM
@@ -88,29 +97,41 @@ func (c *Checkpointer) Tag() int64 { return c.tag }
 
 // Checkpoint saves the given regions atomically under a tag (typically
 // the iteration number). Supported region types: *mem.F64 and *mem.I64.
+//
+// Crash-atomicity: chargeSave streams each source region through the
+// cache, so an injected crash can fire in the middle of a multi-region
+// checkpoint. All snapshots are therefore staged first and committed
+// into c.saved together with the tag only after the last save completes
+// — a crash mid-checkpoint leaves the previous checkpoint fully intact,
+// as a double-buffered on-device checkpoint would.
 func (c *Checkpointer) Checkpoint(tag int64, regions ...mem.Region) {
 	for _, r := range regions {
 		c.chargeSave(r)
+		s := c.spare[r.Name()]
 		switch t := r.(type) {
 		case *mem.F64:
-			s := c.saved[r.Name()]
 			if s == nil || len(s.f64) != t.Len() {
 				s = &snapshot{f64: make([]float64, t.Len())}
-				c.saved[r.Name()] = s
 			}
 			copy(s.f64, t.Live())
 		case *mem.I64:
-			s := c.saved[r.Name()]
 			if s == nil || len(s.i64) != t.Len() {
 				s = &snapshot{i64: make([]int64, t.Len())}
-				c.saved[r.Name()] = s
 			}
 			copy(s.i64, t.Live())
 		default:
 			panic(fmt.Sprintf("ckpt: unsupported region type %T", r))
 		}
+		c.spare[r.Name()] = s
 	}
 	c.m.Clock.Advance(c.tierFlushNS)
+	// Commit point: no simulated operation (and hence no crash point)
+	// occurs past here. The staged snapshots swap in; the displaced
+	// ones become the next call's staging buffers.
+	for _, r := range regions {
+		name := r.Name()
+		c.saved[name], c.spare[name] = c.spare[name], c.saved[name]
+	}
 	c.tag = tag
 	c.valid = true
 }

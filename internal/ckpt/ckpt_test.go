@@ -177,3 +177,68 @@ func TestValidAndTag(t *testing.T) {
 		t.Fatal("empty name")
 	}
 }
+
+// TestCheckpointCrashMidSaveKeepsPreviousCheckpoint asserts the
+// crash-atomicity of multi-region checkpoints: an injected crash firing
+// inside a Checkpoint call (chargeSave streams the sources through the
+// counting accessor, so op-point crashes can land there) must leave the
+// previous checkpoint fully intact — same tag, all regions from the
+// same iteration — never a mix of old and new snapshots.
+func TestCheckpointCrashMidSaveKeepsPreviousCheckpoint(t *testing.T) {
+	run := func(crashOp int64) (crashed bool, tag int64, a0, b0 float64) {
+		m := newMachine(crash.NVMOnly)
+		em := crash.NewEmulator(m)
+		c := NewNVM(m)
+		a := m.Heap.AllocF64("a", 64)
+		b := m.Heap.AllocF64("b", 64)
+		if crashOp > 0 {
+			em.Arm(crash.CrashPoint{Op: crashOp})
+		}
+		crashed = em.Run(func() {
+			for iter := int64(1); iter <= 3; iter++ {
+				for i := 0; i < 64; i++ {
+					a.Set(i, float64(100*iter))
+					b.Set(i, float64(100*iter))
+				}
+				c.Checkpoint(iter, a, b)
+			}
+		})
+		if !c.Valid() {
+			t.Fatalf("crashOp=%d: no valid checkpoint", crashOp)
+		}
+		tag = c.Restore(a, b)
+		return crashed, tag, a.Live()[0], b.Live()[0]
+	}
+
+	_, _, a0, _ := run(0)
+	if a0 != 300 {
+		t.Fatalf("crash-free restore a=%v, want 300", a0)
+	}
+	// Profile the crash-free op count, then sweep crash points across
+	// the whole run (every 37th op covers points inside every
+	// checkpoint's chargeSave streams).
+	m := newMachine(crash.NVMOnly)
+	em := crash.NewEmulator(m)
+	c := NewNVM(m)
+	a := m.Heap.AllocF64("a", 64)
+	b := m.Heap.AllocF64("b", 64)
+	prof := em.Profile(func() {
+		for iter := int64(1); iter <= 3; iter++ {
+			for i := 0; i < 64; i++ {
+				a.Set(i, float64(100*iter))
+				b.Set(i, float64(100*iter))
+			}
+			c.Checkpoint(iter, a, b)
+		}
+	})
+	for op := int64(200); op <= prof.Ops; op += 37 {
+		crashed, tag, av, bv := run(op)
+		if !crashed {
+			continue
+		}
+		want := float64(100 * tag)
+		if av != want || bv != want {
+			t.Fatalf("crash at op %d: restored tag %d but a=%v b=%v (mixed checkpoint)", op, tag, av, bv)
+		}
+	}
+}

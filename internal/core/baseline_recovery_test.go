@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"adcc/internal/crash"
+	"adcc/internal/engine"
+)
+
+// baselineWorkloads builds one small instance of each baseline workload
+// adapter under the given scheme.
+func baselineWorkloads(sc engine.Scheme) []engine.Workload {
+	return []engine.Workload{
+		&BaselineCGWorkload{N: 400, NnzRow: 9, Opts: CGOptions{MaxIter: 12, Seed: 5}, Scheme: sc},
+		&BaselineMMWorkload{Opts: MMOptions{N: 48, K: 16, Seed: 6}, Scheme: sc},
+	}
+}
+
+// TestBaselineRecovery crashes each baseline workload under every
+// conventional scheme at several execution points and checks the full
+// crash → recover → resume → verify lifecycle.
+func TestBaselineRecovery(t *testing.T) {
+	schemes := []string{
+		engine.SchemeNative, engine.SchemeCkptNVM, engine.SchemeCkptHDD,
+		engine.SchemeCkptHetero, engine.SchemePMEM,
+	}
+	for _, name := range schemes {
+		sc := engine.MustLookup(name)
+		for wi := range baselineWorkloads(sc) {
+			wi := wi
+			probe := baselineWorkloads(sc)[wi]
+			t.Run(fmt.Sprintf("%s/%s", probe.Name(), name), func(t *testing.T) {
+				// Profile an uninterrupted run to find the op range.
+				m := crash.NewMachine(crash.MachineConfig{})
+				em := crash.NewEmulator(m)
+				if err := probe.Prepare(m, em); err != nil {
+					t.Fatalf("Prepare: %v", err)
+				}
+				prof := em.Profile(func() { probe.Run(probe.Start()) })
+				if err := probe.Verify(); err != nil {
+					t.Fatalf("crash-free run failed verification: %v", err)
+				}
+
+				for _, frac := range []float64{0.1, 0.5, 0.9} {
+					w := baselineWorkloads(sc)[wi]
+					m := crash.NewMachine(crash.MachineConfig{})
+					em := crash.NewEmulator(m)
+					if err := w.Prepare(m, em); err != nil {
+						t.Fatalf("Prepare: %v", err)
+					}
+					op := int64(frac * float64(prof.Ops))
+					em.Arm(crash.CrashPoint{Op: op})
+					if !em.Run(func() { w.Run(w.Start()) }) {
+						t.Fatalf("crash at op %d did not fire", op)
+					}
+					from, err := w.Recover()
+					if err != nil {
+						t.Fatalf("Recover after op %d: %v", op, err)
+					}
+					em.Disarm()
+					w.Run(from)
+					if err := w.Verify(); err != nil {
+						t.Errorf("verification failed after crash at op %d (resumed from %d): %v", op, from, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBaselineCheckpointResumesNearCrash checks that a checkpointed
+// baseline does not restart from scratch: a crash late in the run must
+// resume within one iteration of the checkpoint frequency.
+func TestBaselineCheckpointResumesNearCrash(t *testing.T) {
+	sc := engine.MustLookup(engine.SchemeCkptNVM)
+	w := &BaselineCGWorkload{N: 400, NnzRow: 9, Opts: CGOptions{MaxIter: 12, Seed: 5}, Scheme: sc}
+	m := crash.NewMachine(crash.MachineConfig{})
+	em := crash.NewEmulator(m)
+	if err := w.Prepare(m, em); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	em.Arm(crash.CrashPoint{Trigger: TriggerCGIterEnd, Occurrence: 9})
+	if !em.Run(func() { w.Run(w.Start()) }) {
+		t.Fatal("trigger crash did not fire")
+	}
+	from, err := w.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	// The crash fired right after iteration 9's checkpoint.
+	if from != 10 {
+		t.Errorf("resume iteration = %d, want 10", from)
+	}
+	em.Disarm()
+	w.Run(from)
+	if err := w.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+// TestBaselinePMEMRollsBackTornTransaction checks the transactional
+// index: a crash inside iteration i's transaction must resume at i, not
+// i+1, and the rolled-back state must verify.
+func TestBaselinePMEMRollsBackTornTransaction(t *testing.T) {
+	sc := engine.MustLookup(engine.SchemePMEM)
+	w := &BaselineCGWorkload{N: 400, NnzRow: 9, Opts: CGOptions{MaxIter: 12, Seed: 5}, Scheme: sc}
+	m := crash.NewMachine(crash.MachineConfig{})
+	em := crash.NewEmulator(m)
+	if err := w.Prepare(m, em); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	// End of iteration 6, then a little further into iteration 7.
+	em.Arm(crash.CrashPoint{Trigger: TriggerCGIterEnd, Occurrence: 6})
+	if !em.Run(func() { w.Run(w.Start()) }) {
+		t.Fatal("crash did not fire")
+	}
+	opsAtIter6 := em.CrashOps()
+
+	w = &BaselineCGWorkload{N: 400, NnzRow: 9, Opts: CGOptions{MaxIter: 12, Seed: 5}, Scheme: sc}
+	m = crash.NewMachine(crash.MachineConfig{})
+	em = crash.NewEmulator(m)
+	if err := w.Prepare(m, em); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	em.Arm(crash.CrashPoint{Op: opsAtIter6 + 50})
+	if !em.Run(func() { w.Run(w.Start()) }) {
+		t.Fatal("crash did not fire")
+	}
+	from, err := w.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if from != 7 {
+		t.Errorf("resume iteration = %d, want 7 (torn iteration redone)", from)
+	}
+	em.Disarm()
+	w.Run(from)
+	if err := w.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}

@@ -343,10 +343,18 @@ type BaselineCG struct {
 
 	N              int
 	Pv, Qv, Rv, Zv *mem.F64
+	// IterDone persistently records the last committed iteration for
+	// transactional schemes (updated inside each iteration's
+	// transaction, so a rollback rewinds it with the data).
+	IterDone *mem.I64
 
 	Scheme engine.Scheme
 	Guard  engine.Guard
 	IterNS []int64
+	// Em, when set, fires TriggerCGIterEnd at the end of every
+	// iteration, making the baseline solver injectable at the same
+	// named program points as the extended one.
+	Em *crash.Emulator
 
 	rho float64
 }
@@ -364,19 +372,20 @@ func NewBaselineCG(m *crash.Machine, a *sparse.CSR, opts CGOptions, sc engine.Sc
 	n := a.N
 	bg := &BaselineCG{
 		M: m, An: a, Opts: opts, N: n, Scheme: sc,
-		A:      sparse.NewSimCSR(m.Heap, a, "cg.A"),
-		B:      m.Heap.AllocF64("cg.b", n),
-		Pv:     m.Heap.AllocF64("cg.p", n),
-		Qv:     m.Heap.AllocF64("cg.q", n),
-		Rv:     m.Heap.AllocF64("cg.r", n),
-		Zv:     m.Heap.AllocF64("cg.z", n),
-		IterNS: make([]int64, opts.MaxIter+1),
+		A:        sparse.NewSimCSR(m.Heap, a, "cg.A"),
+		B:        m.Heap.AllocF64("cg.b", n),
+		Pv:       m.Heap.AllocF64("cg.p", n),
+		Qv:       m.Heap.AllocF64("cg.q", n),
+		Rv:       m.Heap.AllocF64("cg.r", n),
+		Zv:       m.Heap.AllocF64("cg.z", n),
+		IterDone: m.Heap.AllocI64("cg.iterdone", 1),
+		IterNS:   make([]int64, opts.MaxIter+1),
 	}
 	// Log capacity for transactional schemes: one iteration writes 3
 	// vectors; snapshots are line-deduplicated, so 3n elements (plus
 	// slack) suffice.
 	bg.Guard = sc.NewGuard(m, 4*n+1024)
-	bg.Guard.Register(bg.Pv, bg.Rv, bg.Zv)
+	bg.Guard.Register(bg.Pv, bg.Rv, bg.Zv, bg.IterDone)
 	ones := make([]float64, n)
 	for i := range ones {
 		ones[i] = 1
@@ -396,14 +405,23 @@ func NewBaselineCG(m *crash.Machine, a *sparse.CSR, opts CGOptions, sc engine.Sc
 }
 
 // Run executes the baseline loop for MaxIter iterations.
-func (bg *BaselineCG) Run() {
+func (bg *BaselineCG) Run() { bg.RunFrom(1) }
+
+// RunFrom executes iterations from..MaxIter (1-based, inclusive). A
+// fresh solve starts at 1; after a crash, resume from the iteration
+// Recover returns. rho is recomputed from the current r, so resuming
+// from any consistent state is self-contained.
+func (bg *BaselineCG) RunFrom(from int) {
 	m, cpu := bg.M, bg.M.CPU
 	n := bg.N
+	if from < 1 {
+		from = 1
+	}
 	bg.rho = sparse.SimDot(cpu, bg.Rv, 0, bg.Rv, 0, n)
-	for i := 1; i <= bg.Opts.MaxIter; i++ {
+	for i := from; i <= bg.Opts.MaxIter; i++ {
 		start := m.Clock.Now()
 		if bg.Guard.Pool() != nil {
-			bg.iterPMEM()
+			bg.iterPMEM(i)
 		} else {
 			bg.iterPlain()
 		}
@@ -413,7 +431,63 @@ func (bg *BaselineCG) Run() {
 		// bound (paper §III-B performance comparison).
 		bg.Guard.EndIteration(int64(i), bg.Pv, bg.Rv, bg.Zv)
 		bg.IterNS[i] = m.Clock.Since(start)
+		if bg.Em != nil {
+			bg.Em.Trigger(TriggerCGIterEnd)
+		}
 	}
+}
+
+// Recover restarts the baseline solver after a crash, per scheme:
+// checkpoint schemes restore the last checkpoint and resume after it;
+// transactional schemes roll back the torn transaction and resume after
+// the last committed iteration; native runs (no mechanism) reinitialize
+// and start over. It returns the iteration RunFrom should resume at.
+func (bg *BaselineCG) Recover() (from int, err error) {
+	switch {
+	case bg.Guard.Checkpointer() != nil:
+		cp := bg.Guard.Checkpointer()
+		if !cp.Valid() {
+			bg.reset()
+			return 1, nil
+		}
+		tag := cp.Restore(bg.Pv, bg.Rv, bg.Zv)
+		if tag < 0 || tag > int64(bg.Opts.MaxIter) {
+			return 0, fmt.Errorf("cg: checkpoint tag %d out of range", tag)
+		}
+		return int(tag) + 1, nil
+	case bg.Guard.Pool() != nil:
+		bg.Guard.Pool().Recover()
+		done := bg.IterDone.Image()[0]
+		if done < 0 || done > int64(bg.Opts.MaxIter) {
+			return 0, fmt.Errorf("cg: committed iteration %d out of range", done)
+		}
+		return int(done) + 1, nil
+	default:
+		bg.reset()
+		return 1, nil
+	}
+}
+
+// reset reinitializes the work vectors to the solver's starting state
+// (p = r = b, z = 0) in both live and image, charging the NVM writes —
+// the "restart the application from the beginning" path of a native
+// run.
+func (bg *BaselineCG) reset() {
+	b := bg.B.Image()
+	copy(bg.Pv.Live(), b)
+	copy(bg.Pv.Image(), b)
+	copy(bg.Rv.Live(), b)
+	copy(bg.Rv.Image(), b)
+	for _, r := range []*mem.F64{bg.Zv, bg.Qv} {
+		for i := range r.Live() {
+			r.Live()[i] = 0
+		}
+		for i := range r.Image() {
+			r.Image()[i] = 0
+		}
+	}
+	bg.M.ChargeNVMRead(bg.B.Bytes())
+	bg.M.ChargeNVMWrite(bg.Pv.Bytes() + bg.Rv.Bytes() + bg.Zv.Bytes() + bg.Qv.Bytes())
 }
 
 func (bg *BaselineCG) iterPlain() {
@@ -431,13 +505,16 @@ func (bg *BaselineCG) iterPlain() {
 	sparse.SimAxpby(cpu, bg.Pv, 0, bg.Rv, 0, beta, bg.Pv, 0, n)
 }
 
-// iterPMEM performs one iteration with the updates of p, r, z wrapped in
+// iterPMEM performs iteration i with the updates of p, r, z wrapped in
 // an undo-log transaction, as the paper configures the PMEM library
-// ("each iteration of the main loop of CG is a transaction").
-func (bg *BaselineCG) iterPMEM() {
+// ("each iteration of the main loop of CG is a transaction"). The
+// persistent iteration index commits with the data, so a crash rolls
+// both back together.
+func (bg *BaselineCG) iterPMEM(i int) {
 	cpu := bg.M.CPU
 	n := bg.N
 	tx := bg.Guard.Pool().Begin()
+	tx.SetI64(bg.IterDone, 0, int64(i))
 	bg.A.SpMV(cpu, bg.Qv, 0, bg.Pv, 0)
 	pq := sparse.SimDot(cpu, bg.Pv, 0, bg.Qv, 0, n)
 	alpha := bg.rho / pq

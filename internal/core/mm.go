@@ -417,9 +417,17 @@ type BaselineMM struct {
 
 	Scheme engine.Scheme
 	Guard  engine.Guard
+	// Em, when set, fires TriggerMMLoop1IterEnd at the end of every
+	// panel, making the baseline multiplication injectable at the same
+	// named program points as the extended one.
+	Em *crash.Emulator
 
 	Ac, Br, Cf *dense.SimMatrix
-	PanelNS    []int64
+	// PanelDone persistently records the last committed panel for
+	// transactional schemes (-1 = none), updated inside each panel's
+	// transaction so a rollback rewinds it with the data.
+	PanelDone *mem.I64
+	PanelNS   []int64
 
 	colSums []float64 // verifyCf scratch, reused across panels
 }
@@ -438,30 +446,41 @@ func NewBaselineMM(m *crash.Machine, opts MMOptions, sc engine.Scheme) *Baseline
 	br := abft.EncodeRowChecksum(b.Data, n, n)
 	bm := &BaselineMM{
 		M: m, Opts: opts, Scheme: sc,
-		Ac:      dense.UploadSim(m.Heap, "mm.Ac", &dense.Matrix{Rows: n + 1, Cols: n, Data: ac}),
-		Br:      dense.UploadSim(m.Heap, "mm.Br", &dense.Matrix{Rows: n, Cols: n + 1, Data: br}),
-		Cf:      dense.NewSim(m.Heap, "mm.Cf", n+1, n+1),
-		PanelNS: make([]int64, n/opts.K),
-		colSums: make([]float64, n+1),
+		Ac:        dense.UploadSim(m.Heap, "mm.Ac", &dense.Matrix{Rows: n + 1, Cols: n, Data: ac}),
+		Br:        dense.UploadSim(m.Heap, "mm.Br", &dense.Matrix{Rows: n, Cols: n + 1, Data: br}),
+		Cf:        dense.NewSim(m.Heap, "mm.Cf", n+1, n+1),
+		PanelDone: m.Heap.AllocI64("mm.paneldone", 1),
+		PanelNS:   make([]int64, n/opts.K),
+		colSums:   make([]float64, n+1),
 	}
+	bm.PanelDone.Live()[0] = -1
+	bm.PanelDone.Image()[0] = -1
 	// Transactional log capacity: one panel snapshots all of Cf once.
 	bm.Guard = sc.NewGuard(m, (n+1)*(n+1)+1024)
-	bm.Guard.Register(bm.Cf.R)
+	bm.Guard.Register(bm.Cf.R, bm.PanelDone)
 	m.TierRegion(bm.Ac.R)
 	m.TierRegion(bm.Br.R)
 	return bm
 }
 
 // Run executes the Figure 5 loop.
-func (bm *BaselineMM) Run() {
+func (bm *BaselineMM) Run() { bm.RunFrom(0) }
+
+// RunFrom executes panels fromS..S-1. A fresh multiplication starts at
+// 0; after a crash, resume from the panel Recover returns.
+func (bm *BaselineMM) RunFrom(fromS int) {
 	n1 := bm.Opts.N + 1
 	k := bm.Opts.K
-	for s := 0; s < bm.Opts.N/k; s++ {
+	if fromS < 0 {
+		fromS = 0
+	}
+	for s := fromS; s < bm.Opts.N/k; s++ {
 		start := bm.M.Clock.Now()
 		// Figure 5 line 2: verify the checksum relationship of Cf.
 		bm.verifyCf()
 		if pool := bm.Guard.Pool(); pool != nil {
 			tx := pool.Begin()
+			tx.SetI64(bm.PanelDone, 0, int64(s))
 			tx.SnapshotF64(bm.Cf.R, 0, n1*n1)
 			dense.GemmAcc(bm.M.CPU, bm.Cf, bm.Ac, bm.Br, s*k, k)
 			// Commit must flush everything the panel wrote.
@@ -472,7 +491,54 @@ func (bm *BaselineMM) Run() {
 		}
 		bm.Guard.EndIteration(int64(s), bm.Cf.R)
 		bm.PanelNS[s] = bm.M.Clock.Since(start)
+		if bm.Em != nil {
+			bm.Em.Trigger(TriggerMMLoop1IterEnd)
+		}
 	}
+}
+
+// Recover restarts the baseline multiplication after a crash, per
+// scheme: checkpoint schemes restore the last checkpoint of Cf and
+// resume after it; transactional schemes roll back the torn transaction
+// and resume after the last committed panel; native runs zero Cf and
+// start over. It returns the panel RunFrom should resume at.
+func (bm *BaselineMM) Recover() (fromS int, err error) {
+	panels := bm.Opts.N / bm.Opts.K
+	switch {
+	case bm.Guard.Checkpointer() != nil:
+		cp := bm.Guard.Checkpointer()
+		if !cp.Valid() {
+			bm.reset()
+			return 0, nil
+		}
+		tag := cp.Restore(bm.Cf.R)
+		if tag < 0 || tag >= int64(panels) {
+			return 0, fmt.Errorf("mm: checkpoint tag %d out of range", tag)
+		}
+		return int(tag) + 1, nil
+	case bm.Guard.Pool() != nil:
+		bm.Guard.Pool().Recover()
+		done := bm.PanelDone.Image()[0]
+		if done < -1 || done >= int64(panels) {
+			return 0, fmt.Errorf("mm: committed panel %d out of range", done)
+		}
+		return int(done) + 1, nil
+	default:
+		bm.reset()
+		return 0, nil
+	}
+}
+
+// reset zeroes the accumulation target in both live and image, charging
+// the NVM writes — the restart-from-scratch path of a native run.
+func (bm *BaselineMM) reset() {
+	for i := range bm.Cf.R.Live() {
+		bm.Cf.R.Live()[i] = 0
+	}
+	for i := range bm.Cf.R.Image() {
+		bm.Cf.R.Image()[i] = 0
+	}
+	bm.M.ChargeNVMWrite(bm.Cf.R.Bytes())
 }
 
 // verifyCf streams Cf once, recomputing row and column sums (the ABFT

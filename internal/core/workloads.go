@@ -92,10 +92,39 @@ func (w *CGWorkload) Metrics() map[string]float64 {
 // MMWorkload wraps the extended ABFT matrix multiplication (§III-C).
 type MMWorkload struct {
 	Opts MMOptions
+	// Want, when non-nil, is the precomputed native product used as the
+	// verification oracle (it is a pure function of Opts, so injection
+	// campaigns compute it once per cell and share it read-only).
+	Want *dense.Matrix
 
 	mm   *MM
 	rec1 *MMRecovery // pending loop-1 repair plan from Recover
 	rec  MMRecovery  // last recovery, for metrics
+}
+
+// MMWant computes the native product oracle for the given options.
+func MMWant(opts MMOptions) *dense.Matrix {
+	opts.setDefaults()
+	a := dense.Random(opts.N, opts.N, opts.Seed)
+	b := dense.Random(opts.N, opts.N, opts.Seed+1)
+	want := dense.New(opts.N, opts.N)
+	dense.Mul(want, a, b)
+	return want
+}
+
+// mmVerify compares got to the oracle (precomputed want, or computed on
+// the fly from opts when want is nil).
+func mmVerify(got *dense.Matrix, want *dense.Matrix, opts MMOptions) error {
+	if want == nil {
+		want = MMWant(opts)
+	}
+	for i := range want.Data {
+		d := math.Abs(got.Data[i] - want.Data[i])
+		if d > 1e-8*math.Max(1, math.Abs(want.Data[i])) {
+			return fmt.Errorf("mm: product differs at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	return nil
 }
 
 // Name implements engine.Workload.
@@ -140,19 +169,7 @@ func (w *MMWorkload) Recover() (int64, error) {
 // Verify implements engine.Workload: the live result must equal the
 // native product.
 func (w *MMWorkload) Verify() error {
-	opts := w.mm.Opts
-	a := dense.Random(opts.N, opts.N, opts.Seed)
-	b := dense.Random(opts.N, opts.N, opts.Seed+1)
-	want := dense.New(opts.N, opts.N)
-	dense.Mul(want, a, b)
-	got := w.mm.Result()
-	for i := range want.Data {
-		d := math.Abs(got.Data[i] - want.Data[i])
-		if d > 1e-8*math.Max(1, math.Abs(want.Data[i])) {
-			return fmt.Errorf("mm: product differs at %d: %v vs %v", i, got.Data[i], want.Data[i])
-		}
-	}
-	return nil
+	return mmVerify(w.mm.Result(), w.Want, w.mm.Opts)
 }
 
 // Metrics implements engine.Workload.
@@ -282,6 +299,130 @@ func (w *MCWorkload) Metrics() map[string]float64 {
 	return out
 }
 
+// BaselineCGWorkload wraps the Figure 1 baseline solver under a
+// conventional scheme (native, checkpoint, or PMEM transactions) as an
+// engine.Workload, so injection campaigns can crash and recover the
+// baseline mechanisms through the same lifecycle as the
+// algorithm-directed solver.
+type BaselineCGWorkload struct {
+	// A is the system matrix; if nil, Prepare generates an SPD matrix
+	// of dimension N with NnzRow nonzeros per row from Opts.Seed.
+	A      *sparse.CSR
+	N      int
+	NnzRow int
+	Opts   CGOptions
+	// Scheme selects the conventional mechanism; nil means native.
+	Scheme engine.Scheme
+
+	bg *BaselineCG
+}
+
+// Name implements engine.Workload.
+func (w *BaselineCGWorkload) Name() string { return "cg" }
+
+// Prepare implements engine.Workload.
+func (w *BaselineCGWorkload) Prepare(m *crash.Machine, em *crash.Emulator) error {
+	if w.bg != nil {
+		return fmt.Errorf("cg: Prepare called twice")
+	}
+	if w.A == nil {
+		n := w.N
+		if n == 0 {
+			n = 2000
+		}
+		nnz := w.NnzRow
+		if nnz == 0 {
+			nnz = 9
+		}
+		w.A = sparse.GenSPD(n, nnz, w.Opts.Seed)
+	}
+	w.bg = NewBaselineCG(m, w.A, w.Opts, w.Scheme)
+	w.bg.Em = em
+	return nil
+}
+
+// Start implements engine.Workload: CG iterations are 1-based.
+func (w *BaselineCGWorkload) Start() int64 { return 1 }
+
+// Run implements engine.Workload.
+func (w *BaselineCGWorkload) Run(from int64) { w.bg.RunFrom(int(from)) }
+
+// Recover implements engine.Workload.
+func (w *BaselineCGWorkload) Recover() (int64, error) {
+	from, err := w.bg.Recover()
+	return int64(from), err
+}
+
+// Verify implements engine.Workload: same residual bound as the
+// extended solver.
+func (w *BaselineCGWorkload) Verify() error {
+	r := w.bg.Residual()
+	if math.IsNaN(r) || r >= 1 {
+		return fmt.Errorf("cg: relative residual %v after %d iterations", r, w.bg.Opts.MaxIter)
+	}
+	return nil
+}
+
+// Metrics implements engine.Workload.
+func (w *BaselineCGWorkload) Metrics() map[string]float64 {
+	return map[string]float64{
+		"residual":    w.bg.Residual(),
+		"avg_iter_ns": float64(AvgIterNS(w.bg.IterNS)),
+	}
+}
+
+// BaselineMMWorkload wraps the Figure 5 baseline ABFT multiplication
+// under a conventional scheme as an engine.Workload.
+type BaselineMMWorkload struct {
+	Opts MMOptions
+	// Want, when non-nil, is the precomputed native product oracle (see
+	// MMWorkload.Want).
+	Want *dense.Matrix
+	// Scheme selects the conventional mechanism; nil means native.
+	Scheme engine.Scheme
+
+	bm *BaselineMM
+}
+
+// Name implements engine.Workload.
+func (w *BaselineMMWorkload) Name() string { return "mm" }
+
+// Prepare implements engine.Workload.
+func (w *BaselineMMWorkload) Prepare(m *crash.Machine, em *crash.Emulator) error {
+	if w.bm != nil {
+		return fmt.Errorf("mm: Prepare called twice")
+	}
+	w.bm = NewBaselineMM(m, w.Opts, w.Scheme)
+	w.bm.Em = em
+	return nil
+}
+
+// Start implements engine.Workload: panels are 0-based.
+func (w *BaselineMMWorkload) Start() int64 { return 0 }
+
+// Run implements engine.Workload.
+func (w *BaselineMMWorkload) Run(from int64) { w.bm.RunFrom(int(from)) }
+
+// Recover implements engine.Workload.
+func (w *BaselineMMWorkload) Recover() (int64, error) {
+	from, err := w.bm.Recover()
+	return int64(from), err
+}
+
+// Verify implements engine.Workload: the live result must equal the
+// native product.
+func (w *BaselineMMWorkload) Verify() error {
+	return mmVerify(w.bm.Result(), w.Want, w.bm.Opts)
+}
+
+// Metrics implements engine.Workload.
+func (w *BaselineMMWorkload) Metrics() map[string]float64 {
+	return map[string]float64{
+		"panels":       float64(len(w.bm.PanelNS)),
+		"avg_panel_ns": float64(AvgPositiveNS(w.bm.PanelNS)),
+	}
+}
+
 // Workloads returns one instance of each paper workload with CI-scale
 // defaults, for generic drivers and conformance tests.
 func Workloads() []engine.Workload {
@@ -297,4 +438,6 @@ var (
 	_ engine.Workload = (*CGWorkload)(nil)
 	_ engine.Workload = (*MMWorkload)(nil)
 	_ engine.Workload = (*MCWorkload)(nil)
+	_ engine.Workload = (*BaselineCGWorkload)(nil)
+	_ engine.Workload = (*BaselineMMWorkload)(nil)
 )

@@ -10,10 +10,18 @@
 //     configured occurrence of that name (the crash_sim_output() API);
 //   - after a specific number of memory operations: profile a run to
 //     learn the op count, then re-run with CrashAtOp.
+//
+// Both ways are unified by CrashPoint, the value an injection campaign
+// arms with Emulator.Arm. Profile runs a workload with no crash armed
+// and records its total op count and per-trigger occurrence counts; the
+// resulting RunProfile enumerates deterministic seeded crash points for
+// statistical fault-injection sweeps (internal/campaign).
 package crash
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 
 	"adcc/internal/cache"
 	"adcc/internal/mem"
@@ -198,6 +206,10 @@ type Emulator struct {
 	prevAcc     mem.Accessor
 	installedAt mem.Accessor
 
+	// profile, when non-nil, counts every Trigger call by name
+	// (installed by Profile runs).
+	profile map[string]int
+
 	// OnCrash, if set, runs at the crash point before any volatile
 	// state is discarded — the hook the crash_sim_output() API of the
 	// paper's PIN tool uses to dump cache and memory contents.
@@ -215,6 +227,129 @@ func (e *Emulator) CrashAtOp(n int64) {
 	e.crashAtOp = n
 }
 
+// CrashPoint names one injection site in either of the emulator's two
+// coordinate systems: an absolute memory-operation count (Op > 0), or
+// the Occurrence-th call to Trigger(Trigger). A zero CrashPoint is
+// disarmed.
+type CrashPoint struct {
+	// Op crashes after this many memory operations (0 = use Trigger).
+	Op int64 `json:"op,omitempty"`
+	// Trigger and Occurrence crash at the Occurrence-th call to
+	// Trigger(Trigger); occurrences are 1-based.
+	Trigger    string `json:"trigger,omitempty"`
+	Occurrence int    `json:"occurrence,omitempty"`
+}
+
+// String renders the point for logs and reports.
+func (p CrashPoint) String() string {
+	if p.Op > 0 {
+		return fmt.Sprintf("op=%d", p.Op)
+	}
+	if p.Occurrence > 0 {
+		return fmt.Sprintf("%s#%d", p.Trigger, p.Occurrence)
+	}
+	return "disarmed"
+}
+
+// Arm configures the emulator to crash at p on the next Run, replacing
+// any previously armed point.
+func (e *Emulator) Arm(p CrashPoint) {
+	e.crashAtOp = p.Op
+	e.trigName = p.Trigger
+	e.trigTarget = p.Occurrence
+}
+
+// Disarm clears any armed crash point, so subsequent Runs complete
+// (while still counting ops — recovery campaigns use this to measure
+// rework after a crash).
+func (e *Emulator) Disarm() {
+	e.crashAtOp = 0
+	e.trigName = ""
+	e.trigTarget = 0
+}
+
+// TriggerCount is one named program point and how many times a profiled
+// run passed it.
+type TriggerCount struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+// RunProfile is the crash-point coordinate space of one workload
+// execution: the total memory-operation count and every named trigger
+// with its occurrence count, sorted by name.
+type RunProfile struct {
+	Ops      int64          `json:"ops"`
+	Triggers []TriggerCount `json:"triggers,omitempty"`
+}
+
+// Profile executes the workload with op counting installed but no crash
+// armed, and returns the observed crash-point space. Any previously
+// armed point is preserved and re-armed afterwards, and the machine is
+// left in the workload's completed state — callers wanting a fresh
+// platform for subsequent injections must rebuild it.
+func (e *Emulator) Profile(workload func()) RunProfile {
+	saved := CrashPoint{Op: e.crashAtOp, Trigger: e.trigName, Occurrence: e.trigTarget}
+	e.Disarm()
+	e.profile = map[string]int{}
+	defer func() {
+		e.profile = nil
+		e.Arm(saved)
+	}()
+	e.Run(workload)
+	p := RunProfile{Ops: e.ops}
+	for name, c := range e.profile {
+		p.Triggers = append(p.Triggers, TriggerCount{Name: name, Count: c})
+	}
+	sort.Slice(p.Triggers, func(i, j int) bool { return p.Triggers[i].Name < p.Triggers[j].Name })
+	return p
+}
+
+// MainTriggerOps estimates the op cost of one main-loop iteration: the
+// total op count divided by the occurrence count of the most frequent
+// trigger. Campaigns use it as the granularity against which rework is
+// judged. Returns Ops when the profile saw no triggers.
+func (p RunProfile) MainTriggerOps() int64 {
+	max := 0
+	for _, t := range p.Triggers {
+		if t.Count > max {
+			max = t.Count
+		}
+	}
+	if max == 0 {
+		return p.Ops
+	}
+	return p.Ops / int64(max)
+}
+
+// Points enumerates n deterministic crash points from the profile under
+// a seed: even indices are uniform random op counts in [1, Ops], odd
+// indices are random occurrences of the profiled triggers (round-robin
+// across trigger names). With no triggers profiled, every point is an
+// op-count point. The same profile and seed always yield the same
+// points, independent of host or execution order.
+func (p RunProfile) Points(n int, seed int64) []CrashPoint {
+	if n <= 0 || p.Ops <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]CrashPoint, 0, n)
+	ti := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 1 && len(p.Triggers) > 0 {
+			t := p.Triggers[ti%len(p.Triggers)]
+			ti++
+			out = append(out, CrashPoint{
+				Trigger:    t.Name,
+				Occurrence: 1 + rng.Intn(t.Count),
+			})
+			continue
+		}
+		out = append(out, CrashPoint{Op: 1 + rng.Int63n(p.Ops)})
+	}
+	return out
+}
+
 // CrashAtTrigger arms a crash at the occurrence-th call to
 // Trigger(name). Occurrences are 1-based.
 func (e *Emulator) CrashAtTrigger(name string, occurrence int) {
@@ -226,6 +361,9 @@ func (e *Emulator) CrashAtTrigger(name string, occurrence int) {
 // (the crash_sim_output() API of the paper's PIN tool). If the armed
 // trigger matches, the crash fires here.
 func (e *Emulator) Trigger(name string) {
+	if e.profile != nil {
+		e.profile[name]++
+	}
 	if e.trigTarget <= 0 || name != e.trigName {
 		return
 	}

@@ -1,0 +1,45 @@
+package engine
+
+import "sync"
+
+// RunCases executes n independent cases, fanning them across a bounded
+// worker pool when parallel > 1. It is the shared deterministic
+// executor behind the harness experiment drivers and the campaign
+// engine's injection shards: each case must build its own simulated
+// machine and seed its own inputs, so execution order cannot affect
+// results, and collecting them by case index keeps every aggregate
+// byte-identical to a serial run. Errors are reported in case order
+// (the lowest-index failure wins, matching what a serial run would hit
+// first).
+func RunCases[T any](parallel, n int, run func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers := parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				out[i], errs[i] = run(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

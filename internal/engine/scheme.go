@@ -1,6 +1,6 @@
 // Package engine is the shared layer between the workloads (CG, ABFT-MM,
 // Monte-Carlo) and the crash-consistence mechanisms they are evaluated
-// under. It contributes two abstractions:
+// under. It contributes three pieces:
 //
 //   - Scheme: a named consistency scheme (native, checkpoint variants,
 //     PMEM-style transactions, the paper's algorithm-directed approach)
@@ -9,7 +9,13 @@
 //
 //   - Workload: a crash-consistence study — a computation that runs from
 //     an iteration boundary, recovers after a crash, and verifies its
-//     result — implemented by all three of the paper's algorithms.
+//     result — implemented by all three of the paper's algorithms (and
+//     their conventional-mechanism baselines) in internal/core.
+//
+//   - RunCases: the bounded worker pool every fan-out in the repo goes
+//     through (harness experiment cases, campaign injection shards),
+//     with index-ordered collection so aggregates are byte-identical
+//     between serial and parallel runs.
 //
 // The experiment drivers in internal/harness iterate the registry instead
 // of switching on case labels, and the workload loops in internal/core

@@ -9,7 +9,8 @@ import (
 // llcConfig builds the standard LLC configuration used by the
 // experiment drivers. The paper's Xeon E5606 has an 8 MB LLC; the
 // reproduction scales problem sizes down 4-12x and the LLC with them so
-// that working-set-to-cache ratios are preserved (DESIGN.md §2).
+// that working-set-to-cache ratios are preserved (ARCHITECTURE.md,
+// "Scaling").
 func llcConfig(sizeBytes, assoc int) cache.Config {
 	return cache.Config{
 		SizeBytes:         sizeBytes,

@@ -1,43 +1,12 @@
 package harness
 
-import "sync"
+import "adcc/internal/engine"
 
-// runCases executes n independent experiment cases, fanning out across a
-// bounded worker pool when o.Parallel > 1. Each case builds its own
-// simulated machine and seeds its own inputs, so execution order cannot
-// affect results; collecting them by case index keeps the emitted tables
-// byte-identical to a serial run. Errors are reported in case order (the
-// lowest-index failure wins, matching what a serial run would hit
-// first).
+// runCases executes n independent experiment cases through the engine's
+// bounded worker pool (engine.RunCases), honoring o.Parallel. Each case
+// builds its own simulated machine and seeds its own inputs, so
+// execution order cannot affect results; collecting them by case index
+// keeps the emitted tables byte-identical to a serial run.
 func runCases[T any](o Options, n int, run func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	errs := make([]error, n)
-	workers := o.Parallel
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			out[i], errs[i] = run(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				out[i], errs[i] = run(i)
-			}(i)
-		}
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
-	return out, nil
+	return engine.RunCases(o.Parallel, n, run)
 }

@@ -1,9 +1,12 @@
 // Package harness contains the experiment drivers that regenerate every
 // table and figure of the paper's evaluation (§III), plus ablation
-// studies for the design choices called out in DESIGN.md. Each driver
-// builds the simulated platform(s), runs the workload under the relevant
+// studies for the reproduction's design choices and the statistical
+// crash-injection campaign's survival table. Each driver builds the
+// simulated platform(s), runs the workload under the relevant
 // mechanisms, and emits a text table whose rows correspond to the
-// figure's bars or series.
+// figure's bars or series. Drivers fan independent cases through the
+// engine's bounded worker pool and collect results by case index, so
+// tables are byte-identical at any Options.Parallel setting.
 package harness
 
 import (
@@ -134,6 +137,9 @@ type Options struct {
 	// and sorted on snapshot, so the collected suite is identical
 	// between serial and parallel runs.
 	Collector *bench.Collector
+	// CampaignJSON, when non-empty, makes the campaign experiment write
+	// its full machine-readable report to this path.
+	CampaignJSON string
 }
 
 func (o Options) scale() float64 {
@@ -176,6 +182,7 @@ func All() []Experiment {
 		{"fig12", "XSBench counts: no-crash vs selective flushing (paper Figure 12)", RunFig12},
 		{"fig13", "XSBench runtime under mechanisms (paper Figure 13)", RunFig13},
 		{"summary", "Headline-claim validation across all runtime figures", RunSummary},
+		{"campaign", "Statistical crash-injection campaign: per-scheme survival and recovery cost", RunCampaign},
 		{"cg-cache", "Ablation: CG recomputation vs LLC size", RunCGCacheAblation},
 		{"clwb", "Ablation: CLFLUSH vs CLWB for the algorithm-directed flushes (paper §II prediction)", RunCLWBAblation},
 		{"mc-flush", "Ablation: MC flush period vs overhead and accuracy (incl. the paper's 16% every-iteration claim)", RunMCFlushAblation},

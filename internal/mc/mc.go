@@ -46,7 +46,7 @@ const counterStride = mem.LineSize / 8
 
 // Config sizes the simulation. The defaults are the paper's XSBench
 // configuration scaled down 100x in lookups and ~6x in grid points
-// (DESIGN.md §2); all crash/flush parameters elsewhere are expressed as
+// (ARCHITECTURE.md, "Scaling"); all crash/flush parameters elsewhere are expressed as
 // fractions of Lookups, so the scaling preserves the paper's shape.
 type Config struct {
 	// Nuclides is the number of fuel nuclides (paper: 34).

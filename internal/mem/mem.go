@@ -15,7 +15,8 @@
 // The correctness of this metadata-only design rests on a single-core
 // write-back cache invariant: a resident line always holds the most
 // recent value of every byte it covers, so materializing a writeback from
-// the live slice is exact. See DESIGN.md §5.
+// the live slice is exact. See ARCHITECTURE.md, "Metadata-only cache
+// exactness".
 package mem
 
 import (
