@@ -11,6 +11,7 @@
 package adcc_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -58,7 +59,7 @@ func benchExperiment(b *testing.B, name string) {
 	opts := harness.Options{Scale: benchScale()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tab, err := e.Run(opts)
+		tab, err := e.Run(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func benchExperimentParallel(b *testing.B, name string, workers int) {
 	opts := harness.Options{Scale: benchScale(), Parallel: workers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tab, err := e.Run(opts)
+		tab, err := e.Run(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,7 +2,8 @@
 // evaluation (Yang et al., "Algorithm-Directed Crash Consistence in
 // Non-Volatile Memory for HPC", CLUSTER 2017) on the simulated NVM
 // platform, plus ablation studies and the statistical crash-injection
-// campaign (run -list for the full set).
+// campaign (run -list for the full set). It is built entirely on the
+// public pkg/adcc API — everything it does is available to embedders.
 //
 // Usage:
 //
@@ -10,6 +11,7 @@
 //	adccbench -experiment fig3,fig4        # specific experiments
 //	adccbench -experiment fig8 -scale 0.2  # scaled-down quick run
 //	adccbench -experiment all -parallel 4  # fan independent cases out over 4 workers
+//	adccbench -experiment fig4 -events     # stream per-case progress events
 //	adccbench -list                        # list experiments
 //	adccbench -bench -json out.json        # machine-readable benchmark suite
 //
@@ -18,24 +20,26 @@
 //
 // The -bench mode runs the kernel micro-benchmarks (wall-clock ns/op and
 // allocs/op plus deterministic simulated metrics) and the timed harness
-// experiments, and emits a schema-stable JSON suite for cmd/benchdiff.
-// Unless -scale is given explicitly, -bench runs the experiments at the
-// default bench scale (0.05), matching the root bench_test defaults.
+// experiments, and emits the JSON suite wrapped in the adcc-report/v1
+// envelope for cmd/benchdiff. Unless -scale is given explicitly, -bench
+// runs the experiments at the default bench scale (0.05), matching the
+// root bench_test defaults.
 //
 // Every experiment case is seeded and runs on its own simulated machine,
 // and the harness collects results in case order, so -parallel N output
-// is byte-identical to a serial run.
+// (tables, reports, and the -events stream) is byte-identical to a
+// serial run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
-	"adcc/internal/bench"
-	"adcc/internal/harness"
+	"adcc/pkg/adcc"
 )
 
 // defaultBenchScale is the harness scale -bench uses when -scale is not
@@ -55,22 +59,25 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "problem-size scale factor (1.0 = paper-shape defaults)")
 		parallel  = flag.Int("parallel", 1, "max concurrent cases per experiment (<=1 = serial; output is identical at any setting)")
 		verbose   = flag.Bool("v", false, "print progress while running")
+		events    = flag.Bool("events", false, "stream per-case progress events to stderr (deterministic order)")
 		listOnly  = flag.Bool("list", false, "list available experiments and exit")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		benchMode = flag.Bool("bench", false, "run the benchmark suite (kernels + timed experiments) and emit machine-readable results")
-		jsonPath  = flag.String("json", "", "with -bench: write the JSON suite to this file instead of stdout; with -experiment campaign: write the campaign report here")
+		jsonPath  = flag.String("json", "", "with -bench: write the enveloped JSON suite to this file instead of stdout; with -experiment campaign: write the enveloped campaign report here")
 	)
 	flag.Parse()
 
 	if *listOnly {
-		for _, e := range harness.All() {
+		for _, e := range adcc.Experiments() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.Title)
 		}
 		return
 	}
 
+	// -bench without an explicit -scale runs at the reduced bench
+	// scale; resolve the effective scale before building the options.
+	effScale := *scale
 	if *benchMode {
-		s := *scale
 		scaleSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "scale" {
@@ -78,47 +85,69 @@ func main() {
 			}
 		})
 		if !scaleSet {
-			s = defaultBenchScale
+			effScale = defaultBenchScale
 		}
-		os.Exit(runBench(*jsonPath, s, *parallel, *verbose))
 	}
 
-	var selected []harness.Experiment
+	opts := []adcc.Option{
+		adcc.WithScale(effScale),
+		adcc.WithParallelism(*parallel),
+	}
+	if *verbose {
+		opts = append(opts, adcc.WithVerbose(os.Stderr))
+	}
+	if *events {
+		opts = append(opts, adcc.WithEventSink(adcc.SinkFunc(func(e adcc.Event) {
+			fmt.Fprintln(os.Stderr, e)
+		})))
+	}
+
+	if *benchMode {
+		os.Exit(runBench(opts, *jsonPath, effScale, *verbose))
+	}
+
+	var selected []string
 	if *expFlag == "all" {
-		selected = harness.All()
+		for _, e := range adcc.Experiments() {
+			selected = append(selected, e.Name)
+		}
 	} else {
+		known := map[string]bool{}
+		for _, e := range adcc.Experiments() {
+			known[e.Name] = true
+		}
 		for _, name := range strings.Split(*expFlag, ",") {
 			name = strings.TrimSpace(name)
-			e, ok := harness.ByName(name)
-			if !ok {
+			if !known[name] {
 				fmt.Fprintf(os.Stderr, "adccbench: unknown experiment %q (use -list)\n", name)
 				os.Exit(2)
 			}
-			selected = append(selected, e)
+			selected = append(selected, name)
 		}
 	}
 
-	opts := harness.Options{
-		Scale: *scale, Verbose: *verbose, Out: os.Stderr, Parallel: *parallel,
-		CampaignJSON: *jsonPath,
+	if *jsonPath != "" {
+		opts = append(opts, adcc.WithCampaignJSON(*jsonPath))
 	}
+	runner := adcc.New(nil, opts...)
+	ctx := context.Background()
 	failed := false
-	for _, e := range selected {
+	for _, name := range selected {
 		start := time.Now()
-		tab, err := e.Run(opts)
+		tab, err := runner.RunExperiment(ctx, name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "adccbench: %s failed: %v\n", e.Name, err)
+			fmt.Fprintf(os.Stderr, "adccbench: %s failed: %v\n", name, err)
 			failed = true
 			continue
 		}
 		if *asCSV {
-			fmt.Printf("## %s\n", e.Name)
+			fmt.Printf("## %s\n", name)
 			tab.FprintCSV(os.Stdout)
 		} else {
 			tab.Fprint(os.Stdout)
 		}
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", e.Name, time.Since(start))
+			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start))
 		}
 	}
 	if failed {
@@ -127,30 +156,22 @@ func main() {
 }
 
 // runBench executes the kernel micro-benchmarks and the timed harness
-// experiments, assembles a bench.Suite, and writes its canonical JSON
-// encoding to jsonPath (stdout when empty). Returns the process exit
+// experiments, assembles a bench suite, and writes its adcc-report/v1
+// envelope to jsonPath (stdout when empty). Returns the process exit
 // code.
-func runBench(jsonPath string, scale float64, parallel int, verbose bool) int {
+func runBench(opts []adcc.Option, jsonPath string, scale float64, verbose bool) int {
 	if verbose {
 		fmt.Fprintf(os.Stderr, "bench: kernels + %s at scale %g\n",
 			strings.Join(benchExperiments, ","), scale)
 	}
-	results := bench.RunKernels()
+	results := adcc.RunKernels()
 
-	col := bench.NewCollector()
-	opts := harness.Options{
-		Scale: scale, Parallel: parallel,
-		Verbose: verbose, Out: os.Stderr,
-		Collector: col,
-	}
+	col := adcc.NewCollector()
+	runner := adcc.New(nil, append(opts, adcc.WithCollector(col))...)
+	ctx := context.Background()
 	for _, name := range benchExperiments {
-		e, ok := harness.ByName(name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "adccbench: unknown bench experiment %q\n", name)
-			return 1
-		}
 		start := time.Now()
-		if _, err := e.Run(opts); err != nil {
+		if _, err := runner.RunExperiment(ctx, name); err != nil {
 			fmt.Fprintf(os.Stderr, "adccbench: bench experiment %s failed: %v\n", name, err)
 			return 1
 		}
@@ -159,9 +180,10 @@ func runBench(jsonPath string, scale float64, parallel int, verbose bool) int {
 		}
 	}
 
-	suite := bench.NewSuite(scale, append(results, col.Results()...))
+	suite := adcc.NewSuite(scale, append(results, col.Results()...))
+	rep := adcc.NewBenchReport(suite)
 	if jsonPath == "" {
-		b, err := suite.EncodeJSON()
+		b, err := rep.EncodeJSON()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "adccbench: encode: %v\n", err)
 			return 1
@@ -169,7 +191,7 @@ func runBench(jsonPath string, scale float64, parallel int, verbose bool) int {
 		os.Stdout.Write(b)
 		return 0
 	}
-	if err := suite.WriteFile(jsonPath); err != nil {
+	if err := rep.WriteFile(jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "adccbench: %v\n", err)
 		return 1
 	}

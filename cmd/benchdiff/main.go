@@ -1,6 +1,8 @@
 // Command benchdiff compares two benchmark result files produced by
 // `adccbench -bench -json` and exits non-zero when the candidate
-// regresses against the baseline.
+// regresses against the baseline. It reads both the adcc-report/v1
+// envelope and bare legacy adcc-bench/v1 suites, so pre-envelope
+// baselines keep working.
 //
 // Usage:
 //
@@ -39,8 +41,18 @@ import (
 	"fmt"
 	"os"
 
-	"adcc/internal/bench"
+	"adcc/pkg/adcc"
 )
+
+// readSuite loads a bench suite from an enveloped or legacy report
+// file.
+func readSuite(path string) (adcc.Suite, error) {
+	rep, err := adcc.ReadReport(path)
+	if err != nil {
+		return adcc.Suite{}, err
+	}
+	return rep.BenchSuite()
+}
 
 func main() {
 	var (
@@ -57,12 +69,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	base, err := bench.ReadFile(flag.Arg(0))
+	base, err := readSuite(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	cand, err := bench.ReadFile(flag.Arg(1))
+	cand, err := readSuite(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
@@ -74,7 +86,7 @@ func main() {
 			base.Scale, cand.Scale)
 	}
 
-	rep := bench.Diff(base, cand, bench.DiffOptions{
+	rep := adcc.DiffSuites(base, cand, adcc.DiffOptions{
 		WallThreshold: *wallThr,
 		SimThreshold:  *simThr,
 	})

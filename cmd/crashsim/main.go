@@ -4,7 +4,8 @@
 // occurrence or an absolute memory-operation count), and reports the
 // consistency state of every memory region at the crash — which lines
 // were still dirty in the volatile cache (lost) and what recovery
-// concludes from the persistent image.
+// concludes from the persistent image. It is built entirely on the
+// public pkg/adcc API.
 //
 // Usage:
 //
@@ -13,27 +14,20 @@
 //	crashsim -workload mc -lookups 50000 -crash-op 2000000
 //
 // With -campaign, crashsim instead sweeps the selected workload through
-// the statistical fault-injection campaign (internal/campaign) across
-// every supported scheme and both platforms, printing the per-scheme
-// survival table (and the full JSON report with -json):
+// the statistical fault-injection campaign across every supported
+// scheme and both platforms, printing the per-scheme survival table
+// (and the full enveloped JSON report with -json):
 //
 //	crashsim -workload mc -campaign -campaign-scale 0.1 -parallel 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"adcc/internal/cache"
-	"adcc/internal/campaign"
-	"adcc/internal/core"
-	"adcc/internal/crash"
-	"adcc/internal/engine"
-	"adcc/internal/harness"
-	"adcc/internal/mc"
-	"adcc/internal/mem"
-	"adcc/internal/sparse"
+	"adcc/pkg/adcc"
 )
 
 func main() {
@@ -76,13 +70,14 @@ func main() {
 		os.Exit(runCampaign(*workload, *campaignScale, *parallel, *jsonPath))
 	}
 
-	kind := crash.NVMOnly
+	kind := adcc.NVMOnly
 	if *hetero {
-		kind = crash.Hetero
+		kind = adcc.Hetero
 	}
-	m := crash.NewMachine(crash.MachineConfig{
+	reg := adcc.NewRegistry()
+	m := adcc.NewMachine(adcc.MachineConfig{
 		System: kind,
-		Cache: cache.Config{
+		Cache: adcc.CacheConfig{
 			SizeBytes:         *llcKB << 10,
 			LineBytes:         64,
 			Assoc:             16,
@@ -91,8 +86,8 @@ func main() {
 			PrefetchStreams:   16,
 		},
 	})
-	em := crash.NewEmulator(m)
-	em.OnCrash = func(m *crash.Machine) {
+	em := adcc.NewEmulator(m)
+	em.OnCrash = func(m *adcc.Machine) {
 		fmt.Printf("--- crash fired (op %d, trigger %q) ---\n", em.OpCount(), em.CrashTrigger())
 		reportCacheState(m)
 	}
@@ -101,9 +96,9 @@ func main() {
 	var recover func()
 	switch *workload {
 	case "cg":
-		a := sparse.GenSPD(*n, 9, 1)
-		cg := core.NewCG(m, em, a, core.CGOptions{MaxIter: *occurrence})
-		em.CrashAtTrigger(core.TriggerCGIterEnd, *occurrence)
+		a := adcc.GenSPD(*n, 9, 1)
+		cg := adcc.NewCG(m, em, a, adcc.CGOptions{MaxIter: *occurrence})
+		em.CrashAtTrigger(adcc.TriggerCGIterEnd, *occurrence)
 		run = func() { cg.Run(1) }
 		recover = func() {
 			rec := cg.Recover()
@@ -115,10 +110,10 @@ func main() {
 		if kk == 0 {
 			kk = *n / 10
 		}
-		mm := core.NewMM(m, em, core.MMOptions{N: (*n / kk) * kk, K: kk, Seed: 1})
-		trig := core.TriggerMMLoop1IterEnd
+		mm := adcc.NewMM(m, em, adcc.MMOptions{N: (*n / kk) * kk, K: kk, Seed: 1})
+		trig := adcc.TriggerMMLoop1IterEnd
 		if *loop == 2 {
-			trig = core.TriggerMMLoop2IterEnd
+			trig = adcc.TriggerMMLoop2IterEnd
 		}
 		em.CrashAtTrigger(trig, *occurrence)
 		run = mm.Run
@@ -137,11 +132,11 @@ func main() {
 			}
 		}
 	case "mc":
-		s := mc.New(m.Heap, m.CPU, mc.Config{
+		s := adcc.NewMCSim(m, adcc.MCConfig{
 			Nuclides: 34, PointsPerNuclide: 500, Lookups: *lookups, Seed: 42,
 		})
-		r := core.NewMCRunner(m, em, s, engine.MustLookup(engine.SchemeAlgoNVM))
-		em.CrashAtTrigger(core.TriggerMCLookup, *occurrence)
+		r := adcc.NewMCRunner(m, em, s, reg.MustScheme(adcc.SchemeAlgoNVM))
+		em.CrashAtTrigger(adcc.TriggerMCLookup, *occurrence)
 		run = func() { r.Run(0) }
 		recover = func() {
 			fmt.Printf("recovery: restart at lookup %d; persistent counters %v\n",
@@ -166,32 +161,30 @@ func main() {
 }
 
 // runCampaign sweeps one workload through the injection campaign and
-// prints its survival table, reusing the harness renderer so crashsim
+// prints its survival table, reusing the shared renderer so crashsim
 // and adccbench present identical tables. Returns the process exit
 // code; any silent corruption or unrecoverable injection under the
 // paper's selective-flush algorithm-directed schemes is a failure.
 func runCampaign(workload string, scale float64, parallel int, jsonPath string) int {
-	rep, err := campaign.Run(campaign.Config{
-		Scale:     scale,
-		Parallel:  parallel,
-		Workloads: []string{workload},
-		Verbose:   true,
-		Out:       os.Stderr,
-	})
+	opts := []adcc.Option{
+		adcc.WithScale(scale),
+		adcc.WithParallelism(parallel),
+		adcc.WithWorkloads(workload),
+		adcc.WithVerbose(os.Stderr),
+	}
+	if jsonPath != "" {
+		opts = append(opts, adcc.WithCampaignJSON(jsonPath))
+	}
+	runner := adcc.New(nil, opts...)
+	rep, err := runner.RunCampaign(context.Background())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crashsim: %v\n", err)
 		return 1
 	}
-	harness.CampaignTable(rep).Fprint(os.Stdout)
-	if jsonPath != "" {
-		if err := rep.WriteFile(jsonPath); err != nil {
-			fmt.Fprintf(os.Stderr, "crashsim: %v\n", err)
-			return 1
-		}
-	}
+	adcc.CampaignTable(rep).Fprint(os.Stdout)
 	for _, c := range rep.Cells {
 		if c.Failures() > 0 &&
-			(c.Scheme == engine.SchemeAlgoNVM || c.Scheme == engine.SchemeAlgoHetero) {
+			(c.Scheme == adcc.SchemeAlgoNVM || c.Scheme == adcc.SchemeAlgoHetero) {
 			fmt.Fprintf(os.Stderr, "crashsim: %s/%s@%s: %d of %d injections failed\n",
 				c.Workload, c.Scheme, c.System, c.Failures(), c.Injections)
 			return 1
@@ -203,13 +196,13 @@ func runCampaign(workload string, scale float64, parallel int, jsonPath string) 
 // reportCacheState prints, per region, how many of its lines are
 // resident and dirty at the crash instant — the data that is about to be
 // lost (the paper tool's "values of data in caches and main memory").
-func reportCacheState(m *crash.Machine) {
+func reportCacheState(m *adcc.Machine) {
 	fmt.Printf("%-24s %12s %10s %10s %10s\n", "region", "bytes", "lines", "resident", "dirty")
 	for _, r := range m.Heap.Regions() {
-		lines := (r.Bytes() + mem.LineSize - 1) / mem.LineSize
+		lines := (r.Bytes() + adcc.LineBytes - 1) / adcc.LineBytes
 		resident, dirty := 0, 0
 		for l := 0; l < lines; l++ {
-			res, d := m.LLC.Contains(r.Base() + mem.Addr(l*mem.LineSize))
+			res, d := m.LLC.Contains(r.Base() + adcc.Addr(l*adcc.LineBytes))
 			if res {
 				resident++
 			}

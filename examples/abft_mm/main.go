@@ -3,17 +3,15 @@
 // checksummed temporal matrices whose checksums are flushed; after a
 // crash, checksum verification over the NVM image classifies every block
 // as complete, torn, or never-computed — and single stale elements are
-// repaired outright instead of recomputed.
+// repaired outright instead of recomputed. Built on the public pkg/adcc
+// API.
 package main
 
 import (
 	"fmt"
 	"math"
 
-	"adcc/internal/cache"
-	"adcc/internal/core"
-	"adcc/internal/crash"
-	"adcc/internal/dense"
+	"adcc/pkg/adcc"
 )
 
 func main() {
@@ -21,18 +19,18 @@ func main() {
 		n = 320
 		k = 64
 	)
-	machine := crash.NewMachine(crash.MachineConfig{
-		System: crash.NVMOnly,
-		Cache: cache.Config{
+	machine := adcc.NewMachine(adcc.MachineConfig{
+		System: adcc.NVMOnly,
+		Cache: adcc.CacheConfig{
 			SizeBytes: 256 << 10, LineBytes: 64, Assoc: 16, HitNS: 4,
 			FlushChargesClean: true, PrefetchStreams: 16,
 		},
 	})
-	emulator := crash.NewEmulator(machine)
-	mm := core.NewMM(machine, emulator, core.MMOptions{N: n, K: k, Seed: 3})
+	emulator := adcc.NewEmulator(machine)
+	mm := adcc.NewMM(machine, emulator, adcc.MMOptions{N: n, K: k, Seed: 3})
 
 	// Crash at the end of the 3rd submatrix multiplication.
-	emulator.CrashAtTrigger(core.TriggerMMLoop1IterEnd, 3)
+	emulator.CrashAtTrigger(adcc.TriggerMMLoop1IterEnd, 3)
 	emulator.Run(mm.Run)
 	fmt.Printf("crashed during loop 1 (%d x %d, rank %d, %d panels)\n\n",
 		n, n, k, mm.NumPanels())
@@ -49,10 +47,10 @@ func main() {
 	mm.RunLoop2(0)
 
 	// Verify against a native reference product.
-	an := dense.Random(n, n, 3)
-	bn := dense.Random(n, n, 4)
-	ref := dense.New(n, n)
-	dense.Mul(ref, an, bn)
+	an := adcc.RandomMatrix(n, n, 3)
+	bn := adcc.RandomMatrix(n, n, 4)
+	ref := adcc.NewMatrix(n, n)
+	adcc.MatMul(ref, an, bn)
 	got := mm.Result()
 	worst := 0.0
 	for i := range ref.Data {

@@ -3,15 +3,13 @@
 // iteration checkpointing, PMEM-style undo-log transactions, and the
 // algorithm-directed history extension — all configured for the same
 // one-iteration recomputation bound, so runtime is the only difference.
+// Schemes resolve on an instance adcc.Registry; no global state.
 package main
 
 import (
 	"fmt"
 
-	"adcc/internal/core"
-	"adcc/internal/crash"
-	"adcc/internal/engine"
-	"adcc/internal/sparse"
+	"adcc/pkg/adcc"
 )
 
 func main() {
@@ -19,8 +17,9 @@ func main() {
 		n     = 40000
 		iters = 12
 	)
-	a := sparse.GenSPD(n, 13, 7)
-	opts := core.CGOptions{MaxIter: iters}
+	a := adcc.GenSPD(n, 13, 7)
+	opts := adcc.CGOptions{MaxIter: iters}
+	reg := adcc.NewRegistry()
 
 	type result struct {
 		name string
@@ -28,28 +27,28 @@ func main() {
 	}
 	var results []result
 
-	run := func(name string, f func(m *crash.Machine) func()) {
-		m := crash.NewMachine(crash.MachineConfig{System: crash.NVMOnly})
+	run := func(name string, f func(m *adcc.Machine) func()) {
+		m := adcc.NewMachine(adcc.MachineConfig{System: adcc.NVMOnly})
 		work := f(m)
 		start := m.Clock.Now()
 		work()
 		results = append(results, result{name, m.Clock.Since(start)})
 	}
 
-	run("native (not restartable)", func(m *crash.Machine) func() {
-		s := core.NewBaselineCG(m, a, opts, nil)
+	run("native (not restartable)", func(m *adcc.Machine) func() {
+		s := adcc.NewBaselineCG(m, a, opts, nil)
 		return s.Run
 	})
-	run("checkpoint per iteration", func(m *crash.Machine) func() {
-		s := core.NewBaselineCG(m, a, opts, engine.MustLookup(engine.SchemeCkptNVM))
+	run("checkpoint per iteration", func(m *adcc.Machine) func() {
+		s := adcc.NewBaselineCG(m, a, opts, reg.MustScheme(adcc.SchemeCkptNVM))
 		return s.Run
 	})
-	run("PMEM undo-log transactions", func(m *crash.Machine) func() {
-		s := core.NewBaselineCG(m, a, opts, engine.MustLookup(engine.SchemePMEM))
+	run("PMEM undo-log transactions", func(m *adcc.Machine) func() {
+		s := adcc.NewBaselineCG(m, a, opts, reg.MustScheme(adcc.SchemePMEM))
 		return s.Run
 	})
-	run("algorithm-directed (paper)", func(m *crash.Machine) func() {
-		s := core.NewCG(m, nil, a, opts)
+	run("algorithm-directed (paper)", func(m *adcc.Machine) func() {
+		s := adcc.NewCG(m, nil, a, opts)
 		return func() { s.Run(1) }
 	})
 

@@ -1,11 +1,12 @@
 // Command crash_campaign is a runnable walkthrough of the statistical
-// fault-injection engine (internal/campaign): it enumerates the
-// crash-point space of one Monte-Carlo run, sweeps a small seeded
+// fault-injection engine through the public pkg/adcc API: it enumerates
+// the crash-point space of one Monte-Carlo run, sweeps a small seeded
 // campaign of injections across three representative schemes on both
-// simulated platforms, and prints what each scheme survived — the
-// selective-flush algorithm-directed scheme recovers every point, the
-// rejected index-only variant silently corrupts (the paper's Figure 10
-// bias), and checkpointing recovers at a higher rework cost.
+// simulated platforms with live streaming events, and prints what each
+// scheme survived — the selective-flush algorithm-directed scheme
+// recovers every point, the rejected index-only variant silently
+// corrupts (the paper's Figure 10 bias), and checkpointing recovers at
+// a higher rework cost.
 //
 // Run it from the repo root:
 //
@@ -18,24 +19,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"adcc/internal/campaign"
-	"adcc/internal/core"
-	"adcc/internal/crash"
-	"adcc/internal/engine"
-	"adcc/internal/harness"
-	"adcc/internal/mc"
+	"adcc/pkg/adcc"
 )
 
 func main() {
 	// 1. The crash-point space: profile one uninterrupted run.
-	m := crash.NewMachine(crash.MachineConfig{})
-	em := crash.NewEmulator(m)
-	w := &core.MCWorkload{
-		Cfg:    mc.TinyConfig(),
-		Scheme: engine.MustLookup(engine.SchemeAlgoNVM),
+	reg := adcc.NewRegistry()
+	m := adcc.NewMachine(adcc.MachineConfig{})
+	em := adcc.NewEmulator(m)
+	w := &adcc.MCWorkload{
+		Cfg:    adcc.MCTinyConfig(),
+		Scheme: reg.MustScheme(adcc.SchemeAlgoNVM),
 	}
 	if err := w.Prepare(m, em); err != nil {
 		panic(err)
@@ -48,22 +46,33 @@ func main() {
 	pts := prof.Points(6, 1)
 	fmt.Printf("6 seeded crash points: %v\n\n", pts)
 
-	// 3. A small campaign over three representative schemes. Every
-	// injection runs on a fresh simulated machine; the report is
-	// byte-identical at any Parallel setting.
-	rep, err := campaign.Run(campaign.Config{
-		Scale:     0.05,
-		Parallel:  4,
-		PerCell:   10,
-		Workloads: []string{"mc"},
-		Schemes: []string{
-			engine.SchemeAlgoNVM,   // paper's selective flushing
-			engine.SchemeAlgoNaive, // rejected index-only flushing
-			engine.SchemeCkptNVM,   // conventional checkpointing
-		},
-	})
+	// 3. A small campaign over three representative schemes, with the
+	// injection outcomes streamed as they classify. Every injection
+	// runs on a fresh simulated machine; the report — and the event
+	// stream — is byte-identical at any parallelism.
+	corrupt := 0
+	runner := adcc.New(reg,
+		adcc.WithScale(0.05),
+		adcc.WithParallelism(4),
+		adcc.WithInjectionsPerCell(10),
+		adcc.WithWorkloads(adcc.WorkloadMC),
+		adcc.WithSchemes(
+			adcc.SchemeAlgoNVM,   // paper's selective flushing
+			adcc.SchemeAlgoNaive, // rejected index-only flushing
+			adcc.SchemeCkptNVM,   // conventional checkpointing
+		),
+		adcc.WithEventSink(adcc.SinkFunc(func(e adcc.Event) {
+			if inj, ok := e.(adcc.InjectionDone); ok && inj.Outcome == "corrupt" {
+				corrupt++
+				fmt.Printf("  [event] %s\n", inj)
+			}
+		})),
+	)
+	rep, err := runner.RunCampaign(context.Background())
 	if err != nil {
 		panic(err)
 	}
-	harness.CampaignTable(rep).Fprint(os.Stdout)
+	fmt.Printf("\n%d injections streamed, %d silently corrupted (all under algo-naive):\n\n",
+		rep.Injections, corrupt)
+	adcc.CampaignTable(rep).Fprint(os.Stdout)
 }

@@ -3,32 +3,29 @@
 // free — but the interaction-type counters and macro_xs accumulator stay
 // hot in the volatile cache, and a naive restart (flush only the loop
 // index) silently biases the physics result. Selectively flushing a few
-// cache lines every 0.01% of lookups fixes it at negligible cost.
+// cache lines every 0.01% of lookups fixes it at negligible cost. Built
+// on the public pkg/adcc API.
 package main
 
 import (
 	"fmt"
 
-	"adcc/internal/cache"
-	"adcc/internal/core"
-	"adcc/internal/crash"
-	"adcc/internal/engine"
-	"adcc/internal/mc"
+	"adcc/pkg/adcc"
 )
 
-func run(sc engine.Scheme, cfg mc.Config, withCrash bool) [mc.NumTypes]int64 {
-	m := crash.NewMachine(crash.MachineConfig{
-		System: crash.NVMOnly,
-		Cache: cache.Config{
+func run(sc adcc.Scheme, cfg adcc.MCConfig, withCrash bool) [adcc.MCNumTypes]int64 {
+	m := adcc.NewMachine(adcc.MachineConfig{
+		System: adcc.NVMOnly,
+		Cache: adcc.CacheConfig{
 			SizeBytes: 64 << 10, LineBytes: 64, Assoc: 4, HitNS: 4,
 			FlushChargesClean: true, PrefetchStreams: 8,
 		},
 	})
-	em := crash.NewEmulator(m)
-	s := mc.New(m.Heap, m.CPU, cfg)
-	r := core.NewMCRunner(m, em, s, sc)
+	em := adcc.NewEmulator(m)
+	s := adcc.NewMCSim(m, cfg)
+	r := adcc.NewMCRunner(m, em, s, sc)
 	if withCrash {
-		em.CrashAtTrigger(core.TriggerMCLookup, cfg.Lookups/10)
+		em.CrashAtTrigger(adcc.TriggerMCLookup, cfg.Lookups/10)
 		em.Run(func() { r.Run(0) })
 		from := r.RestartIter()
 		r.Em = nil
@@ -39,8 +36,8 @@ func run(sc engine.Scheme, cfg mc.Config, withCrash bool) [mc.NumTypes]int64 {
 	return s.Counts()
 }
 
-func show(label string, c [mc.NumTypes]int64, lookups int) {
-	p := mc.Percentages(c, lookups)
+func show(label string, c [adcc.MCNumTypes]int64, lookups int) {
+	p := adcc.MCPercentages(c, lookups)
 	fmt.Printf("  %-34s", label)
 	for _, v := range p {
 		fmt.Printf(" %6.2f%%", v)
@@ -49,20 +46,21 @@ func show(label string, c [mc.NumTypes]int64, lookups int) {
 }
 
 func main() {
-	cfg := mc.Config{Nuclides: 16, PointsPerNuclide: 256, Lookups: 40_000, Seed: 11}
+	reg := adcc.NewRegistry()
+	cfg := adcc.MCConfig{Nuclides: 16, PointsPerNuclide: 256, Lookups: 40_000, Seed: 11}
 	fmt.Printf("cross-section lookups: %d; crash injected at 10%%\n", cfg.Lookups)
 	fmt.Println("share of each interaction type (types 1-5):")
 
-	noCrash := run(engine.MustLookup(engine.SchemeAlgoNaive), cfg, false)
+	noCrash := run(reg.MustScheme(adcc.SchemeAlgoNaive), cfg, false)
 	show("no crash", noCrash, cfg.Lookups)
 
-	naive := run(engine.MustLookup(engine.SchemeAlgoNaive), cfg, true)
+	naive := run(reg.MustScheme(adcc.SchemeAlgoNaive), cfg, true)
 	show("crash + naive restart", naive, cfg.Lookups)
 
-	selective := run(engine.MustLookup(engine.SchemeAlgoNVM), cfg, true)
+	selective := run(reg.MustScheme(adcc.SchemeAlgoNVM), cfg, true)
 	show("crash + selective-flush restart", selective, cfg.Lookups)
 
-	lost := func(c [mc.NumTypes]int64) int64 {
+	lost := func(c [adcc.MCNumTypes]int64) int64 {
 		var t int64
 		for _, v := range c {
 			t += v

@@ -1,31 +1,30 @@
 // Command quickstart solves a sparse SPD system with the crash-consistent CG
 // solver, inject a crash two thirds of the way through, and let the
 // algorithm-directed recovery find the restart point from the NVM image
-// — no checkpoint, no log, one flushed cache line per iteration.
+// — no checkpoint, no log, one flushed cache line per iteration. Built
+// on the public pkg/adcc API.
 package main
 
 import (
 	"fmt"
 
-	"adcc/internal/core"
-	"adcc/internal/crash"
-	"adcc/internal/sparse"
+	"adcc/pkg/adcc"
 )
 
 func main() {
 	// A simulated NVM machine: NVM main memory with volatile CPU
 	// caches, exactly the platform the paper targets.
-	machine := crash.NewMachine(crash.MachineConfig{System: crash.NVMOnly})
-	emulator := crash.NewEmulator(machine)
+	machine := adcc.NewMachine(adcc.MachineConfig{System: adcc.NVMOnly})
+	emulator := adcc.NewEmulator(machine)
 
 	// A random sparse symmetric positive-definite system A x = b with
 	// known solution x = ones.
 	const n = 20000
-	a := sparse.GenSPD(n, 11, 42)
-	solver := core.NewCG(machine, emulator, a, core.CGOptions{MaxIter: 15})
+	a := adcc.GenSPD(n, 11, 42)
+	solver := adcc.NewCG(machine, emulator, a, adcc.CGOptions{MaxIter: 15})
 
 	// Crash at the end of iteration 10.
-	emulator.CrashAtTrigger(core.TriggerCGIterEnd, 10)
+	emulator.CrashAtTrigger(adcc.TriggerCGIterEnd, 10)
 	crashed := emulator.Run(func() { solver.Run(1) })
 	fmt.Printf("crashed mid-solve: %v (at %d memory operations)\n", crashed, emulator.CrashOps())
 

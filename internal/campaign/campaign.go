@@ -17,6 +17,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -50,8 +51,21 @@ type Config struct {
 	// "mc"); nil means all three.
 	Workloads []string
 	// Schemes restricts the sweep to the named schemes; nil means every
-	// scheme supported by each workload.
+	// built-in scheme supported by each workload. Names outside the
+	// built-in set are resolved in Registry and added to every selected
+	// workload's grid, so explicitly named custom schemes are swept
+	// (under the extended implementation for KindAlgo schemes, under
+	// the Guard-driven baselines otherwise).
 	Schemes []string
+	// Registry resolves scheme names; nil means the process-global
+	// registry (so pre-instance-registry callers keep working). Custom
+	// schemes registered on an instance registry become sweepable by
+	// passing that registry here and naming them in Schemes.
+	Registry *engine.Registry
+	// Events, when non-nil, receives Progress events for the profiling
+	// stage and one InjectionDone per classified injection, in
+	// deterministic index order (byte-identical at any Parallel).
+	Events engine.EventSink
 	// Verbose enables progress notes on Out.
 	Verbose bool
 	Out     io.Writer
@@ -77,6 +91,14 @@ func (c Config) perCell() int {
 		return c.PerCell
 	}
 	return c.scaleInt(120, 8)
+}
+
+// registry returns the scheme registry the campaign resolves names in.
+func (c Config) registry() *engine.Registry {
+	if c.Registry != nil {
+		return c.Registry
+	}
+	return engine.Default()
 }
 
 func (c Config) logf(format string, args ...any) {
@@ -172,11 +194,25 @@ func (c Config) cells() ([]cell, error) {
 		if !inWorkloads(w) {
 			continue
 		}
-		for _, name := range schemesFor(w) {
+		// The workload's built-in grid, plus any explicitly named
+		// scheme outside it (custom schemes from the config's
+		// registry), in the order they were named.
+		candidates := schemesFor(w)
+		builtin := map[string]bool{}
+		for _, name := range candidates {
+			builtin[name] = true
+		}
+		for _, name := range c.Schemes {
+			if !builtin[name] {
+				candidates = append(candidates, name)
+				builtin[name] = true
+			}
+		}
+		for _, name := range candidates {
 			if !inSchemes(name) {
 				continue
 			}
-			sc, ok := engine.Lookup(name)
+			sc, ok := c.registry().Lookup(name)
 			if !ok {
 				return nil, fmt.Errorf("campaign: unknown scheme %q", name)
 			}
@@ -293,7 +329,9 @@ type job struct {
 }
 
 // Run executes the campaign and returns its aggregated report.
-func Run(cfg Config) (*Report, error) {
+// Cancelling ctx stops the dispatch of queued injections and surfaces
+// ctx.Err(); a cancelled campaign returns no report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cells, err := cfg.cells()
 	if err != nil {
 		return nil, err
@@ -312,7 +350,13 @@ func Run(cfg Config) (*Report, error) {
 
 	// Stage 1: profile each cell once to learn its crash-point space,
 	// then enumerate the cell's seeded points.
-	plans, err := engine.RunCases(cfg.Parallel, len(cells), func(i int) (plan, error) {
+	var observeProfile func(i int, p plan, err error)
+	if cfg.Events != nil {
+		observeProfile = func(i int, _ plan, _ error) {
+			cfg.Events.Emit(engine.Progress{Stage: "campaign/profile", Done: i + 1, Total: len(cells)})
+		}
+	}
+	plans, err := engine.RunCasesObserved(ctx, cfg.Parallel, len(cells), func(i int) (plan, error) {
 		cl := cells[i]
 		as := assets[cl.Workload]
 		m := cl.newMachine()
@@ -330,7 +374,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 		cfg.logf("campaign: %s profile: %d ops, %d trigger names", cl, prof.Ops, len(prof.Triggers))
 		return plan{Cell: cl, Assets: as, Profile: prof, Points: prof.Points(perCell, cl.seed(cfg.Seed))}, nil
-	})
+	}, observeProfile)
 	if err != nil {
 		return nil, err
 	}
@@ -344,10 +388,21 @@ func Run(cfg Config) (*Report, error) {
 			jobs = append(jobs, job{PlanIdx: pi, Point: pt})
 		}
 	}
-	results, err := engine.RunCases(cfg.Parallel, len(jobs), func(i int) (injection, error) {
+	var observeInjection func(i int, inj injection, err error)
+	if cfg.Events != nil {
+		observeInjection = func(i int, inj injection, _ error) {
+			cfg.Events.Emit(engine.InjectionDone{
+				Cell:    plans[jobs[i].PlanIdx].Cell.String(),
+				Index:   i,
+				Total:   len(jobs),
+				Outcome: inj.Outcome.String(),
+			})
+		}
+	}
+	results, err := engine.RunCasesObserved(ctx, cfg.Parallel, len(jobs), func(i int) (injection, error) {
 		p := plans[jobs[i].PlanIdx]
 		return runInjection(cfg, p, jobs[i].Point), nil
-	})
+	}, observeInjection)
 	if err != nil {
 		return nil, err
 	}

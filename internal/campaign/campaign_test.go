@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -25,7 +26,7 @@ func tinyConfig(parallel int) Config {
 func TestShardCountInvariance(t *testing.T) {
 	var encodings [][]byte
 	for _, parallel := range []int{1, 4, 13} {
-		rep, err := Run(tinyConfig(parallel))
+		rep, err := Run(context.Background(), tinyConfig(parallel))
 		if err != nil {
 			t.Fatalf("Run(parallel=%d): %v", parallel, err)
 		}
@@ -47,7 +48,7 @@ func TestShardCountInvariance(t *testing.T) {
 // Any drift — classification changes, cost-model changes, JSON layout
 // changes — must be reviewed and the golden regenerated with -update.
 func TestGoldenReport(t *testing.T) {
-	rep, err := Run(tinyConfig(1))
+	rep, err := Run(context.Background(), tinyConfig(1))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -73,7 +74,7 @@ func TestGoldenReport(t *testing.T) {
 // TestReportRoundTrip checks WriteFile/ReadFile preserve the report and
 // reject mismatched schemas.
 func TestReportRoundTrip(t *testing.T) {
-	rep, err := Run(tinyConfig(2))
+	rep, err := Run(context.Background(), tinyConfig(2))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -102,7 +103,7 @@ func TestReportRoundTrip(t *testing.T) {
 // swept cell carries a usable crash-point space.
 func TestOutcomeAccounting(t *testing.T) {
 	cfg := Config{Scale: 0.02, Parallel: 4, PerCell: 3, Workloads: []string{"mc"}}
-	rep, err := Run(cfg)
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

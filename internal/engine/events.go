@@ -1,0 +1,133 @@
+package engine
+
+import "fmt"
+
+// Event is a streaming progress notification emitted while a sweep
+// runs: experiment cases starting and finishing, campaign injection
+// outcomes, and stage progress counts. Events are emitted in
+// deterministic case-index order (see RunCasesObserved), so a recorded
+// event stream is byte-identical at any worker-pool width — embedders
+// can assert on it the same way the harness asserts on tables.
+//
+// The concrete types are CaseStarted, CaseFinished, InjectionDone, and
+// Progress; consumers type-switch on them or use the String rendering.
+type Event interface {
+	fmt.Stringer
+	// event marks the closed set of implementations.
+	event()
+}
+
+// EventSink receives events. Emit is called sequentially (never
+// concurrently) by a single sweep, in deterministic order; a sink used
+// by several concurrent sweeps must synchronize itself.
+type EventSink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the EventSink interface.
+type SinkFunc func(Event)
+
+// Emit implements EventSink.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// CaseStarted marks a case's entry into the ordered event stream: it
+// is always followed by the case's CaseFinished, and the pair is
+// emitted once every lower-indexed case has finished. The stream is
+// therefore live — the completed prefix streams while later cases are
+// still running — but CaseStarted is not a wall-clock start marker: at
+// any pool width (including serial) the case has already executed by
+// the time its pair is emitted. Consumers key case boundaries,
+// labels, and progress counts on it, not timing.
+type CaseStarted struct {
+	// Experiment is the sweep the case belongs to (a figure name, a
+	// campaign stage, or "run/<workload>" for Runner sweeps).
+	Experiment string
+	// Case labels the case within the sweep (a scheme or class name).
+	Case string
+	// Index and Total locate the case in the sweep.
+	Index, Total int
+}
+
+func (e CaseStarted) event() {}
+
+// String renders the event as a stable single line.
+func (e CaseStarted) String() string {
+	return fmt.Sprintf("%s: case %d/%d %s: started", e.Experiment, e.Index+1, e.Total, e.Case)
+}
+
+// CaseFinished reports a completed experiment case.
+type CaseFinished struct {
+	Experiment   string
+	Case         string
+	Index, Total int
+	// Err is the case's error text, empty on success.
+	Err string
+}
+
+func (e CaseFinished) event() {}
+
+// String renders the event as a stable single line.
+func (e CaseFinished) String() string {
+	status := "ok"
+	if e.Err != "" {
+		status = "error: " + e.Err
+	}
+	return fmt.Sprintf("%s: case %d/%d %s: %s", e.Experiment, e.Index+1, e.Total, e.Case, status)
+}
+
+// InjectionDone reports one classified crash injection of a campaign
+// sweep.
+type InjectionDone struct {
+	// Cell is the workload/scheme@system coordinate of the injection.
+	Cell string
+	// Index and Total locate the injection in the flattened sweep.
+	Index, Total int
+	// Outcome is the classification (clean, recomputed, corrupt,
+	// unrecoverable, no-crash).
+	Outcome string
+}
+
+func (e InjectionDone) event() {}
+
+// String renders the event as a stable single line.
+func (e InjectionDone) String() string {
+	return fmt.Sprintf("campaign: injection %d/%d %s: %s", e.Index+1, e.Total, e.Cell, e.Outcome)
+}
+
+// Progress reports completion counts for a named stage (for example the
+// campaign's per-cell profiling pass).
+type Progress struct {
+	Stage       string
+	Done, Total int
+}
+
+func (e Progress) event() {}
+
+// String renders the event as a stable single line.
+func (e Progress) String() string {
+	return fmt.Sprintf("%s: %d/%d", e.Stage, e.Done, e.Total)
+}
+
+// EmitCases builds a RunCasesObserved callback that streams a
+// CaseStarted/CaseFinished pair per case to sink, in case-index order.
+// label names case i (nil labels cases "case-<i>"); a nil sink returns
+// a nil callback, so callers can wire events unconditionally.
+func EmitCases[T any](sink EventSink, experiment string, total int, label func(i int) string) func(i int, v T, err error) {
+	if sink == nil {
+		return nil
+	}
+	name := func(i int) string {
+		if label == nil {
+			return fmt.Sprintf("case-%d", i)
+		}
+		return label(i)
+	}
+	return func(i int, _ T, err error) {
+		sink.Emit(CaseStarted{Experiment: experiment, Case: name(i), Index: i, Total: total})
+		fin := CaseFinished{Experiment: experiment, Case: name(i), Index: i, Total: total}
+		if err != nil {
+			fin.Err = err.Error()
+		}
+		sink.Emit(fin)
+	}
+}

@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // RunCases executes n independent cases, fanning them across a bounded
 // worker pool when parallel > 1. It is the shared deterministic
@@ -8,38 +11,98 @@ import "sync"
 // engine's injection shards: each case must build its own simulated
 // machine and seed its own inputs, so execution order cannot affect
 // results, and collecting them by case index keeps every aggregate
-// byte-identical to a serial run. Errors are reported in case order
-// (the lowest-index failure wins, matching what a serial run would hit
-// first).
-func RunCases[T any](parallel, n int, run func(i int) (T, error)) ([]T, error) {
+// byte-identical to a serial run.
+//
+// Cancelling ctx stops the dispatch of queued cases: already running
+// cases finish, everything not yet dispatched is skipped, and the call
+// returns the partial results together with ctx.Err(). Case errors take
+// precedence and are reported in case order (the lowest-index failure
+// wins, matching what a serial run would hit first).
+func RunCases[T any](ctx context.Context, parallel, n int, run func(i int) (T, error)) ([]T, error) {
+	return RunCasesObserved(ctx, parallel, n, run, nil)
+}
+
+// RunCasesObserved is RunCases with a streaming observation hook:
+// observe (when non-nil) is called once per completed case, in strict
+// case-index order, as the contiguous prefix of completed cases grows.
+// The callback therefore sees an identical sequence at any pool width —
+// the property the event streams built on top of it inherit — while
+// still being invoked during the run (case i is observed as soon as
+// cases 0..i have all finished, not after the whole fan-out). observe
+// runs with an internal lock held; keep it fast and do not call back
+// into the executor. Cases skipped by cancellation are never observed.
+func RunCasesObserved[T any](ctx context.Context, parallel, n int, run func(i int) (T, error), observe func(i int, v T, err error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]T, n)
 	errs := make([]error, n)
+	// dispatched counts the cases actually started; cancellation leaves
+	// the remainder untouched (zero values, no observation).
+	dispatched := 0
 	workers := parallel
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			dispatched = i + 1
 			out[i], errs[i] = run(i)
+			if observe != nil {
+				observe(i, out[i], errs[i])
+			}
 		}
 	} else {
-		var wg sync.WaitGroup
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			done = make([]bool, n)
+			next = 0
+		)
+		finish := func(i int) {
+			if observe == nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			done[i] = true
+			for next < n && done[next] {
+				observe(next, out[next], errs[next])
+				next++
+			}
+		}
 		sem := make(chan struct{}, workers)
 		for i := 0; i < n; i++ {
+			// Block for a worker slot, but give up as soon as the
+			// context is cancelled — queued cases must not start.
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			dispatched = i + 1
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				sem <- struct{}{}
 				defer func() { <-sem }()
 				out[i], errs[i] = run(i)
+				finish(i)
 			}(i)
 		}
 		wg.Wait()
 	}
-	for _, err := range errs {
+	for _, err := range errs[:dispatched] {
 		if err != nil {
 			return out, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 	return out, nil
 }

@@ -1,10 +1,10 @@
 // Package engine is the shared layer between the workloads (CG, ABFT-MM,
 // Monte-Carlo) and the crash-consistence mechanisms they are evaluated
-// under. It contributes three pieces:
+// under. It contributes four pieces:
 //
 //   - Scheme: a named consistency scheme (native, checkpoint variants,
 //     PMEM-style transactions, the paper's algorithm-directed approach)
-//     held in a process-wide registry. A scheme knows which simulated
+//     held in an instance-scoped Registry. A scheme knows which simulated
 //     platform it runs on and how to build its per-run Guard.
 //
 //   - Workload: a crash-consistence study — a computation that runs from
@@ -12,12 +12,16 @@
 //     result — implemented by all three of the paper's algorithms (and
 //     their conventional-mechanism baselines) in internal/core.
 //
-//   - RunCases: the bounded worker pool every fan-out in the repo goes
-//     through (harness experiment cases, campaign injection shards),
-//     with index-ordered collection so aggregates are byte-identical
-//     between serial and parallel runs.
+//   - RunCases: the context-aware bounded worker pool every fan-out in
+//     the repo goes through (harness experiment cases, campaign
+//     injection shards), with index-ordered collection so aggregates are
+//     byte-identical between serial and parallel runs.
 //
-// The experiment drivers in internal/harness iterate the registry instead
+//   - Event/EventSink: the streaming progress notifications emitted by
+//     the executors in deterministic case-index order, consumed by the
+//     harness drivers and re-exported to embedders through pkg/adcc.
+//
+// The experiment drivers in internal/harness iterate a registry instead
 // of switching on case labels, and the workload loops in internal/core
 // drive a Guard instead of switching on a mechanism enum, so adding a new
 // scheme or workload is a one-file change.
@@ -147,73 +151,29 @@ func (s *scheme) NewGuard(m *crash.Machine, logElems int) Guard {
 	}
 }
 
-// registry holds the registered schemes. The experiment drivers read it
-// concurrently from worker goroutines, so all access is guarded — a
-// scheme may be Registered at any time, not only during package init.
-var (
-	registryMu sync.RWMutex
-	registry   = map[string]Scheme{}
-)
-
-// Register adds a scheme to the registry. Registering a name twice
-// panics: schemes are identities, not configuration.
-func Register(s Scheme) {
-	if s == nil || s.Name() == "" {
-		panic("engine: Register of unnamed scheme")
-	}
-	registryMu.Lock()
-	defer registryMu.Unlock()
-	if _, dup := registry[s.Name()]; dup {
-		panic(fmt.Sprintf("engine: duplicate scheme %q", s.Name()))
-	}
-	registry[s.Name()] = s
+// Registry is an instance-scoped scheme registry. Each Registry is an
+// independent namespace: embedders build their own (usually via
+// pkg/adcc, which seeds the built-in schemes), register custom schemes
+// without init-order coupling, and hand the registry to the runner or
+// campaign that should see it. All methods are safe for concurrent use —
+// the experiment drivers read registries from worker goroutines.
+//
+// The zero value is not usable; call NewRegistry or NewBuiltinRegistry.
+type Registry struct {
+	mu      sync.RWMutex
+	schemes map[string]Scheme
 }
 
-// Lookup finds a scheme by name.
-func Lookup(name string) (Scheme, bool) {
-	registryMu.RLock()
-	defer registryMu.RUnlock()
-	s, ok := registry[name]
-	return s, ok
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{schemes: map[string]Scheme{}}
 }
 
-// MustLookup finds a scheme by name, panicking on unknown names. Use for
-// the built-in names, which are registered unconditionally.
-func MustLookup(name string) Scheme {
-	s, ok := Lookup(name)
-	if !ok {
-		panic(fmt.Sprintf("engine: unknown scheme %q", name))
-	}
-	return s
-}
-
-// Names returns every registered scheme name, sorted.
-func Names() []string {
-	registryMu.RLock()
-	defer registryMu.RUnlock()
-	out := make([]string, 0, len(registry))
-	for n := range registry {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// SevenCases returns the paper's seven-case comparison in presentation
-// order (§III-A).
-func SevenCases() []Scheme {
-	names := []string{
-		SchemeNative, SchemeCkptHDD, SchemeCkptNVM, SchemeCkptHetero,
-		SchemePMEM, SchemeAlgoNVM, SchemeAlgoHetero,
-	}
-	out := make([]Scheme, len(names))
-	for i, n := range names {
-		out[i] = MustLookup(n)
-	}
-	return out
-}
-
-func init() {
+// NewBuiltinRegistry returns a registry seeded with the paper's nine
+// schemes: the seven-case comparison (§III-A) plus the two
+// Monte-Carlo-specific algorithm-directed variants (§III-D).
+func NewBuiltinRegistry() *Registry {
+	r := NewRegistry()
 	for _, s := range []*scheme{
 		{name: SchemeNative, kind: KindNative, system: crash.NVMOnly},
 		{name: SchemeCkptHDD, kind: KindCheckpoint, system: crash.NVMOnly, ckptHDD: true},
@@ -225,6 +185,114 @@ func init() {
 		{name: SchemeAlgoNaive, kind: KindAlgo, system: crash.NVMOnly, flush: FlushIndexOnly},
 		{name: SchemeAlgoEvery, kind: KindAlgo, system: crash.NVMOnly, flush: FlushEveryIter},
 	} {
-		Register(s)
+		if err := r.Register(s); err != nil {
+			panic("engine: " + err.Error())
+		}
+	}
+	return r
+}
+
+// Register adds a scheme to the registry. Registering a nil or unnamed
+// scheme, or a name already present, returns an error: schemes are
+// identities, not configuration, so a conflict is always a caller bug
+// the caller must decide about.
+func (r *Registry) Register(s Scheme) error {
+	if s == nil || s.Name() == "" {
+		return fmt.Errorf("Register of unnamed scheme")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.schemes[s.Name()]; dup {
+		return fmt.Errorf("duplicate scheme %q", s.Name())
+	}
+	r.schemes[s.Name()] = s
+	return nil
+}
+
+// Lookup finds a scheme by name.
+func (r *Registry) Lookup(name string) (Scheme, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.schemes[name]
+	return s, ok
+}
+
+// MustLookup finds a scheme by name, panicking on unknown names. Use for
+// the built-in names, which NewBuiltinRegistry seeds unconditionally.
+func (r *Registry) MustLookup(name string) Scheme {
+	s, ok := r.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("engine: unknown scheme %q", name))
+	}
+	return s
+}
+
+// Names returns every registered scheme name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.schemes))
+	for n := range r.schemes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SevenCases returns the paper's seven-case comparison in presentation
+// order (§III-A). It panics if any of the seven built-in names is
+// missing from the registry (custom registries keep the built-ins; see
+// NewBuiltinRegistry).
+func (r *Registry) SevenCases() []Scheme {
+	names := []string{
+		SchemeNative, SchemeCkptHDD, SchemeCkptNVM, SchemeCkptHetero,
+		SchemePMEM, SchemeAlgoNVM, SchemeAlgoHetero,
+	}
+	out := make([]Scheme, len(names))
+	for i, n := range names {
+		out[i] = r.MustLookup(n)
+	}
+	return out
+}
+
+// defaultRegistry is the process-global registry behind the deprecated
+// package-level functions. Internal callers that predate instance
+// registries still resolve built-in scheme names through it.
+var defaultRegistry = NewBuiltinRegistry()
+
+// Default returns the process-global registry. It exists only as a
+// shim for internal callers that predate instance registries; new code
+// should build an instance registry (NewRegistry / NewBuiltinRegistry,
+// or pkg/adcc's Registry) and pass it explicitly.
+func Default() *Registry { return defaultRegistry }
+
+// Register adds a scheme to the process-global registry. Registering a
+// name twice panics with the conflicting name.
+//
+// Deprecated: use an instance Registry, whose Register reports
+// conflicts as errors instead of panicking.
+func Register(s Scheme) {
+	if err := defaultRegistry.Register(s); err != nil {
+		panic("engine: " + err.Error())
 	}
 }
+
+// Lookup finds a scheme by name in the process-global registry. It is
+// a compatibility shim for internal callers; new code should resolve
+// names on an instance Registry.
+func Lookup(name string) (Scheme, bool) { return defaultRegistry.Lookup(name) }
+
+// MustLookup finds a scheme by name in the process-global registry,
+// panicking on unknown names. It is a compatibility shim for internal
+// callers; new code should resolve names on an instance Registry.
+func MustLookup(name string) Scheme { return defaultRegistry.MustLookup(name) }
+
+// Names returns every scheme name in the process-global registry,
+// sorted. It is a compatibility shim for internal callers; new code
+// should use an instance Registry.
+func Names() []string { return defaultRegistry.Names() }
+
+// SevenCases returns the paper's seven-case comparison from the
+// process-global registry. It is a compatibility shim for internal
+// callers; new code should use an instance Registry.
+func SevenCases() []Scheme { return defaultRegistry.SevenCases() }

@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"adcc/internal/campaign"
+	"adcc/internal/report"
 )
 
 // RunCampaign runs the statistical fault-injection campaign
@@ -13,13 +15,21 @@ import (
 // corruption, or an unrecoverable state. With Options.Collector set,
 // every cell is also recorded as a bench result so benchdiff gates
 // recovery-rate regressions; with Options.CampaignJSON set, the full
-// deterministic report is written there.
-func RunCampaign(o Options) (*Table, error) {
-	rep, err := campaign.Run(campaign.Config{
-		Scale:    o.scale(),
-		Parallel: o.Parallel,
-		Verbose:  o.Verbose,
-		Out:      o.Out,
+// deterministic report is written there inside the adcc-report/v1
+// envelope; with Options.Events set, every injection streams an
+// InjectionDone event in deterministic order.
+func RunCampaign(ctx context.Context, o Options) (*Table, error) {
+	rep, err := campaign.Run(ctx, campaign.Config{
+		Scale:     o.scale(),
+		Seed:      o.Seed,
+		Parallel:  o.Parallel,
+		PerCell:   o.PerCell,
+		Workloads: o.Workloads,
+		Schemes:   o.Schemes,
+		Registry:  o.Registry,
+		Events:    o.Events,
+		Verbose:   o.Verbose,
+		Out:       o.Out,
 	})
 	if err != nil {
 		return nil, err
@@ -28,7 +38,7 @@ func RunCampaign(o Options) (*Table, error) {
 		o.Collector.Record(r)
 	}
 	if o.CampaignJSON != "" {
-		if err := rep.WriteFile(o.CampaignJSON); err != nil {
+		if err := report.WrapCampaign(rep).WriteFile(o.CampaignJSON); err != nil {
 			return nil, err
 		}
 	}

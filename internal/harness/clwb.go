@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"adcc/internal/cache"
@@ -17,7 +18,7 @@ import (
 // algorithm-directed workloads are run with CLFLUSH (write back +
 // invalidate, so the flushed line refills on the next access) and with
 // CLWB (write back, line stays resident).
-func RunCLWBAblation(o Options) (*Table, error) {
+func RunCLWBAblation(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		Name:    "clwb",
 		Title:   "Algorithm-directed flush cost: CLFLUSH vs CLWB (paper §II prediction)",
@@ -77,7 +78,10 @@ func RunCLWBAblation(o Options) (*Table, error) {
 		{"MC (flush-every-iter)", mcRun},
 	}
 	instrs := []crash.FlushInstr{crash.CLFLUSH, crash.CLWB}
-	times, err := runCases(o, len(workloads)*len(instrs), func(i int) (int64, error) {
+	label := func(i int) string {
+		return fmt.Sprintf("%s/%s", workloads[i/len(instrs)].name, instrs[i%len(instrs)])
+	}
+	times, err := runCases(ctx, o, "clwb", label, len(workloads)*len(instrs), func(i int) (int64, error) {
 		w := workloads[i/len(instrs)]
 		instr := instrs[i%len(instrs)]
 		o.logf("clwb: %s instr=%d", w.name, instr)

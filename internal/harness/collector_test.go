@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"adcc/internal/bench"
@@ -22,7 +23,7 @@ func TestCollectorDeterministicUnderParallel4(t *testing.T) {
 		if !ok {
 			t.Fatal("fig4 experiment missing")
 		}
-		if _, err := e.Run(opts); err != nil {
+		if _, err := e.Run(context.Background(), opts); err != nil {
 			t.Fatalf("fig4 (parallel=%d): %v", parallel, err)
 		}
 		if col.Len() == 0 {
@@ -50,7 +51,7 @@ func TestCollectorRecordsRecoveryMetrics(t *testing.T) {
 	}
 	col := bench.NewCollector()
 	e, _ := ByName("fig3")
-	if _, err := e.Run(Options{Scale: 0.02, Collector: col}); err != nil {
+	if _, err := e.Run(context.Background(), Options{Scale: 0.02, Collector: col}); err != nil {
 		t.Fatalf("fig3: %v", err)
 	}
 	found := false

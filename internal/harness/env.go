@@ -60,6 +60,11 @@ func sevenCases() []engine.Scheme {
 	return engine.SevenCases()
 }
 
+// schemeLabel builds an event-label function over a scheme slice.
+func schemeLabel(cases []engine.Scheme) func(i int) string {
+	return func(i int) string { return cases[i].Name() }
+}
+
 // normalize computes t/base as a ratio string-friendly float.
 func normalize(t, base int64) float64 {
 	if base == 0 {

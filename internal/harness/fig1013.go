@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"adcc/internal/bench"
@@ -86,10 +87,16 @@ func runtimeFlushPeriod(lookups int) int {
 
 // mcComparisonTable builds the Figure 10/12 style table comparing
 // no-crash and crash-and-restart counts for a flush policy.
-func mcComparisonTable(name, title string, o Options, sc engine.Scheme) (*Table, error) {
+func mcComparisonTable(ctx context.Context, name, title string, o Options, sc engine.Scheme) (*Table, error) {
 	cfg := mcConfig(o)
 	o.logf("%s: lookups=%d grid-points=%d", name, cfg.Lookups, cfg.PointsPerNuclide*cfg.Nuclides)
-	counts, err := runCases(o, 2, func(i int) ([mc.NumTypes]int64, error) {
+	label := func(i int) string {
+		if i == 0 {
+			return "no-crash"
+		}
+		return "crash-restart"
+	}
+	counts, err := runCases(ctx, o, name, label, 2, func(i int) ([mc.NumTypes]int64, error) {
 		c, _ := runMCResult(sc, cfg, i == 1)
 		return c, nil
 	})
@@ -124,8 +131,8 @@ func mcComparisonTable(name, title string, o Options, sc engine.Scheme) (*Table,
 // RunFig10 reproduces Figure 10: with the naive restart scheme (flush
 // only the loop index), the interaction-type counts after crash+restart
 // differ visibly from the no-crash run.
-func RunFig10(o Options) (*Table, error) {
-	return mcComparisonTable("fig10",
+func RunFig10(ctx context.Context, o Options) (*Table, error) {
+	return mcComparisonTable(ctx, "fig10",
 		"XSBench interaction counts: no-crash vs naive crash-restart",
 		o, engine.MustLookup(engine.SchemeAlgoNaive))
 }
@@ -133,8 +140,8 @@ func RunFig10(o Options) (*Table, error) {
 // RunFig12 reproduces Figure 12: with selective flushing of macro_xs,
 // the counters, and the index every 0.01% of lookups, the restarted run
 // matches the no-crash run.
-func RunFig12(o Options) (*Table, error) {
-	return mcComparisonTable("fig12",
+func RunFig12(ctx context.Context, o Options) (*Table, error) {
+	return mcComparisonTable(ctx, "fig12",
 		"XSBench interaction counts: no-crash vs selective-flush crash-restart",
 		o, engine.MustLookup(engine.SchemeAlgoNVM))
 }
@@ -152,7 +159,7 @@ func fig13Run(sc engine.Scheme, cfg mc.Config) int64 {
 
 // RunFig13 reproduces Figure 13: runtime of the lookup loop under the
 // seven cases, with checkpoint/flush periods of 0.01% of lookups.
-func RunFig13(o Options) (*Table, error) {
+func RunFig13(ctx context.Context, o Options) (*Table, error) {
 	cfg := mcConfig(o)
 	t := &Table{
 		Name:    "fig13",
@@ -169,7 +176,8 @@ func RunFig13(o Options) (*Table, error) {
 		caseAlgoHetero: "<=1.0005",
 	}
 	kinds := []crash.SystemKind{crash.NVMOnly, crash.Hetero}
-	baseTimes, err := runCases(o, len(kinds), func(i int) (int64, error) {
+	baseLabel := func(i int) string { return "native@" + kinds[i].String() }
+	baseTimes, err := runCases(ctx, o, "fig13/base", baseLabel, len(kinds), func(i int) (int64, error) {
 		m := newMachineTier(kinds[i], mcLLCBytes, mcAssoc, mcDRAMCache)
 		s := mc.New(m.Heap, m.CPU, cfg)
 		r := core.NewMCRunner(m, nil, s, nil)
@@ -185,7 +193,7 @@ func RunFig13(o Options) (*Table, error) {
 		base[kind] = baseTimes[i]
 	}
 	cases := sevenCases()
-	times, err := runCases(o, len(cases), func(i int) (int64, error) {
+	times, err := runCases(ctx, o, "fig13", schemeLabel(cases), len(cases), func(i int) (int64, error) {
 		sc := cases[i]
 		o.logf("fig13: case %s", sc.Name())
 		if sc.Name() == caseNative {
@@ -211,7 +219,7 @@ func RunFig13(o Options) (*Table, error) {
 // RunMCFlushAblation sweeps the flush period, reporting runtime overhead
 // and post-crash result deviation. The period-1 row reproduces the
 // paper's observation that flushing on every iteration costs ~16%.
-func RunMCFlushAblation(o Options) (*Table, error) {
+func RunMCFlushAblation(ctx context.Context, o Options) (*Table, error) {
 	cfg := mcConfig(o)
 	t := &Table{
 		Name:    "mc-flush",
@@ -223,7 +231,8 @@ func RunMCFlushAblation(o Options) (*Table, error) {
 	baseCounts, baseNS := runMCResult(nil, cfg, false)
 	basePct := mc.Percentages(baseCounts, cfg.Lookups)
 	periods := []int{1, 10, 100, core.DefaultFlushPeriod(cfg.Lookups) * 10}
-	rows, err := runCases(o, len(periods), func(i int) ([]any, error) {
+	label := func(i int) string { return fmt.Sprintf("period-%d", periods[i]) }
+	rows, err := runCases(ctx, o, "mc-flush", label, len(periods), func(i int) ([]any, error) {
 		period := periods[i]
 		o.logf("mc-flush: period=%d", period)
 		// Runtime without crash.

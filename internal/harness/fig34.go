@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"adcc/internal/bench"
@@ -21,7 +22,7 @@ const cgLLCBytes = 4 << 20
 // "resuming computation", normalized by the average iteration time. The
 // crash fires at the end of iteration 15 on the heterogeneous NVM/DRAM
 // system, as in the paper.
-func RunFig3(o Options) (*Table, error) {
+func RunFig3(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		Name:  "fig3",
 		Title: "CG recomputation cost (normalized to one iteration)",
@@ -31,7 +32,8 @@ func RunFig3(o Options) (*Table, error) {
 	}
 	crashIter := 15
 	classes := sparse.Classes()
-	rows, err := runCases(o, len(classes), func(ci int) ([]any, error) {
+	label := func(i int) string { return "class-" + classes[i].Name }
+	rows, err := runCases(ctx, o, "fig3", label, len(classes), func(ci int) ([]any, error) {
 		cl := classes[ci]
 		n := o.scaleInt(cl.N, 200)
 		o.logf("fig3: class %s n=%d", cl.Name, n)
@@ -90,9 +92,10 @@ func cgCase(sc engine.Scheme, a *sparse.CSR, opts core.CGOptions) int64 {
 
 // cgNativeBase measures native execution on both memory systems, the
 // normalization denominators of Figure 4.
-func cgNativeBase(o Options, a *sparse.CSR, opts core.CGOptions) (map[crash.SystemKind]int64, error) {
+func cgNativeBase(ctx context.Context, o Options, a *sparse.CSR, opts core.CGOptions) (map[crash.SystemKind]int64, error) {
 	kinds := []crash.SystemKind{crash.NVMOnly, crash.Hetero}
-	times, err := runCases(o, len(kinds), func(i int) (int64, error) {
+	label := func(i int) string { return "native@" + kinds[i].String() }
+	times, err := runCases(ctx, o, "fig4/base", label, len(kinds), func(i int) (int64, error) {
 		m := newMachine(kinds[i], cgLLCBytes, 16)
 		bg := core.NewBaselineCG(m, a, opts, nil)
 		start := m.Clock.Now()
@@ -113,7 +116,7 @@ func cgNativeBase(o Options, a *sparse.CSR, opts core.CGOptions) (map[crash.Syst
 // normalized by native execution on the same memory system. Class C is
 // the input; checkpoint and PMEM act once per iteration so every
 // mechanism has the same one-iteration recomputation bound.
-func RunFig4(o Options) (*Table, error) {
+func RunFig4(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		Name:  "fig4",
 		Title: "CG runtime, seven mechanisms (normalized to native)",
@@ -137,13 +140,13 @@ func RunFig4(o Options) (*Table, error) {
 		caseAlgoHetero: "<1.03",
 	}
 
-	base, err := cgNativeBase(o, a, opts)
+	base, err := cgNativeBase(ctx, o, a, opts)
 	if err != nil {
 		return nil, err
 	}
 
 	cases := sevenCases()
-	times, err := runCases(o, len(cases), func(i int) (int64, error) {
+	times, err := runCases(ctx, o, "fig4", schemeLabel(cases), len(cases), func(i int) (int64, error) {
 		sc := cases[i]
 		o.logf("fig4: case %s", sc.Name())
 		if sc.Name() == caseNative {
@@ -170,7 +173,7 @@ func RunFig4(o Options) (*Table, error) {
 // how the recomputation cost of the algorithm-directed approach depends
 // on cache capacity — the caching-effect observation of the paper's
 // second contribution bullet.
-func RunCGCacheAblation(o Options) (*Table, error) {
+func RunCGCacheAblation(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		Name:    "cg-cache",
 		Title:   "CG iterations lost after a crash vs LLC size (class A)",
@@ -181,7 +184,8 @@ func RunCGCacheAblation(o Options) (*Table, error) {
 	a := sparse.GenSPD(n, cl.NnzRow, 88)
 	crashIter := 15
 	llcs := []int{256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
-	rows, err := runCases(o, len(llcs), func(i int) ([]any, error) {
+	label := func(i int) string { return fmt.Sprintf("llc-%dKB", llcs[i]>>10) }
+	rows, err := runCases(ctx, o, "cg-cache", label, len(llcs), func(i int) ([]any, error) {
 		llc := llcs[i]
 		m := newMachine(crash.NVMOnly, llc, 16)
 		em := crash.NewEmulator(m)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"adcc/internal/bench"
@@ -21,7 +22,7 @@ const mmLLCBytes = 512 << 10
 // multiplication for two crash tests — at the end of the 4th iteration
 // of the first loop (submatrix multiplication) and of the second loop
 // (submatrix addition) — across four matrix sizes.
-func RunFig7(o Options) (*Table, error) {
+func RunFig7(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		Name:  "fig7",
 		Title: "ABFT-MM recomputation cost (normalized to one loop iteration)",
@@ -41,7 +42,8 @@ func RunFig7(o Options) (*Table, error) {
 			cases = append(cases, mmCrashCase{n: n, loop: loop})
 		}
 	}
-	rows, err := runCases(o, len(cases), func(i int) ([]any, error) {
+	label := func(i int) string { return fmt.Sprintf("n=%d/loop%d", cases[i].n, cases[i].loop) }
+	rows, err := runCases(ctx, o, "fig7", label, len(cases), func(i int) ([]any, error) {
 		c := cases[i]
 		o.logf("fig7: n=%d crash in loop %d", c.n, c.loop)
 		return fig7One(c.n, k, c.loop)
@@ -152,7 +154,7 @@ func mmCase(sc engine.Scheme, opts core.MMOptions) int64 {
 // multiplication under the seven mechanisms for three rank sizes,
 // normalized to native execution on the same system. Checkpoint and
 // PMEM act once per submatrix multiplication.
-func RunFig8(o Options) (*Table, error) {
+func RunFig8(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		Name:  "fig8",
 		Title: "ABFT-MM runtime, seven mechanisms x rank (normalized to native)",
@@ -169,7 +171,10 @@ func RunFig8(o Options) (*Table, error) {
 	// Native baselines per rank and system, the normalization
 	// denominators.
 	kinds := []crash.SystemKind{crash.NVMOnly, crash.Hetero}
-	baseTimes, err := runCases(o, len(ranks)*len(kinds), func(i int) (int64, error) {
+	baseLabel := func(i int) string {
+		return fmt.Sprintf("native/k=%d@%s", ranks[i/len(kinds)], kinds[i%len(kinds)])
+	}
+	baseTimes, err := runCases(ctx, o, "fig8/base", baseLabel, len(ranks)*len(kinds), func(i int) (int64, error) {
 		k := ranks[i/len(kinds)]
 		kind := kinds[i%len(kinds)]
 		opts := core.MMOptions{N: n, K: k, Seed: int64(k)}
@@ -191,7 +196,10 @@ func RunFig8(o Options) (*Table, error) {
 	}
 
 	cases := sevenCases()
-	times, err := runCases(o, len(ranks)*len(cases), func(i int) (int64, error) {
+	caseLabel := func(i int) string {
+		return fmt.Sprintf("k=%d/%s", ranks[i/len(cases)], cases[i%len(cases)].Name())
+	}
+	times, err := runCases(ctx, o, "fig8", caseLabel, len(ranks)*len(cases), func(i int) (int64, error) {
 		ri, ci := i/len(cases), i%len(cases)
 		k, sc := ranks[ri], cases[ci]
 		o.logf("fig8: k=%d case %s", k, sc.Name())
@@ -224,7 +232,7 @@ func RunFig8(o Options) (*Table, error) {
 // RunMMKAblation quantifies the memory-vs-recomputation tradeoff of the
 // rank choice discussed in §III-C: smaller k means more temporal
 // matrices (more NVM consumption) but a smaller recomputation unit.
-func RunMMKAblation(o Options) (*Table, error) {
+func RunMMKAblation(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		Name:  "mm-k",
 		Title: "Rank k tradeoff: temporal-matrix memory vs recomputation unit",
@@ -239,7 +247,8 @@ func RunMMKAblation(o Options) (*Table, error) {
 			ks = append(ks, k)
 		}
 	}
-	rows, err := runCases(o, len(ks), func(i int) ([]any, error) {
+	label := func(i int) string { return fmt.Sprintf("k=%d", ks[i]) }
+	rows, err := runCases(ctx, o, "mm-k", label, len(ks), func(i int) ([]any, error) {
 		k := ks[i]
 		opts := core.MMOptions{N: (n / k) * k, K: k, Seed: 9}
 		m := newMachine(crash.NVMOnly, mmLLCBytes, 16)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -60,7 +61,7 @@ func parseCell(t *testing.T, s string) float64 {
 }
 
 func TestFig3SmallScale(t *testing.T) {
-	tab, err := RunFig3(smallOpts)
+	tab, err := RunFig3(context.Background(), smallOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestFig3SmallScale(t *testing.T) {
 }
 
 func TestFig4SmallScale(t *testing.T) {
-	tab, err := RunFig4(smallOpts)
+	tab, err := RunFig4(context.Background(), smallOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestFig4SmallScale(t *testing.T) {
 }
 
 func TestFig7SmallScale(t *testing.T) {
-	tab, err := RunFig7(smallOpts)
+	tab, err := RunFig7(context.Background(), smallOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestFig7SmallScale(t *testing.T) {
 }
 
 func TestFig8SmallScale(t *testing.T) {
-	tab, err := RunFig8(smallOpts)
+	tab, err := RunFig8(context.Background(), smallOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +135,11 @@ func TestFig8SmallScale(t *testing.T) {
 }
 
 func TestFig10And12SmallScale(t *testing.T) {
-	t10, err := RunFig10(smallOpts)
+	t10, err := RunFig10(context.Background(), smallOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t12, err := RunFig12(smallOpts)
+	t12, err := RunFig12(context.Background(), smallOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestFig10And12SmallScale(t *testing.T) {
 }
 
 func TestFig13SmallScale(t *testing.T) {
-	tab, err := RunFig13(smallOpts)
+	tab, err := RunFig13(context.Background(), smallOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestFig13SmallScale(t *testing.T) {
 }
 
 func TestCLWBAblationSmallScale(t *testing.T) {
-	tab, err := RunCLWBAblation(smallOpts)
+	tab, err := RunCLWBAblation(context.Background(), smallOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestSummaryRunsAtSmallScale(t *testing.T) {
 	// The claim checks only hold at paper scale; at CI scale we assert
 	// the experiment runs, produces all four claims, and carries the
 	// scale warning.
-	tab, err := RunSummary(smallOpts)
+	tab, err := RunSummary(context.Background(), smallOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestAblationsSmallScale(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing ablation %s", name)
 		}
-		tab, err := e.Run(smallOpts)
+		tab, err := e.Run(context.Background(), smallOpts)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -9,7 +10,7 @@ import (
 
 func TestRunCasesPreservesOrder(t *testing.T) {
 	o := Options{Parallel: 8}
-	got, err := runCases(o, 100, func(i int) (int, error) {
+	got, err := runCases(context.Background(), o, "t", nil, 100, func(i int) (int, error) {
 		return i * i, nil
 	})
 	if err != nil {
@@ -26,7 +27,7 @@ func TestRunCasesBoundsConcurrency(t *testing.T) {
 	const workers = 3
 	var active, peak atomic.Int64
 	o := Options{Parallel: workers}
-	_, err := runCases(o, 64, func(i int) (int, error) {
+	_, err := runCases(context.Background(), o, "t", nil, 64, func(i int) (int, error) {
 		n := active.Add(1)
 		for {
 			p := peak.Load()
@@ -51,7 +52,7 @@ func TestRunCasesBoundsConcurrency(t *testing.T) {
 func TestRunCasesReportsLowestIndexError(t *testing.T) {
 	o := Options{Parallel: 4}
 	errA := errors.New("case 2 failed")
-	_, err := runCases(o, 8, func(i int) (int, error) {
+	_, err := runCases(context.Background(), o, "t", nil, 8, func(i int) (int, error) {
 		if i == 5 {
 			return 0, errors.New("case 5 failed")
 		}
@@ -67,7 +68,7 @@ func TestRunCasesReportsLowestIndexError(t *testing.T) {
 
 func TestRunCasesSerialFallback(t *testing.T) {
 	for _, par := range []int{0, 1, -3} {
-		got, err := runCases(Options{Parallel: par}, 5, func(i int) (string, error) {
+		got, err := runCases(context.Background(), Options{Parallel: par}, "t", nil, 5, func(i int) (string, error) {
 			return fmt.Sprint(i), nil
 		})
 		if err != nil {
@@ -91,11 +92,11 @@ func TestParallelRunsAreByteIdentical(t *testing.T) {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
 			t.Parallel()
-			serialTab, err := e.Run(Options{Scale: 0.05})
+			serialTab, err := e.Run(context.Background(), Options{Scale: 0.05})
 			if err != nil {
 				t.Fatalf("serial run: %v", err)
 			}
-			parTab, err := e.Run(Options{Scale: 0.05, Parallel: 4})
+			parTab, err := e.Run(context.Background(), Options{Scale: 0.05, Parallel: 4})
 			if err != nil {
 				t.Fatalf("parallel run: %v", err)
 			}

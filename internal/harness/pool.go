@@ -1,12 +1,23 @@
 package harness
 
-import "adcc/internal/engine"
+import (
+	"context"
+
+	"adcc/internal/engine"
+)
 
 // runCases executes n independent experiment cases through the engine's
-// bounded worker pool (engine.RunCases), honoring o.Parallel. Each case
-// builds its own simulated machine and seeds its own inputs, so
-// execution order cannot affect results; collecting them by case index
-// keeps the emitted tables byte-identical to a serial run.
-func runCases[T any](o Options, n int, run func(i int) (T, error)) ([]T, error) {
-	return engine.RunCases(o.Parallel, n, run)
+// bounded worker pool (engine.RunCases), honoring o.Parallel and the
+// run's context. Each case builds its own simulated machine and seeds
+// its own inputs, so execution order cannot affect results; collecting
+// them by case index keeps the emitted tables byte-identical to a
+// serial run.
+//
+// exp and label feed the event stream: with Options.Events set, every
+// case emits a CaseStarted/CaseFinished pair in case-index order (label
+// may be nil for anonymous cases). Cancelling ctx stops the dispatch of
+// queued cases and surfaces ctx.Err().
+func runCases[T any](ctx context.Context, o Options, exp string, label func(i int) string, n int, run func(i int) (T, error)) ([]T, error) {
+	return engine.RunCasesObserved(ctx, o.Parallel, n, run,
+		engine.EmitCases[T](o.Events, exp, n, label))
 }

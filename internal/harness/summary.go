@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -17,7 +18,7 @@ import (
 //     compared (Figures 4, 8, 13);
 //  4. MC results are wrong under naive restart and exact under
 //     selective flushing (Figures 10, 12).
-func RunSummary(o Options) (*Table, error) {
+func RunSummary(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		Name:    "summary",
 		Title:   "Headline-claim validation",
@@ -35,13 +36,19 @@ func RunSummary(o Options) (*Table, error) {
 	// themselves independent cases, so they go through the same bounded
 	// executor — with their own inner fan-out disabled, so the total
 	// concurrency stays within o.Parallel rather than multiplying.
-	subRuns := []func(Options) (*Table, error){
+	subRuns := []func(context.Context, Options) (*Table, error){
 		RunFig4, RunFig8, RunFig13, RunFig3, RunFig10, RunFig12,
 	}
+	subNames := []string{"fig4", "fig8", "fig13", "fig3", "fig10", "fig12"}
 	inner := o
 	inner.Parallel = 1
-	subTabs, err := runCases(o, len(subRuns), func(i int) (*Table, error) {
-		return subRuns[i](inner)
+	// The sub-experiments run concurrently, so they must not write to
+	// the (sequential) event stream; the summary emits one case pair
+	// per sub-experiment from its own ordered fan-out instead.
+	inner.Events = nil
+	label := func(i int) string { return subNames[i] }
+	subTabs, err := runCases(ctx, o, "summary", label, len(subRuns), func(i int) (*Table, error) {
+		return subRuns[i](ctx, inner)
 	})
 	if err != nil {
 		return nil, err

@@ -10,11 +10,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"adcc/internal/bench"
+	"adcc/internal/engine"
 )
 
 // Table is a rendered experiment result.
@@ -138,8 +140,29 @@ type Options struct {
 	// between serial and parallel runs.
 	Collector *bench.Collector
 	// CampaignJSON, when non-empty, makes the campaign experiment write
-	// its full machine-readable report to this path.
+	// its full machine-readable report (wrapped in the adcc-report/v1
+	// envelope) to this path.
 	CampaignJSON string
+	// Seed drives the campaign experiment's crash-point selection; the
+	// default 0 is a valid seed. The figure experiments use fixed
+	// paper-shape seeds and ignore it.
+	Seed int64
+	// Workloads, Schemes, and PerCell configure the campaign
+	// experiment's sweep grid (see campaign.Config); the figure
+	// experiments reproduce the paper's fixed case sets and ignore
+	// them.
+	Workloads []string
+	Schemes   []string
+	PerCell   int
+	// Registry resolves scheme names for the campaign experiment; nil
+	// means the process-global registry. The figure experiments always
+	// run the paper's built-in seven cases.
+	Registry *engine.Registry
+	// Events, when non-nil, receives the streaming progress events
+	// (case started/finished, injection outcomes) in deterministic
+	// case-index order — the stream is byte-identical at any Parallel
+	// setting.
+	Events engine.EventSink
 }
 
 func (o Options) scale() float64 {
@@ -164,11 +187,13 @@ func (o Options) logf(format string, args ...any) {
 	}
 }
 
-// Experiment is a named, runnable reproduction unit.
+// Experiment is a named, runnable reproduction unit. Run honors ctx:
+// cancellation stops the dispatch of queued cases and surfaces
+// ctx.Err().
 type Experiment struct {
 	Name  string
 	Title string
-	Run   func(o Options) (*Table, error)
+	Run   func(ctx context.Context, o Options) (*Table, error)
 }
 
 // All returns every experiment in presentation order.

@@ -1,0 +1,32 @@
+package adcc
+
+import "adcc/internal/engine"
+
+// Event is a streaming progress notification emitted while a sweep
+// runs. Events arrive in deterministic case-index order — the recorded
+// stream of a run is byte-identical at any parallelism — so embedders
+// can both display live progress and assert on streams in tests. The
+// concrete types are CaseStarted, CaseFinished, InjectionDone, and
+// Progress.
+type Event = engine.Event
+
+// EventSink receives events; pass one to a Runner with WithEventSink.
+// Emit is called sequentially by a single run, in deterministic order;
+// a sink shared by several concurrent runs must synchronize itself.
+type EventSink = engine.EventSink
+
+// SinkFunc adapts a function to the EventSink interface.
+type SinkFunc = engine.SinkFunc
+
+// CaseStarted reports that an experiment case has entered the ordered
+// event stream.
+type CaseStarted = engine.CaseStarted
+
+// CaseFinished reports a completed experiment case.
+type CaseFinished = engine.CaseFinished
+
+// InjectionDone reports one classified crash injection of a campaign.
+type InjectionDone = engine.InjectionDone
+
+// Progress reports completion counts for a named stage.
+type Progress = engine.Progress

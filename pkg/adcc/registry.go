@@ -1,0 +1,243 @@
+package adcc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"adcc/internal/core"
+	"adcc/internal/engine"
+	"adcc/internal/mc"
+	"adcc/internal/sparse"
+)
+
+// Scheme is one named consistency scheme: it knows its mechanism
+// family, the simulated platform it runs on, and how to build its
+// per-run Guard. Custom schemes implement the interface and are added
+// to a Registry with RegisterScheme.
+type Scheme = engine.Scheme
+
+// SchemeKind classifies a scheme's mechanism family.
+type SchemeKind = engine.Kind
+
+// Mechanism families.
+const (
+	// KindNative runs with no fault-tolerance mechanism.
+	KindNative = engine.KindNative
+	// KindCheckpoint saves the protected regions at iteration
+	// boundaries.
+	KindCheckpoint = engine.KindCheckpoint
+	// KindPMEM wraps iteration updates in undo-log transactions.
+	KindPMEM = engine.KindPMEM
+	// KindAlgo is the paper's algorithm-directed approach.
+	KindAlgo = engine.KindAlgo
+)
+
+// FlushPolicy selects an algorithm-directed scheme's flush variant.
+type FlushPolicy = engine.FlushPolicy
+
+// Flush variants (paper §III-D).
+const (
+	// FlushNone flushes nothing (non-algo schemes).
+	FlushNone = engine.FlushNone
+	// FlushIndexOnly is the paper's rejected index-only design.
+	FlushIndexOnly = engine.FlushIndexOnly
+	// FlushSelective is the paper's selective-flushing extension.
+	FlushSelective = engine.FlushSelective
+	// FlushEveryIter flushes on every iteration (~16% overhead).
+	FlushEveryIter = engine.FlushEveryIter
+)
+
+// Built-in scheme names; NewRegistry seeds all nine. The first seven
+// are the paper's presentation order (§III-A), the last two the
+// Monte-Carlo-specific variants (§III-D).
+const (
+	SchemeNative     = engine.SchemeNative
+	SchemeCkptHDD    = engine.SchemeCkptHDD
+	SchemeCkptNVM    = engine.SchemeCkptNVM
+	SchemeCkptHetero = engine.SchemeCkptHetero
+	SchemePMEM       = engine.SchemePMEM
+	SchemeAlgoNVM    = engine.SchemeAlgoNVM
+	SchemeAlgoHetero = engine.SchemeAlgoHetero
+	SchemeAlgoNaive  = engine.SchemeAlgoNaive
+	SchemeAlgoEvery  = engine.SchemeAlgoEvery
+)
+
+// Built-in workload names; NewRegistry seeds all three.
+const (
+	WorkloadCG = "cg"
+	WorkloadMM = "mm"
+	WorkloadMC = "mc"
+)
+
+// WorkloadSpec describes a runnable workload: a name and a factory
+// building a fresh Workload instance for one run under a scheme at a
+// problem scale (1.0 = paper shape). Specs are registered on a
+// Registry and swept by Runner.Run.
+type WorkloadSpec struct {
+	// Name identifies the workload in the registry and in reports.
+	Name string
+	// Schemes optionally names the schemes Runner.Run sweeps by
+	// default for this workload; nil means the paper's seven-case
+	// comparison.
+	Schemes []string
+	// New builds a fresh instance for one run under sc. It must return
+	// an unprepared workload: the runner binds it to a machine through
+	// Workload.Prepare.
+	New func(sc Scheme, scale float64) (Workload, error)
+}
+
+// Registry is an instance-scoped namespace of consistency schemes and
+// workloads. Registries are independent: registering on one never
+// affects another, so embedders compose custom schemes and workloads
+// without init-order coupling or process-global state. All methods are
+// safe for concurrent use.
+type Registry struct {
+	schemes *engine.Registry
+
+	mu        sync.RWMutex
+	workloads map[string]WorkloadSpec
+}
+
+// NewRegistry returns a registry seeded with the paper's nine built-in
+// schemes and three study workloads.
+func NewRegistry() *Registry {
+	r := &Registry{
+		schemes:   engine.NewBuiltinRegistry(),
+		workloads: map[string]WorkloadSpec{},
+	}
+	for _, spec := range builtinWorkloads() {
+		if err := r.RegisterWorkload(spec); err != nil {
+			panic("adcc: " + err.Error())
+		}
+	}
+	return r
+}
+
+// RegisterScheme adds a custom scheme. Registering a nil or unnamed
+// scheme, or a name already present, returns an error.
+func (r *Registry) RegisterScheme(s Scheme) error {
+	if err := r.schemes.Register(s); err != nil {
+		return fmt.Errorf("adcc: %w", err)
+	}
+	return nil
+}
+
+// Scheme finds a scheme by name.
+func (r *Registry) Scheme(name string) (Scheme, bool) {
+	return r.schemes.Lookup(name)
+}
+
+// MustScheme finds a scheme by name, panicking on unknown names. Use
+// for the built-in names, which NewRegistry seeds unconditionally.
+func (r *Registry) MustScheme(name string) Scheme {
+	return r.schemes.MustLookup(name)
+}
+
+// SchemeNames returns every registered scheme name, sorted.
+func (r *Registry) SchemeNames() []string { return r.schemes.Names() }
+
+// SevenCases returns the paper's seven-case comparison in presentation
+// order (§III-A).
+func (r *Registry) SevenCases() []Scheme { return r.schemes.SevenCases() }
+
+// RegisterWorkload adds a workload spec. An empty name, a nil factory,
+// or a name already present returns an error.
+func (r *Registry) RegisterWorkload(spec WorkloadSpec) error {
+	if spec.Name == "" || spec.New == nil {
+		return fmt.Errorf("adcc: RegisterWorkload of incomplete spec (need Name and New)")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.workloads[spec.Name]; dup {
+		return fmt.Errorf("adcc: duplicate workload %q", spec.Name)
+	}
+	r.workloads[spec.Name] = spec
+	return nil
+}
+
+// Workload finds a workload spec by name.
+func (r *Registry) Workload(name string) (WorkloadSpec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	spec, ok := r.workloads[name]
+	return spec, ok
+}
+
+// WorkloadNames returns every registered workload name, sorted.
+func (r *Registry) WorkloadNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.workloads))
+	for n := range r.workloads {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// engineRegistry exposes the scheme namespace to the campaign engine.
+func (r *Registry) engineRegistry() *engine.Registry { return r.schemes }
+
+// scaleInt scales v down with a floor, the shared sizing rule of the
+// built-in workload factories (matching the campaign's shapes).
+func scaleInt(v int, scale float64, floor int) int {
+	s := int(float64(v) * scale)
+	if s < floor {
+		return floor
+	}
+	return s
+}
+
+// builtinWorkloads builds the specs of the paper's three studies. Sizes
+// scale with the runner's problem scale and seeds are fixed, mirroring
+// the campaign's per-cell workload shapes: algorithm-directed schemes
+// run the extended implementations, conventional schemes the baselines
+// driven through the scheme's Guard.
+func builtinWorkloads() []WorkloadSpec {
+	return []WorkloadSpec{
+		{
+			Name: WorkloadCG,
+			New: func(sc Scheme, scale float64) (Workload, error) {
+				a := sparse.GenSPD(scaleInt(1200, scale, 300), 9, 11)
+				opts := core.CGOptions{MaxIter: 15, Seed: 11}
+				if sc.Kind() == engine.KindAlgo {
+					return &core.CGWorkload{A: a, Opts: opts}, nil
+				}
+				return &core.BaselineCGWorkload{A: a, Opts: opts, Scheme: sc}, nil
+			},
+		},
+		{
+			Name: WorkloadMM,
+			New: func(sc Scheme, scale float64) (Workload, error) {
+				const k = 16
+				opts := core.MMOptions{N: k * scaleInt(8, scale, 3), K: k, Seed: 12}
+				if sc.Kind() == engine.KindAlgo {
+					return &core.MMWorkload{Opts: opts}, nil
+				}
+				return &core.BaselineMMWorkload{Opts: opts, Scheme: sc}, nil
+			},
+		},
+		{
+			Name: WorkloadMC,
+			// MC selects its mechanism entirely through the scheme, so
+			// it additionally sweeps the rejected §III-D variants.
+			Schemes: []string{
+				SchemeNative, SchemeCkptHDD, SchemeCkptNVM, SchemeCkptHetero,
+				SchemePMEM, SchemeAlgoNVM, SchemeAlgoHetero,
+				SchemeAlgoNaive, SchemeAlgoEvery,
+			},
+			New: func(sc Scheme, scale float64) (Workload, error) {
+				return &core.MCWorkload{
+					Cfg: mc.Config{
+						Nuclides:         16,
+						PointsPerNuclide: 128,
+						Lookups:          scaleInt(20_000, scale, 2500),
+						Seed:             42,
+					},
+					Scheme: sc,
+				}, nil
+			},
+		},
+	}
+}

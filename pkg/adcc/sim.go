@@ -1,0 +1,88 @@
+package adcc
+
+import (
+	"adcc/internal/cache"
+	"adcc/internal/core"
+	"adcc/internal/crash"
+	"adcc/internal/mem"
+)
+
+// This file re-exports the simulated platform: the machine (clock + CPU
+// + heap + LLC + memory system), the crash emulator, and their
+// configuration. The aliases are real type identities, so values move
+// freely between the public API and the engine underneath it.
+
+// SystemKind selects one of the paper's two memory systems.
+type SystemKind = crash.SystemKind
+
+// The paper's two platforms.
+const (
+	// NVMOnly is the NVM-only system: NVM main memory under volatile
+	// CPU caches.
+	NVMOnly = crash.NVMOnly
+	// Hetero is the heterogeneous NVM/DRAM system: a DRAM cache tier in
+	// front of NVM main memory.
+	Hetero = crash.Hetero
+)
+
+// FlushInstr selects the simulated cache-flush instruction.
+type FlushInstr = crash.FlushInstr
+
+// Flush instruction variants (paper §II).
+const (
+	// CLFLUSH writes the line back and invalidates it.
+	CLFLUSH = crash.CLFLUSH
+	// CLWB writes the line back and keeps it resident.
+	CLWB = crash.CLWB
+)
+
+// MachineConfig configures a simulated platform.
+type MachineConfig = crash.MachineConfig
+
+// CacheConfig configures the simulated last-level cache.
+type CacheConfig = cache.Config
+
+// Machine is a simulated platform: clock, CPU cost model, heap with
+// live + persistent images, and the LLC.
+type Machine = crash.Machine
+
+// NewMachine builds a simulated platform. Zero-valued fields take the
+// paper-shape defaults (NVM-only system, 2 MB LLC).
+func NewMachine(cfg MachineConfig) *Machine { return crash.NewMachine(cfg) }
+
+// Emulator injects crashes into a run at chosen execution points and
+// enumerates a run's crash-point space (Profile).
+type Emulator = crash.Emulator
+
+// NewEmulator attaches a crash emulator to a machine.
+func NewEmulator(m *Machine) *Emulator { return crash.NewEmulator(m) }
+
+// CrashPoint names an injection site: an absolute memory-operation
+// count or the n-th occurrence of a named program point.
+type CrashPoint = crash.CrashPoint
+
+// RunProfile is the crash-point space of one uninterrupted run.
+type RunProfile = crash.RunProfile
+
+// Addr is a simulated heap address.
+type Addr = mem.Addr
+
+// LineBytes is the cache-line granularity of the simulated machine.
+const LineBytes = mem.LineSize
+
+// Region is a named simulated heap region holding live data and its
+// persistent NVM image.
+type Region = mem.Region
+
+// Workload program points that can be crashed at with
+// Emulator.CrashAtTrigger.
+const (
+	// TriggerCGIterEnd fires at the end of each CG iteration.
+	TriggerCGIterEnd = core.TriggerCGIterEnd
+	// TriggerMMLoop1IterEnd fires after each submatrix multiplication.
+	TriggerMMLoop1IterEnd = core.TriggerMMLoop1IterEnd
+	// TriggerMMLoop2IterEnd fires after each submatrix addition block.
+	TriggerMMLoop2IterEnd = core.TriggerMMLoop2IterEnd
+	// TriggerMCLookup fires after each Monte-Carlo lookup.
+	TriggerMCLookup = core.TriggerMCLookup
+)

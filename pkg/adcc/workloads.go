@@ -1,0 +1,155 @@
+package adcc
+
+import (
+	"adcc/internal/core"
+	"adcc/internal/dense"
+	"adcc/internal/engine"
+	"adcc/internal/mc"
+	"adcc/internal/sparse"
+)
+
+// This file re-exports the paper's three study workloads — the extended
+// (algorithm-directed) implementations, their conventional-mechanism
+// baselines, the engine.Workload adapters — and the pure input
+// generators the examples build their problems with.
+
+// Workload is a crash-consistence study: a computation that can run
+// from an iteration boundary, recover after a crash, and verify its
+// result. Custom workloads implement it and register a WorkloadSpec on
+// a Registry; the built-in implementations are CGWorkload, MMWorkload,
+// MCWorkload and their baseline counterparts.
+type Workload = engine.Workload
+
+// Guard is the per-run binding of a scheme to a machine: the uniform
+// iteration-protection hooks a workload loop drives.
+type Guard = engine.Guard
+
+// NewNativeGuard returns the no-op guard used by native and
+// algorithm-directed schemes (custom Schemes without a conventional
+// mechanism return it from NewGuard).
+func NewNativeGuard() Guard { return engine.NewNativeGuard() }
+
+// Conjugate gradient (paper §III-B).
+type (
+	// CG is the extended crash-consistent CG solver.
+	CG = core.CG
+	// CGOptions configures a CG solve.
+	CGOptions = core.CGOptions
+	// CGRecovery reports what CG recovery concluded.
+	CGRecovery = core.CGRecovery
+	// BaselineCG is the Figure 1 baseline solver driven through a
+	// conventional scheme's Guard.
+	BaselineCG = core.BaselineCG
+	// CGWorkload adapts the extended solver to the Workload lifecycle.
+	CGWorkload = core.CGWorkload
+	// BaselineCGWorkload adapts the baseline solver to the Workload
+	// lifecycle under a conventional scheme.
+	BaselineCGWorkload = core.BaselineCGWorkload
+)
+
+// NewCG builds the extended crash-consistent CG solver on a machine
+// (em may be nil when no crash will be injected).
+func NewCG(m *Machine, em *Emulator, a *SparseMatrix, opts CGOptions) *CG {
+	return core.NewCG(m, em, a, opts)
+}
+
+// NewBaselineCG builds the Figure 1 baseline solver under a
+// conventional scheme (nil means native, no protection).
+func NewBaselineCG(m *Machine, a *SparseMatrix, opts CGOptions, sc Scheme) *BaselineCG {
+	return core.NewBaselineCG(m, a, opts, sc)
+}
+
+// ABFT matrix multiplication (paper §III-C).
+type (
+	// MM is the extended ABFT multiplication with checksummed temporal
+	// matrices.
+	MM = core.MM
+	// MMOptions configures a multiplication.
+	MMOptions = core.MMOptions
+	// MMRecovery reports per-block checksum verification results.
+	MMRecovery = core.MMRecovery
+	// BaselineMM is the Figure 5 baseline multiplication.
+	BaselineMM = core.BaselineMM
+	// MMWorkload adapts the extended multiplication to the Workload
+	// lifecycle.
+	MMWorkload = core.MMWorkload
+	// BaselineMMWorkload adapts the baseline multiplication to the
+	// Workload lifecycle under a conventional scheme.
+	BaselineMMWorkload = core.BaselineMMWorkload
+)
+
+// NewMM builds the extended ABFT multiplication on a machine (em may be
+// nil).
+func NewMM(m *Machine, em *Emulator, opts MMOptions) *MM {
+	return core.NewMM(m, em, opts)
+}
+
+// NewBaselineMM builds the Figure 5 baseline multiplication under a
+// conventional scheme (nil means native).
+func NewBaselineMM(m *Machine, opts MMOptions, sc Scheme) *BaselineMM {
+	return core.NewBaselineMM(m, opts, sc)
+}
+
+// Monte-Carlo neutron-transport lookups (paper §III-D).
+type (
+	// MCSim is the XSBench-style cross-section lookup simulation.
+	MCSim = mc.Sim
+	// MCConfig sizes the lookup simulation.
+	MCConfig = mc.Config
+	// MCRunner drives the lookup loop under a consistency scheme.
+	MCRunner = core.MCRunner
+	// MCWorkload adapts the lookup loop to the Workload lifecycle.
+	MCWorkload = core.MCWorkload
+)
+
+// MCNumTypes is the number of interaction types the simulation counts.
+const MCNumTypes = mc.NumTypes
+
+// NewMCSim allocates the cross-section grids on a machine's heap.
+func NewMCSim(m *Machine, cfg MCConfig) *MCSim {
+	return mc.New(m.Heap, m.CPU, cfg)
+}
+
+// NewMCRunner builds the lookup-loop runner under a scheme (em may be
+// nil; a nil scheme means native).
+func NewMCRunner(m *Machine, em *Emulator, s *MCSim, sc Scheme) *MCRunner {
+	return core.NewMCRunner(m, em, s, sc)
+}
+
+// MCDefaultConfig returns the paper-shape lookup configuration.
+func MCDefaultConfig() MCConfig { return mc.DefaultConfig() }
+
+// MCTinyConfig returns a CI-sized lookup configuration.
+func MCTinyConfig() MCConfig { return mc.TinyConfig() }
+
+// MCPercentages converts interaction counts to percentages of the
+// lookup total.
+func MCPercentages(c [MCNumTypes]int64, lookups int) [MCNumTypes]float64 {
+	return mc.Percentages(c, lookups)
+}
+
+// Pure input generators (no simulation cost).
+type (
+	// SparseMatrix is a CSR sparse matrix.
+	SparseMatrix = sparse.CSR
+	// Matrix is a dense row-major matrix.
+	Matrix = dense.Matrix
+)
+
+// GenSPD generates a random sparse symmetric positive-definite matrix
+// of order n with about nnzRow nonzeros per row.
+func GenSPD(n, nnzRow int, seed int64) *SparseMatrix {
+	return sparse.GenSPD(n, nnzRow, seed)
+}
+
+// NewMatrix allocates a zero dense matrix.
+func NewMatrix(rows, cols int) *Matrix { return dense.New(rows, cols) }
+
+// RandomMatrix generates a seeded random dense matrix.
+func RandomMatrix(rows, cols int, seed int64) *Matrix {
+	return dense.Random(rows, cols, seed)
+}
+
+// MatMul computes c = a x b natively (the verification oracle of the
+// MM study).
+func MatMul(c, a, b *Matrix) { dense.Mul(c, a, b) }
