@@ -50,8 +50,10 @@ const defaultBenchScale = 0.05
 // benchExperiments are the timed harness experiments whose per-case
 // simulated timings feed the bench suite. The campaign contributes one
 // result per injection cell, so benchdiff gates recovery-rate
-// regressions alongside the timing metrics.
-var benchExperiments = []string{"fig3", "fig4", "fig8", "fig13", "campaign"}
+// regressions alongside the timing metrics; the stencil experiment
+// contributes the extension family's per-scheme runtimes and recovery
+// cost.
+var benchExperiments = []string{"fig3", "fig4", "fig8", "fig13", "stencil", "campaign"}
 
 func main() {
 	var (

@@ -1,5 +1,6 @@
 // Command crashsim is the standalone crash emulator of paper §III-A: it
-// runs one of the three study workloads on the simulated NVM platform,
+// runs one of the study workloads (cg, mm, mc, or the stencil extension
+// family) on the simulated NVM platform,
 // injects a crash at a chosen execution point (a named program point
 // occurrence or an absolute memory-operation count), and reports the
 // consistency state of every memory region at the crash — which lines
@@ -12,6 +13,7 @@
 //	crashsim -workload cg -n 6000 -occurrence 15
 //	crashsim -workload mm -n 400 -loop 2 -occurrence 4
 //	crashsim -workload mc -lookups 50000 -crash-op 2000000
+//	crashsim -workload stencil -n 160 -occurrence 10
 //
 // With -campaign, crashsim instead sweeps the selected workload through
 // the statistical fault-injection campaign across every supported
@@ -32,8 +34,8 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "cg", "workload: cg, mm, or mc")
-		n          = flag.Int("n", 6000, "problem size (CG order / MM dimension)")
+		workload   = flag.String("workload", "cg", "workload: cg, mm, mc, or stencil")
+		n          = flag.Int("n", 6000, "problem size (CG order / MM dimension / stencil grid, default 160 for stencil)")
 		k          = flag.Int("k", 0, "MM rank (default n/10)")
 		loop       = flag.Int("loop", 1, "MM loop to crash in (1 or 2)")
 		lookups    = flag.Int("lookups", 50_000, "MC lookup count")
@@ -141,6 +143,23 @@ func main() {
 		recover = func() {
 			fmt.Printf("recovery: restart at lookup %d; persistent counters %v\n",
 				r.RestartIter(), s.CountsImage())
+		}
+	case "stencil":
+		// The grid history is quadratic in n; the CG-sized default would
+		// allocate hundreds of megabytes, so stencil gets its own.
+		dim := 160
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				dim = *n
+			}
+		})
+		h := adcc.NewHeat(m, em, adcc.HeatOptions{N: dim, MaxIter: *occurrence + 2, Seed: 21})
+		em.CrashAtTrigger(adcc.TriggerStencilIterEnd, *occurrence)
+		run = func() { h.Run(1) }
+		recover = func() {
+			rec := h.Recover()
+			fmt.Printf("recovery: crash sweep %d, restart sweep %d, sweeps lost %d (checked %d plane pairs)\n",
+				rec.CrashIter, rec.RestartIter, rec.IterationsLost, rec.Checked)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "crashsim: unknown workload %q\n", *workload)

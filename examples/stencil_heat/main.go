@@ -1,0 +1,92 @@
+// Command stencil_heat walks through the stencil extension family: a
+// 2D Jacobi heat relaxation made crash-consistent the algorithm-directed
+// way. It compares the runtime cost of the mechanisms (per-iteration
+// checkpoints, PMEM-style transactions, the plane-history extension),
+// then crashes the extended relaxation mid-run and shows the
+// invariant-directed recovery re-relaxing to a verified result while
+// the rejected index-only design silently corrupts.
+package main
+
+import (
+	"fmt"
+
+	"adcc/pkg/adcc"
+)
+
+func main() {
+	opts := adcc.HeatOptions{N: 160, MaxIter: 12, Seed: 21}
+	reg := adcc.NewRegistry()
+
+	type result struct {
+		name string
+		ns   int64
+	}
+	var results []result
+	run := func(name string, f func(m *adcc.Machine) func()) {
+		m := adcc.NewMachine(adcc.MachineConfig{System: adcc.NVMOnly})
+		work := f(m)
+		start := m.Clock.Now()
+		work()
+		results = append(results, result{name, m.Clock.Since(start)})
+	}
+
+	run("native (not restartable)", func(m *adcc.Machine) func() {
+		s := adcc.NewBaselineHeat(m, opts, nil)
+		return s.Run
+	})
+	run("checkpoint per sweep", func(m *adcc.Machine) func() {
+		s := adcc.NewBaselineHeat(m, opts, reg.MustScheme(adcc.SchemeCkptNVM))
+		return s.Run
+	})
+	run("PMEM undo-log transactions", func(m *adcc.Machine) func() {
+		s := adcc.NewBaselineHeat(m, opts, reg.MustScheme(adcc.SchemePMEM))
+		return s.Run
+	})
+	run("algorithm-directed (planes)", func(m *adcc.Machine) func() {
+		s := adcc.NewHeat(m, nil, opts)
+		return func() { s.Run(1) }
+	})
+
+	base := results[0].ns
+	fmt.Printf("Jacobi heat %dx%d, %d sweeps, one-sweep recomputation bound:\n\n",
+		opts.N, opts.N, opts.MaxIter)
+	for _, r := range results {
+		fmt.Printf("  %-28s %8.2f ms   %.3fx native\n",
+			r.name, float64(r.ns)/1e6, float64(r.ns)/float64(base))
+	}
+
+	// Crash the extended relaxation at the end of sweep 9 and recover —
+	// once under the full selective-flush protocol, once under the
+	// rejected index-only design that trusts the persistent image
+	// blindly (the stencil analogue of the paper's Figure 10 bias).
+	want := adcc.HeatWant(opts)
+	crashAndRecover := func(policy adcc.FlushPolicy) (adcc.HeatRecovery, string) {
+		m := adcc.NewMachine(adcc.MachineConfig{System: adcc.NVMOnly})
+		em := adcc.NewEmulator(m)
+		h := adcc.NewHeat(m, em, opts)
+		h.Policy = policy
+		em.CrashAtTrigger(adcc.TriggerStencilIterEnd, 9)
+		if !em.Run(func() { h.Run(1) }) {
+			panic("stencil_heat: crash point not reached")
+		}
+		rec := h.Recover()
+		h.Run(rec.RestartIter)
+		if err := adcc.HeatVerify(h.Result(), want); err != nil {
+			return rec, "SILENTLY CORRUPT"
+		}
+		return rec, "verified"
+	}
+
+	rec, status := crashAndRecover(adcc.FlushSelective)
+	fmt.Printf("\nCrash at end of sweep %d, algorithm-directed recovery: walked %d\n"+
+		"plane pairs, restarted at sweep %d (%d sweeps lost), result %s.\n",
+		rec.CrashIter, rec.Checked, rec.RestartIter, rec.IterationsLost, status)
+	recN, statusN := crashAndRecover(adcc.FlushIndexOnly)
+	fmt.Printf("Same crash, rejected index-only design: restarted blindly at sweep %d,\n"+
+		"result %s.\n", recN.RestartIter, statusN)
+
+	fmt.Println("\nThe extension flushes two cache lines per sweep (iteration index" +
+		"\n+ residual) and recovers by re-relaxing from the newest plane pair" +
+		"\nthat satisfies u(j) = Jacobi(u(j-1)) on the persistent image —" +
+		"\nthe same invariant-directed recipe as CG's conjugacy walk.")
+}

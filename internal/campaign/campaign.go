@@ -29,6 +29,7 @@ import (
 	"adcc/internal/engine"
 	"adcc/internal/mc"
 	"adcc/internal/sparse"
+	"adcc/internal/stencil"
 )
 
 // Config parameterizes a campaign run.
@@ -134,29 +135,36 @@ func (c cell) seed(base int64) int64 {
 	return int64(h.Sum64() >> 1)
 }
 
-// workloadNames is the sweep order of the paper's three studies.
-var workloadNames = []string{"cg", "mm", "mc"}
+// workloadNames is the sweep order of the paper's three studies plus
+// the stencil extension family.
+var workloadNames = []string{"cg", "mm", "mc", "stencil"}
 
 // schemesFor returns the schemes a workload can run AND recover under.
 // CG and MM pair the extended (algorithm-directed) implementation with
 // a single algo scheme: their algorithm-directed design has no
-// flush-policy variants (FlushPolicy only differentiates MC), and the
-// campaign's System axis already covers both platforms, so listing
-// algo-NVM/DRAM too would re-run an identical configuration under a
-// different label. MC selects its mechanism entirely through the
-// scheme, so it sweeps all algo variants including the rejected
-// index-only and every-iteration designs.
+// flush-policy variants (FlushPolicy only differentiates MC and the
+// stencil), and the campaign's System axis already covers both
+// platforms, so listing algo-NVM/DRAM too would re-run an identical
+// configuration under a different label. MC selects its mechanism
+// entirely through the scheme, so it sweeps all algo variants including
+// the rejected index-only and every-iteration designs; the stencil does
+// the same minus the redundant algo-NVM/DRAM label.
 func schemesFor(workload string) []string {
 	conventional := []string{
 		engine.SchemeNative, engine.SchemeCkptHDD, engine.SchemeCkptNVM,
 		engine.SchemeCkptHetero, engine.SchemePMEM,
 	}
-	if workload == "mc" {
+	switch workload {
+	case "mc":
 		return append(conventional,
 			engine.SchemeAlgoNVM, engine.SchemeAlgoHetero,
 			engine.SchemeAlgoNaive, engine.SchemeAlgoEvery)
+	case "stencil":
+		return append(conventional,
+			engine.SchemeAlgoNVM, engine.SchemeAlgoNaive, engine.SchemeAlgoEvery)
+	default:
+		return append(conventional, engine.SchemeAlgoNVM)
 	}
-	return append(conventional, engine.SchemeAlgoNVM)
 }
 
 // systems is the sweep order of the paper's two platforms. Every cell
@@ -249,8 +257,9 @@ func (c cell) newMachine() *crash.Machine {
 // workload is computed up front and shared read-only by every cell and
 // injection.
 type cellAssets struct {
-	cgA    *sparse.CSR
-	mmWant *dense.Matrix
+	cgA      *sparse.CSR
+	mmWant   *dense.Matrix
+	heatWant []float64
 }
 
 // newAssets precomputes a workload's shared inputs.
@@ -261,6 +270,8 @@ func newAssets(workload string, cfg Config) *cellAssets {
 		as.cgA = sparse.GenSPD(cfg.scaleInt(1200, 300), 9, 11)
 	case "mm":
 		as.mmWant = core.MMWant(mmOpts(cfg))
+	case "stencil":
+		as.heatWant = stencil.Want(heatOpts(cfg))
 	}
 	return as
 }
@@ -269,6 +280,14 @@ func newAssets(workload string, cfg Config) *cellAssets {
 func mmOpts(cfg Config) core.MMOptions {
 	const k = 16
 	return core.MMOptions{N: k * cfg.scaleInt(8, 3), K: k, Seed: 12}
+}
+
+// heatOpts is the stencil configuration at the campaign scale. At scale
+// 1.0 the plane history (~1 MB) straddles the campaign LLC, so both
+// evicted-and-persistent and cache-resident-and-lost planes appear in
+// the sweep.
+func heatOpts(cfg Config) stencil.Options {
+	return stencil.Options{N: cfg.scaleInt(96, 32), MaxIter: 12, Seed: 21}
 }
 
 // newWorkload builds a fresh workload instance for one injection of the
@@ -299,6 +318,12 @@ func (c cell) newWorkload(cfg Config, as *cellAssets) engine.Workload {
 			},
 			Scheme: c.Scheme,
 		}
+	case "stencil":
+		opts := heatOpts(cfg)
+		if algo {
+			return &stencil.HeatWorkload{Opts: opts, Want: as.heatWant, Scheme: c.Scheme}
+		}
+		return &stencil.BaselineWorkload{Opts: opts, Want: as.heatWant, Scheme: c.Scheme}
 	default:
 		panic(fmt.Sprintf("campaign: unknown workload %q", c.Workload))
 	}

@@ -1,0 +1,123 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+)
+
+// stencilConfig is a CI-sized stencil-only campaign.
+func stencilConfig(parallel int, seed int64) Config {
+	return Config{
+		Scale:     0.02,
+		Seed:      seed,
+		Parallel:  parallel,
+		PerCell:   6,
+		Workloads: []string{"stencil"},
+	}
+}
+
+// TestStencilGridOutcomes asserts the acceptance contract of the
+// stencil family: the algorithm-directed scheme recovers from every
+// injected crash point, while the rejected index-only design shows the
+// Figure 10-style silent corruptions.
+func TestStencilGridOutcomes(t *testing.T) {
+	rep, err := Run(context.Background(), stencilConfig(4, 0))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 8 schemes x 2 systems.
+	if len(rep.Cells) != 16 {
+		t.Fatalf("stencil grid has %d cells, want 16", len(rep.Cells))
+	}
+	naiveCorrupt := 0
+	for _, c := range rep.Cells {
+		if c.Workload != "stencil" {
+			t.Fatalf("unexpected workload %q in stencil-only sweep", c.Workload)
+		}
+		if got := c.Clean + c.Recomputed + c.Corrupt + c.Unrecoverable + c.NoCrash; got != c.Injections {
+			t.Errorf("%s/%s@%s: outcomes sum to %d, want %d", c.Workload, c.Scheme, c.System, got, c.Injections)
+		}
+		switch c.Scheme {
+		case "algo-NVM-only", "algo-every-iter":
+			if c.Failures() != 0 {
+				t.Errorf("%s@%s: %d failures, want 0 (algorithm-directed must recover everywhere)",
+					c.Scheme, c.System, c.Failures())
+			}
+		case "algo-naive":
+			naiveCorrupt += c.Corrupt
+		default:
+			// Conventional mechanisms must also recover: checkpoints
+			// restore, PMEM rolls back, native restarts from scratch.
+			if c.Unrecoverable != 0 || c.Corrupt != 0 {
+				t.Errorf("%s@%s: %d corrupt, %d unrecoverable, want 0",
+					c.Scheme, c.System, c.Corrupt, c.Unrecoverable)
+			}
+		}
+	}
+	if naiveCorrupt == 0 {
+		t.Error("algo-naive produced no silent corruption; the bias canary is gone")
+	}
+}
+
+// TestStencilSeedSensitivity asserts the two seed contracts of the
+// report schema: different seeds sweep the same grid shape (identical
+// cells and injection counts — only the crash points move), and the
+// same seed is byte-identical at any worker-pool width.
+func TestStencilSeedSensitivity(t *testing.T) {
+	repA, err := Run(context.Background(), stencilConfig(2, 3))
+	if err != nil {
+		t.Fatalf("Run(seed=3): %v", err)
+	}
+	repB, err := Run(context.Background(), stencilConfig(2, 4))
+	if err != nil {
+		t.Fatalf("Run(seed=4): %v", err)
+	}
+	if repA.Schema != SchemaVersion || repB.Schema != SchemaVersion {
+		t.Fatalf("schema = %q / %q, want %q", repA.Schema, repB.Schema, SchemaVersion)
+	}
+	if len(repA.Cells) != len(repB.Cells) {
+		t.Fatalf("seed changed the grid: %d vs %d cells", len(repA.Cells), len(repB.Cells))
+	}
+	for i := range repA.Cells {
+		a, b := repA.Cells[i], repB.Cells[i]
+		if a.Workload != b.Workload || a.Scheme != b.Scheme || a.System != b.System {
+			t.Errorf("cell %d coordinates differ across seeds: %s/%s@%s vs %s/%s@%s",
+				i, a.Workload, a.Scheme, a.System, b.Workload, b.Scheme, b.System)
+		}
+		if a.Injections != b.Injections {
+			t.Errorf("cell %d injection count differs across seeds: %d vs %d", i, a.Injections, b.Injections)
+		}
+		if a.ProfileOps != b.ProfileOps {
+			t.Errorf("cell %d profile ops differ across seeds: %d vs %d (the crash-free run must not depend on the seed)",
+				i, a.ProfileOps, b.ProfileOps)
+		}
+	}
+
+	// Same seed, serial vs 8 workers: byte-identical reports.
+	serial, err := Run(context.Background(), stencilConfig(1, 3))
+	if err != nil {
+		t.Fatalf("Run(parallel=1): %v", err)
+	}
+	wide, err := Run(context.Background(), stencilConfig(8, 3))
+	if err != nil {
+		t.Fatalf("Run(parallel=8): %v", err)
+	}
+	sb, err := serial.EncodeJSON()
+	if err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	wb, err := wide.EncodeJSON()
+	if err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	if string(sb) != string(wb) {
+		t.Fatalf("same-seed report differs between -parallel 1 and 8:\nserial:\n%s\nparallel:\n%s", sb, wb)
+	}
+	ab, err := repA.EncodeJSON()
+	if err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	if string(ab) != string(sb) {
+		t.Fatal("parallel=2 and parallel=1 runs of the same seed differ")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"adcc/internal/dense"
 	"adcc/internal/engine"
 	"adcc/internal/mc"
+	"adcc/internal/sim"
 	"adcc/internal/sparse"
 )
 
@@ -189,22 +190,9 @@ func (w *MMWorkload) Metrics() map[string]float64 {
 }
 
 // AvgPositiveNS returns the mean of the positive entries of v, or 0
-// when there are none. It is the shared positive-average helper behind
-// AvgIterNS and the harness's per-unit normalizations.
-func AvgPositiveNS(v []int64) int64 {
-	var sum int64
-	cnt := 0
-	for _, x := range v {
-		if x > 0 {
-			sum += x
-			cnt++
-		}
-	}
-	if cnt == 0 {
-		return 0
-	}
-	return sum / int64(cnt)
-}
+// when there are none — sim.AvgPositive under the name the workload
+// metrics and AvgIterNS have always used.
+func AvgPositiveNS(v []int64) int64 { return sim.AvgPositive(v) }
 
 // MCWorkload wraps the Monte-Carlo cross-section lookup loop (§III-D)
 // under a restartable scheme (algorithm-directed selective flushing by

@@ -328,16 +328,27 @@ func (p RunProfile) MainTriggerOps() int64 {
 // across trigger names). With no triggers profiled, every point is an
 // op-count point. The same profile and seed always yield the same
 // points, independent of host or execution order.
+//
+// Triggers with non-positive occurrence counts are skipped: Profile
+// never records them, but Points also accepts hand-built profiles
+// (asserted by FuzzProfilePoints), and a zero-count trigger names no
+// crashable occurrence.
 func (p RunProfile) Points(n int, seed int64) []CrashPoint {
 	if n <= 0 || p.Ops <= 0 {
 		return nil
+	}
+	var trigs []TriggerCount
+	for _, t := range p.Triggers {
+		if t.Count > 0 {
+			trigs = append(trigs, t)
+		}
 	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]CrashPoint, 0, n)
 	ti := 0
 	for i := 0; i < n; i++ {
-		if i%2 == 1 && len(p.Triggers) > 0 {
-			t := p.Triggers[ti%len(p.Triggers)]
+		if i%2 == 1 && len(trigs) > 0 {
+			t := trigs[ti%len(trigs)]
 			ti++
 			out = append(out, CrashPoint{
 				Trigger:    t.Name,

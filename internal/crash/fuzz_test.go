@@ -1,0 +1,68 @@
+package crash
+
+import (
+	"testing"
+)
+
+// FuzzProfilePoints throws arbitrary profiles at the campaign's
+// crash-point enumerator: it must never panic, and every point it
+// returns must name a reachable coordinate — an op count in [1, Ops] or
+// a positive occurrence of a listed trigger, never both.
+func FuzzProfilePoints(f *testing.F) {
+	f.Add(int64(1000), "iter-end", 15, "lookup", 500, int64(42), int64(8))
+	f.Add(int64(0), "", 0, "", 0, int64(0), int64(3))
+	f.Add(int64(5), "t", -2, "u", 0, int64(7), int64(9))
+	f.Add(int64(1), "only-op", 1, "x", 1, int64(-1), int64(1))
+	f.Fuzz(func(t *testing.T, ops int64, trigA string, countA int, trigB string, countB int, seed, n64 int64) {
+		// Bound the output size so the fuzzer explores shapes, not
+		// allocator limits.
+		n := int(n64 % 257)
+		p := RunProfile{Ops: ops}
+		counts := map[string]int{}
+		for _, tc := range []TriggerCount{{Name: trigA, Count: countA}, {Name: trigB, Count: countB}} {
+			if tc.Name == "" {
+				continue
+			}
+			p.Triggers = append(p.Triggers, tc)
+			if tc.Count > counts[tc.Name] {
+				counts[tc.Name] = tc.Count
+			}
+		}
+
+		pts := p.Points(n, seed)
+		if n <= 0 || ops <= 0 {
+			if pts != nil {
+				t.Fatalf("Points(%d) on ops=%d returned %d points, want none", n, ops, len(pts))
+			}
+			return
+		}
+		if len(pts) != n {
+			t.Fatalf("Points returned %d points, want %d", len(pts), n)
+		}
+		again := p.Points(n, seed)
+		for i, pt := range pts {
+			if pt != again[i] {
+				t.Fatalf("point %d not deterministic: %v vs %v", i, pt, again[i])
+			}
+			switch {
+			case pt.Op > 0:
+				if pt.Trigger != "" || pt.Occurrence != 0 {
+					t.Fatalf("point %d mixes coordinate systems: %+v", i, pt)
+				}
+				if pt.Op > ops {
+					t.Fatalf("point %d op %d beyond profile ops %d", i, pt.Op, ops)
+				}
+			case pt.Occurrence > 0:
+				max, ok := counts[pt.Trigger]
+				if !ok || max <= 0 {
+					t.Fatalf("point %d names unknown or uncrashable trigger %q", i, pt.Trigger)
+				}
+				if pt.Occurrence > max {
+					t.Fatalf("point %d occurrence %d beyond count %d", i, pt.Occurrence, max)
+				}
+			default:
+				t.Fatalf("point %d is disarmed: %+v", i, pt)
+			}
+		}
+	})
+}

@@ -183,6 +183,47 @@ func TestFig13SmallScale(t *testing.T) {
 	}
 }
 
+func TestStencilSmallScale(t *testing.T) {
+	tab, err := RunStencil(context.Background(), smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("stencil rows = %d, want 7 cases + 2 rejected variants", len(tab.Rows))
+	}
+	get := func(label string) float64 {
+		for _, r := range tab.Rows {
+			if r[0] == label {
+				return parseCell(t, r[3])
+			}
+		}
+		t.Fatalf("case %s missing", label)
+		return 0
+	}
+	if get(caseNative) != 1.0 {
+		t.Fatal("native must normalize to 1.0")
+	}
+	if get(casePMEM) < get(caseCkptNVM) {
+		t.Fatal("PMEM should exceed NVM checkpoint")
+	}
+	if v := get(caseAlgoNVM); v > 1.15 {
+		t.Fatalf("algo-selective overhead %.3f too large", v)
+	}
+	// Every-iteration flushing must cost more than selective flushing.
+	if get("algo-every-iter") <= get(caseAlgoNVM) {
+		t.Fatal("every-iteration flushing should exceed selective")
+	}
+	verified := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "result verified") {
+			verified = true
+		}
+	}
+	if !verified {
+		t.Fatal("stencil crash test note missing")
+	}
+}
+
 func TestCLWBAblationSmallScale(t *testing.T) {
 	tab, err := RunCLWBAblation(context.Background(), smallOpts)
 	if err != nil {

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"adcc/internal/bench"
+	"adcc/internal/core"
+	"adcc/internal/crash"
+	"adcc/internal/engine"
+	"adcc/internal/stencil"
+)
+
+// stencilLLCBytes is the LLC used by the stencil experiment: 1 MB, the
+// campaign size, so the plane history straddles the cache at scale 1.0
+// (old planes evicted and persistent, recent planes resident and lost).
+const stencilLLCBytes = 1 << 20
+
+// stencilOpts is the stencil configuration at the experiment scale.
+func stencilOpts(o Options) stencil.Options {
+	return stencil.Options{N: o.scaleInt(160, 48), MaxIter: 12, Seed: 21}
+}
+
+// stencilCases returns the family's scheme sweep: the paper's seven
+// cases plus the rejected algorithm-directed variants the stencil also
+// supports (index-only and every-iteration).
+func stencilCases() []engine.Scheme {
+	return append(sevenCases(),
+		engine.MustLookup(engine.SchemeAlgoNaive),
+		engine.MustLookup(engine.SchemeAlgoEvery))
+}
+
+// stencilCase runs one scheme of the stencil comparison and returns the
+// total simulated runtime. Algorithm-directed schemes run the extended
+// (plane-history) relaxation; the others run the ping-pong baseline
+// under the scheme's guard.
+func stencilCase(sc engine.Scheme, opts stencil.Options) int64 {
+	m := newMachine(sc.System(), stencilLLCBytes, 16)
+	var start int64
+	if sc.Kind() == engine.KindAlgo {
+		h := stencil.NewHeat(m, nil, opts)
+		h.Policy = sc.FlushPolicy()
+		start = m.Clock.Now()
+		h.Run(1)
+	} else {
+		bg := stencil.NewBaseline(m, opts, sc)
+		start = m.Clock.Now()
+		bg.Run()
+	}
+	return m.Clock.Since(start)
+}
+
+// RunStencil drives the extension workload family: Jacobi heat
+// relaxation under every mechanism (runtime normalized to native on the
+// same memory system, the Figure 4/8/13 presentation), plus one
+// end-of-run crash test proving the algorithm-directed recovery
+// re-relaxes to a verified result. The statistical validation of the
+// family — every crash point, every scheme — lives in the campaign
+// experiment, whose grid includes the stencil cells.
+func RunStencil(ctx context.Context, o Options) (*Table, error) {
+	t := &Table{
+		Name:    "stencil",
+		Title:   "Jacobi heat stencil runtime under mechanisms (normalized to native)",
+		Headers: []string{"Case", "System", "Time(ms)", "Normalized"},
+	}
+	opts := stencilOpts(o)
+	o.logf("stencil: n=%d", opts.N)
+
+	// Native execution on both memory systems: the normalization
+	// denominators.
+	kinds := []crash.SystemKind{crash.NVMOnly, crash.Hetero}
+	baseLabel := func(i int) string { return "native@" + kinds[i].String() }
+	baseTimes, err := runCases(ctx, o, "stencil/base", baseLabel, len(kinds), func(i int) (int64, error) {
+		m := newMachine(kinds[i], stencilLLCBytes, 16)
+		bg := stencil.NewBaseline(m, opts, nil)
+		start := m.Clock.Now()
+		bg.Run()
+		return m.Clock.Since(start), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := map[crash.SystemKind]int64{}
+	for i, k := range kinds {
+		base[k] = baseTimes[i]
+	}
+
+	cases := stencilCases()
+	times, err := runCases(ctx, o, "stencil", schemeLabel(cases), len(cases), func(i int) (int64, error) {
+		sc := cases[i]
+		o.logf("stencil: case %s", sc.Name())
+		if sc.Name() == caseNative {
+			return base[crash.NVMOnly], nil
+		}
+		return stencilCase(sc, opts), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range cases {
+		ns := times[i]
+		sys := sc.System()
+		o.Collector.Record(bench.Result{Name: "stencil/" + sc.Name(), SimNS: ns})
+		t.AddRow(sc.Name(), sys.String(),
+			fmt.Sprintf("%.2f", float64(ns)/1e6), normalize(ns, base[sys]))
+	}
+
+	// Crash test: inject at the end of the last sweep and recover under
+	// the full algorithm-directed protocol.
+	m := newMachine(crash.NVMOnly, stencilLLCBytes, 16)
+	em := crash.NewEmulator(m)
+	h := stencil.NewHeat(m, em, opts)
+	em.CrashAtTrigger(stencil.TriggerIterEnd, opts.MaxIter)
+	if !em.Run(func() { h.Run(1) }) {
+		return nil, fmt.Errorf("stencil: crash test did not crash")
+	}
+	avg := core.AvgIterNS(h.IterNS)
+	rec := h.Recover()
+	resumeStart := m.Clock.Now()
+	h.Run(rec.RestartIter)
+	resume := m.Clock.Since(resumeStart)
+	if err := stencil.VerifyGrid(h.Result(), stencil.Want(opts)); err != nil {
+		return nil, fmt.Errorf("stencil: algorithm-directed recovery failed verification: %w", err)
+	}
+	o.Collector.Record(bench.Result{
+		Name:       "stencil/recovery",
+		SimNS:      rec.DetectNS + resume,
+		RecoveryNS: rec.DetectNS,
+	})
+	t.AddNote("crash at end of sweep %d: %d sweeps lost, detect %.3f iter, resume %.3f iter, result verified",
+		rec.CrashIter, rec.IterationsLost, normalize(rec.DetectNS, avg), normalize(resume, avg))
+	t.AddNote("algo flushes 2 lines/sweep (index + residual); recovery re-relaxes from the last plane pair satisfying u(j)=Jacobi(u(j-1))")
+	return t, nil
+}

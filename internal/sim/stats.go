@@ -47,3 +47,22 @@ func (c *Counters) String() string {
 	}
 	return b.String()
 }
+
+// AvgPositive returns the mean of the positive entries of v, or 0 when
+// there are none. It is the shared positive-average helper behind the
+// workloads' per-iteration metrics and the harness's per-unit
+// normalizations.
+func AvgPositive(v []int64) int64 {
+	var sum int64
+	cnt := 0
+	for _, x := range v {
+		if x > 0 {
+			sum += x
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / int64(cnt)
+}

@@ -1,0 +1,176 @@
+// Package stencil implements the fourth workload family of the
+// reproduction: a 2D Jacobi heat-diffusion relaxation, the canonical
+// iterative HPC stencil the paper's algorithm-directed approach is
+// argued to generalize to (§IV, "any iterative computation with cheap
+// algorithmic invariants").
+//
+// Like the paper's three studies, the family comes in two shapes:
+//
+//   - Heat is the extended, algorithm-directed implementation: the
+//     solution planes carry an iteration dimension (one plane per
+//     sweep, as the CG history rows do), hardware cache eviction
+//     opportunistically persists old planes, and the only explicit
+//     per-iteration persistence is the cache line holding the
+//     iteration index plus the line holding that sweep's max-change
+//     residual. Recovery walks candidate iterations downward until a
+//     plane pair satisfies the relaxation invariant
+//     u(j) = Jacobi(u(j-1)) on the persistent image and the recorded
+//     residual matches, then re-relaxes from the last consistent plane.
+//
+//   - Baseline is the conventional ping-pong implementation (two
+//     planes overwritten alternately) driven through an engine.Guard:
+//     per-iteration checkpoints, PMEM-style undo-log transactions, or
+//     nothing (native, restart from the initial condition).
+//
+// Both are exposed as engine.Workload adapters (HeatWorkload,
+// BaselineWorkload), so the harness, the crash-injection campaign, and
+// the public pkg/adcc Runner sweep the stencil grid exactly like the
+// paper's CG/MM/MC cells.
+package stencil
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adcc/internal/mem"
+	"adcc/internal/sim"
+)
+
+// TriggerIterEnd is the named crash point at the end of each relaxation
+// sweep.
+const TriggerIterEnd = "stencil.iter-end"
+
+// Options configures a heat-diffusion relaxation.
+type Options struct {
+	// N is the grid dimension (N x N cells including the boundary
+	// ring). Zero means 96.
+	N int
+	// MaxIter is the number of Jacobi sweeps. Zero means 12.
+	MaxIter int
+	// InvTol is the relative tolerance of the recovery invariants.
+	// Zero means 1e-8.
+	InvTol float64
+	// Seed drives boundary heat-source construction.
+	Seed int64
+}
+
+func (o *Options) setDefaults() {
+	if o.N == 0 {
+		o.N = 96
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 12
+	}
+	if o.InvTol == 0 {
+		o.InvTol = 1e-8
+	}
+}
+
+// InitialGrid builds the persistent initial condition: seeded heat
+// sources (values in [1, 2), strictly positive so a lost boundary line
+// is distinguishable from a persisted one) on the boundary ring, zero
+// interior.
+func InitialGrid(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	g := make([]float64, n*n)
+	set := func(i int) { g[i] = 1 + rng.Float64() }
+	for c := 0; c < n; c++ {
+		set(c) // top row
+	}
+	for r := 1; r < n-1; r++ {
+		set(r * n)         // left column
+		set(r*n + (n - 1)) // right column
+	}
+	for c := 0; c < n; c++ {
+		set((n-1)*n + c) // bottom row
+	}
+	return g
+}
+
+// jacobiNative performs one native (un-simulated) Jacobi sweep:
+// dst = Jacobi(src), boundary carried over unchanged. It returns the
+// max-change residual over the interior. The arithmetic — expression
+// shape and evaluation order — is identical to the simulated sweep, so
+// a recovered simulated run reproduces the oracle bit-for-bit.
+func jacobiNative(dst, src []float64, n int) float64 {
+	copy(dst[:n], src[:n])
+	copy(dst[(n-1)*n:], src[(n-1)*n:])
+	res := 0.0
+	for r := 1; r < n-1; r++ {
+		ro := r * n
+		dst[ro] = src[ro]
+		dst[ro+n-1] = src[ro+n-1]
+		for c := 1; c < n-1; c++ {
+			v := 0.25 * (src[ro-n+c] + src[ro+n+c] + src[ro+c-1] + src[ro+c+1])
+			dst[ro+c] = v
+			if d := math.Abs(v - src[ro+c]); d > res {
+				res = d
+			}
+		}
+	}
+	return res
+}
+
+// Want runs the native reference relaxation and returns the plane after
+// MaxIter sweeps — the verification oracle of the family (a pure
+// function of Options, so campaigns compute it once per cell and share
+// it read-only, like core.MMWant).
+func Want(opts Options) []float64 {
+	opts.setDefaults()
+	cur := InitialGrid(opts.N, opts.Seed)
+	next := make([]float64, len(cur))
+	for i := 1; i <= opts.MaxIter; i++ {
+		jacobiNative(next, cur, opts.N)
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// VerifyGrid compares a computed plane against the oracle. Recovery
+// under every non-naive scheme resumes from bit-exact persistent state
+// and replays the deterministic sweeps, so the comparison is tight: any
+// mismatch means stale data leaked into the result.
+func VerifyGrid(got, want []float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("stencil: plane length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		d := math.Abs(got[i] - want[i])
+		if d > 1e-9*math.Max(1, math.Abs(want[i])) {
+			return fmt.Errorf("stencil: plane differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// sweepSim performs one Jacobi sweep through simulated memory: the
+// plane at dstOff in dstR becomes the relaxation of the plane at srcOff
+// in srcR, with the boundary ring carried over unchanged (so every
+// plane is self-contained for recovery). Returns the max-change
+// residual over the interior. Work is charged to the CPU model; loads
+// and stores stream through the cache simulator row by row.
+func sweepSim(cpu *sim.CPU, srcR *mem.F64, srcOff int, dstR *mem.F64, dstOff int, n int) float64 {
+	top := srcR.LoadRange(srcOff, n)
+	copy(dstR.StoreRange(dstOff, n), top)
+	bot := srcR.LoadRange(srcOff+(n-1)*n, n)
+	copy(dstR.StoreRange(dstOff+(n-1)*n, n), bot)
+	res := 0.0
+	for r := 1; r < n-1; r++ {
+		up := srcR.LoadRange(srcOff+(r-1)*n, n)
+		mid := srcR.LoadRange(srcOff+r*n, n)
+		down := srcR.LoadRange(srcOff+(r+1)*n, n)
+		out := dstR.StoreRange(dstOff+r*n, n)
+		out[0] = mid[0]
+		out[n-1] = mid[n-1]
+		for c := 1; c < n-1; c++ {
+			v := 0.25 * (up[c] + down[c] + mid[c-1] + mid[c+1])
+			out[c] = v
+			if d := math.Abs(v - mid[c]); d > res {
+				res = d
+			}
+		}
+		cpu.Compute(int64(6 * (n - 2)))
+	}
+	return res
+}

@@ -1,0 +1,356 @@
+package stencil
+
+import (
+	"fmt"
+	"testing"
+
+	"adcc/internal/cache"
+	"adcc/internal/crash"
+	"adcc/internal/engine"
+)
+
+// testOpts is a CI-sized relaxation.
+func testOpts() Options {
+	return Options{N: 48, MaxIter: 10, Seed: 5}
+}
+
+// newTestMachine builds an NVM-only platform with the given LLC size.
+func newTestMachine(llcBytes int) *crash.Machine {
+	return crash.NewMachine(crash.MachineConfig{
+		System: crash.NVMOnly,
+		Cache: cache.Config{
+			SizeBytes:         llcBytes,
+			LineBytes:         64,
+			Assoc:             16,
+			HitNS:             4,
+			FlushChargesClean: true,
+			PrefetchStreams:   16,
+		},
+	})
+}
+
+func TestWantIsDeterministicAndNontrivial(t *testing.T) {
+	opts := testOpts()
+	a := Want(opts)
+	b := Want(opts)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Want not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Heat propagates one cell per sweep, so a cell a few rows in from
+	// the boundary must be warm after MaxIter sweeps.
+	n := opts.N
+	if a[3*n+3] == 0 {
+		t.Fatal("no heat reached the near-boundary interior")
+	}
+}
+
+// TestCrashFreeRunsMatchOracle asserts every implementation and scheme
+// reproduces the native reference bit-for-bit when nothing crashes.
+func TestCrashFreeRunsMatchOracle(t *testing.T) {
+	opts := testOpts()
+	want := Want(opts)
+
+	policies := map[string]engine.FlushPolicy{
+		"selective":  engine.FlushSelective,
+		"index-only": engine.FlushIndexOnly,
+		"every-iter": engine.FlushEveryIter,
+	}
+	for name, p := range policies {
+		m := newTestMachine(1 << 20)
+		h := NewHeat(m, nil, opts)
+		h.Policy = p
+		h.Run(1)
+		if err := VerifyGrid(h.Result(), want); err != nil {
+			t.Errorf("extended %s: %v", name, err)
+		}
+	}
+
+	for _, scheme := range []string{
+		engine.SchemeNative, engine.SchemeCkptHDD, engine.SchemeCkptNVM, engine.SchemePMEM,
+	} {
+		m := newTestMachine(1 << 20)
+		bg := NewBaseline(m, opts, engine.MustLookup(scheme))
+		bg.Run()
+		if err := VerifyGrid(bg.Result(), want); err != nil {
+			t.Errorf("baseline %s: %v", scheme, err)
+		}
+	}
+}
+
+// TestAlgoRecoveryAcrossCrashPoints crashes the extended relaxation at
+// trigger occurrences and at op counts, on a small LLC (old planes
+// evicted, recent planes lost) — the algorithm-directed recovery must
+// verify from every point.
+func TestAlgoRecoveryAcrossCrashPoints(t *testing.T) {
+	opts := testOpts()
+	want := Want(opts)
+
+	// Profile once to learn the op-count space.
+	pm := newTestMachine(64 << 10)
+	pem := crash.NewEmulator(pm)
+	prof := pem.Profile(func() { NewHeat(pm, pem, opts).Run(1) })
+	if prof.Ops == 0 {
+		t.Fatal("profile saw no memory operations")
+	}
+
+	points := []crash.CrashPoint{
+		{Trigger: TriggerIterEnd, Occurrence: 3},
+		{Trigger: TriggerIterEnd, Occurrence: 8},
+		{Trigger: TriggerIterEnd, Occurrence: opts.MaxIter},
+		{Op: prof.Ops / 5},
+		{Op: prof.Ops / 2},
+		{Op: prof.Ops - prof.Ops/7},
+	}
+	for _, pt := range points {
+		t.Run(pt.String(), func(t *testing.T) {
+			m := newTestMachine(64 << 10)
+			em := crash.NewEmulator(m)
+			h := NewHeat(m, em, opts)
+			em.Arm(pt)
+			if !em.Run(func() { h.Run(1) }) {
+				t.Fatalf("point %v did not crash", pt)
+			}
+			rec := h.Recover()
+			if rec.RestartIter < 1 || rec.RestartIter > rec.CrashIter+1 {
+				t.Fatalf("restart iter %d out of range (crash iter %d)", rec.RestartIter, rec.CrashIter)
+			}
+			h.Run(rec.RestartIter)
+			if err := VerifyGrid(h.Result(), want); err != nil {
+				t.Fatalf("recovered run corrupt: %v", err)
+			}
+		})
+	}
+}
+
+// TestNaiveRecoveryCorrupts reproduces the stencil analogue of the
+// paper's Figure 10 bias: the index-only design trusts the persistent
+// image blindly, so on a cache-resident grid (dirty planes lost at the
+// crash) the recovered result is silently wrong.
+func TestNaiveRecoveryCorrupts(t *testing.T) {
+	opts := testOpts()
+	want := Want(opts)
+	m := newTestMachine(8 << 20) // planes stay cache-resident: maximal loss
+	em := crash.NewEmulator(m)
+	h := NewHeat(m, em, opts)
+	h.Policy = engine.FlushIndexOnly
+	em.CrashAtTrigger(TriggerIterEnd, 8)
+	if !em.Run(func() { h.Run(1) }) {
+		t.Fatal("did not crash")
+	}
+	rec := h.Recover()
+	if rec.RestartIter != rec.CrashIter {
+		t.Fatalf("naive restart iter = %d, want the crashed sweep %d", rec.RestartIter, rec.CrashIter)
+	}
+	h.Run(rec.RestartIter)
+	if err := VerifyGrid(h.Result(), want); err == nil {
+		t.Fatal("naive recovery verified on a cache-resident grid; expected silent corruption")
+	}
+}
+
+// TestSelectiveRecoversWhereNaiveCorrupts runs the full protocol at the
+// exact crash point of TestNaiveRecoveryCorrupts: the invariant walk
+// must reject the stale planes and fall back to a verified restart.
+func TestSelectiveRecoversWhereNaiveCorrupts(t *testing.T) {
+	opts := testOpts()
+	want := Want(opts)
+	m := newTestMachine(8 << 20)
+	em := crash.NewEmulator(m)
+	h := NewHeat(m, em, opts)
+	em.CrashAtTrigger(TriggerIterEnd, 8)
+	if !em.Run(func() { h.Run(1) }) {
+		t.Fatal("did not crash")
+	}
+	rec := h.Recover()
+	if rec.Checked == 0 {
+		t.Fatal("recovery checked no candidates")
+	}
+	h.Run(rec.RestartIter)
+	if err := VerifyGrid(h.Result(), want); err != nil {
+		t.Fatalf("selective recovery corrupt: %v", err)
+	}
+}
+
+// TestEveryIterLosesAtMostOne asserts the every-iteration variant's
+// bound: with the whole fresh plane flushed per sweep, recovery resumes
+// at the crashed sweep or the one after.
+func TestEveryIterLosesAtMostOne(t *testing.T) {
+	opts := testOpts()
+	want := Want(opts)
+	m := newTestMachine(8 << 20)
+	em := crash.NewEmulator(m)
+	h := NewHeat(m, em, opts)
+	h.Policy = engine.FlushEveryIter
+	em.CrashAtTrigger(TriggerIterEnd, 7)
+	if !em.Run(func() { h.Run(1) }) {
+		t.Fatal("did not crash")
+	}
+	rec := h.Recover()
+	if rec.IterationsLost > 1 {
+		t.Fatalf("every-iter lost %d iterations, want <= 1", rec.IterationsLost)
+	}
+	h.Run(rec.RestartIter)
+	if err := VerifyGrid(h.Result(), want); err != nil {
+		t.Fatalf("every-iter recovery corrupt: %v", err)
+	}
+}
+
+// TestBaselineRecovery crashes the ping-pong relaxation under each
+// conventional scheme and checks the scheme's restart semantics plus a
+// verified result.
+func TestBaselineRecovery(t *testing.T) {
+	opts := testOpts()
+	want := Want(opts)
+	const crashAt = 6
+	cases := []struct {
+		scheme      string
+		wantRestart int
+	}{
+		{engine.SchemeNative, 1},
+		{engine.SchemeCkptNVM, crashAt + 1},
+		{engine.SchemeCkptHDD, crashAt + 1},
+		{engine.SchemePMEM, crashAt + 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.scheme, func(t *testing.T) {
+			m := newTestMachine(1 << 20)
+			em := crash.NewEmulator(m)
+			bg := NewBaseline(m, opts, engine.MustLookup(tc.scheme))
+			bg.Em = em
+			// The trigger fires after EndIteration, so sweep crashAt is
+			// fully protected when the crash hits.
+			em.CrashAtTrigger(TriggerIterEnd, crashAt)
+			if !em.Run(bg.Run) {
+				t.Fatal("did not crash")
+			}
+			from, err := bg.Recover()
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if from != tc.wantRestart {
+				t.Fatalf("restart sweep = %d, want %d", from, tc.wantRestart)
+			}
+			bg.RunFrom(from)
+			if err := VerifyGrid(bg.Result(), want); err != nil {
+				t.Fatalf("recovered run corrupt: %v", err)
+			}
+		})
+	}
+}
+
+// TestPMEMMidSweepRollback crashes inside a transaction (an op-count
+// point mid-sweep) and checks the undo log rolls the plane and the
+// committed-sweep index back together.
+func TestPMEMMidSweepRollback(t *testing.T) {
+	opts := testOpts()
+	want := Want(opts)
+	m := newTestMachine(1 << 20)
+	em := crash.NewEmulator(m)
+
+	// Profile to find a mid-run op count.
+	pm := newTestMachine(1 << 20)
+	pem := crash.NewEmulator(pm)
+	pbg := NewBaseline(pm, opts, engine.MustLookup(engine.SchemePMEM))
+	prof := pem.Profile(pbg.Run)
+
+	bg := NewBaseline(m, opts, engine.MustLookup(engine.SchemePMEM))
+	bg.Em = em
+	em.CrashAtOp(prof.Ops / 2)
+	if !em.Run(bg.Run) {
+		t.Fatal("did not crash")
+	}
+	from, err := bg.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if from < 1 || from > opts.MaxIter {
+		t.Fatalf("restart sweep %d out of range", from)
+	}
+	bg.RunFrom(from)
+	if err := VerifyGrid(bg.Result(), want); err != nil {
+		t.Fatalf("rolled-back run corrupt: %v", err)
+	}
+}
+
+// TestWorkloadLifecycle drives both adapters through the full
+// engine.Workload lifecycle the campaign uses: prepare, crash, recover,
+// resume, verify, metrics.
+func TestWorkloadLifecycle(t *testing.T) {
+	opts := testOpts()
+	want := Want(opts)
+	workloads := map[string]func() engine.Workload{
+		"extended": func() engine.Workload {
+			return &HeatWorkload{Opts: opts, Want: want}
+		},
+		"baseline-ckpt": func() engine.Workload {
+			return &BaselineWorkload{Opts: opts, Want: want,
+				Scheme: engine.MustLookup(engine.SchemeCkptNVM)}
+		},
+	}
+	for name, build := range workloads {
+		t.Run(name, func(t *testing.T) {
+			w := build()
+			if w.Name() != WorkloadName {
+				t.Fatalf("Name() = %q, want %q", w.Name(), WorkloadName)
+			}
+			m := newTestMachine(64 << 10)
+			em := crash.NewEmulator(m)
+			if err := w.Prepare(m, em); err != nil {
+				t.Fatalf("Prepare: %v", err)
+			}
+			if err := w.Prepare(m, em); err == nil {
+				t.Fatal("second Prepare did not error")
+			}
+			em.CrashAtTrigger(TriggerIterEnd, 5)
+			if !em.Run(func() { w.Run(w.Start()) }) {
+				t.Fatal("did not crash")
+			}
+			from, err := w.Recover()
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			em.Disarm()
+			w.Run(from)
+			if err := w.Verify(); err != nil {
+				t.Fatalf("Verify after recovery: %v", err)
+			}
+			met := w.Metrics()
+			if _, ok := met["avg_iter_ns"]; !ok {
+				t.Fatalf("metrics missing avg_iter_ns: %v", met)
+			}
+		})
+	}
+}
+
+// TestRunIsDeterministic asserts two identical simulated runs agree on
+// result, residual, and simulated time — the property every
+// byte-identical report in the repo rests on.
+func TestRunIsDeterministic(t *testing.T) {
+	opts := testOpts()
+	run := func() ([]float64, float64, int64) {
+		m := newTestMachine(1 << 20)
+		h := NewHeat(m, nil, opts)
+		h.Run(1)
+		out := make([]float64, len(h.Result()))
+		copy(out, h.Result())
+		return out, h.Residual(), m.Clock.Now()
+	}
+	a, ra, ta := run()
+	b, rb, tb := run()
+	if ra != rb || ta != tb {
+		t.Fatalf("runs differ: residual %v vs %v, sim %d vs %d", ra, rb, ta, tb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plane differs at %d", i)
+		}
+	}
+}
+
+func ExampleWant() {
+	opts := Options{N: 16, MaxIter: 4, Seed: 1}
+	want := Want(opts)
+	fmt.Println(len(want) == 16*16)
+	// Output: true
+}

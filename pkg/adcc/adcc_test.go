@@ -119,14 +119,14 @@ func TestCustomSchemeAndWorkloadThroughRunner(t *testing.T) {
 	}
 }
 
-// TestBuiltinWorkloadsRunAndVerify sweeps the three built-in workloads
+// TestBuiltinWorkloadsRunAndVerify sweeps the four built-in workloads
 // at CI scale: every scheme must complete and verify.
 func TestBuiltinWorkloadsRunAndVerify(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full workload sweep in -short mode")
 	}
 	runner := adcc.New(nil, adcc.WithScale(0.05), adcc.WithParallelism(4))
-	for _, workload := range []string{adcc.WorkloadCG, adcc.WorkloadMM, adcc.WorkloadMC} {
+	for _, workload := range []string{adcc.WorkloadCG, adcc.WorkloadMM, adcc.WorkloadMC, adcc.WorkloadStencil} {
 		rep, err := runner.Run(context.Background(), workload)
 		if err != nil {
 			t.Fatalf("Run(%s): %v", workload, err)
@@ -323,6 +323,51 @@ func TestEventStreamByteIdenticalAcrossParallelism(t *testing.T) {
 	}
 	if !strings.Contains(serialCamp, "campaign/profile") || !strings.Contains(serialCamp, "injection 1/") {
 		t.Fatalf("campaign stream missing profile/injection events:\n%s", serialCamp)
+	}
+}
+
+// TestStencilThroughPublicAPI drives the extension workload family
+// end to end on the public surface alone: build the platform, crash the
+// extended relaxation mid-run, recover via the algorithm-directed walk,
+// and verify against the exported oracle — then sweep the registered
+// "stencil" workload through a campaign and require the
+// algorithm-directed scheme to survive every injection.
+func TestStencilThroughPublicAPI(t *testing.T) {
+	opts := adcc.HeatOptions{N: 48, MaxIter: 10, Seed: 5}
+	m := adcc.NewMachine(adcc.MachineConfig{System: adcc.NVMOnly})
+	em := adcc.NewEmulator(m)
+	h := adcc.NewHeat(m, em, opts)
+	em.CrashAtTrigger(adcc.TriggerStencilIterEnd, 7)
+	if !em.Run(func() { h.Run(1) }) {
+		t.Fatal("did not crash")
+	}
+	rec := h.Recover()
+	if rec.CrashIter != 7 {
+		t.Fatalf("crash iter = %d, want 7", rec.CrashIter)
+	}
+	h.Run(rec.RestartIter)
+	if err := adcc.HeatVerify(h.Result(), adcc.HeatWant(opts)); err != nil {
+		t.Fatalf("recovered relaxation corrupt: %v", err)
+	}
+
+	runner := adcc.New(nil,
+		adcc.WithScale(0.02),
+		adcc.WithParallelism(4),
+		adcc.WithWorkloads(adcc.WorkloadStencil),
+		adcc.WithSchemes(adcc.SchemeAlgoNVM, adcc.SchemeAlgoNaive),
+		adcc.WithInjectionsPerCell(4),
+	)
+	rep, err := runner.RunCampaign(context.Background())
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	if len(rep.Cells) != 4 { // 2 schemes x 2 systems
+		t.Fatalf("campaign swept %d cells, want 4", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Scheme == adcc.SchemeAlgoNVM && c.Failures() != 0 {
+			t.Errorf("%s@%s: %d failures, want 0", c.Scheme, c.System, c.Failures())
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"adcc/internal/engine"
 	"adcc/internal/mc"
 	"adcc/internal/sparse"
+	"adcc/internal/stencil"
 )
 
 // Scheme is one named consistency scheme: it knows its mechanism
@@ -63,11 +64,13 @@ const (
 	SchemeAlgoEvery  = engine.SchemeAlgoEvery
 )
 
-// Built-in workload names; NewRegistry seeds all three.
+// Built-in workload names; NewRegistry seeds all four (the paper's
+// three studies plus the stencil extension family).
 const (
-	WorkloadCG = "cg"
-	WorkloadMM = "mm"
-	WorkloadMC = "mc"
+	WorkloadCG      = "cg"
+	WorkloadMM      = "mm"
+	WorkloadMC      = "mc"
+	WorkloadStencil = stencil.WorkloadName
 )
 
 // WorkloadSpec describes a runnable workload: a name and a factory
@@ -237,6 +240,23 @@ func builtinWorkloads() []WorkloadSpec {
 					},
 					Scheme: sc,
 				}, nil
+			},
+		},
+		{
+			Name: WorkloadStencil,
+			// The stencil's flush policy also comes from the scheme, so
+			// it sweeps the rejected algorithm-directed variants too.
+			Schemes: []string{
+				SchemeNative, SchemeCkptHDD, SchemeCkptNVM, SchemeCkptHetero,
+				SchemePMEM, SchemeAlgoNVM, SchemeAlgoHetero,
+				SchemeAlgoNaive, SchemeAlgoEvery,
+			},
+			New: func(sc Scheme, scale float64) (Workload, error) {
+				opts := stencil.Options{N: scaleInt(96, scale, 32), MaxIter: 12, Seed: 21}
+				if sc.Kind() == engine.KindAlgo {
+					return &stencil.HeatWorkload{Opts: opts, Scheme: sc}, nil
+				}
+				return &stencil.BaselineWorkload{Opts: opts, Scheme: sc}, nil
 			},
 		},
 	}

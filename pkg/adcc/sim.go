@@ -5,6 +5,7 @@ import (
 	"adcc/internal/core"
 	"adcc/internal/crash"
 	"adcc/internal/mem"
+	"adcc/internal/stencil"
 )
 
 // This file re-exports the simulated platform: the machine (clock + CPU
@@ -85,4 +86,6 @@ const (
 	TriggerMMLoop2IterEnd = core.TriggerMMLoop2IterEnd
 	// TriggerMCLookup fires after each Monte-Carlo lookup.
 	TriggerMCLookup = core.TriggerMCLookup
+	// TriggerStencilIterEnd fires at the end of each stencil sweep.
+	TriggerStencilIterEnd = stencil.TriggerIterEnd
 )

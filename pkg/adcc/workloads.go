@@ -6,6 +6,7 @@ import (
 	"adcc/internal/engine"
 	"adcc/internal/mc"
 	"adcc/internal/sparse"
+	"adcc/internal/stencil"
 )
 
 // This file re-exports the paper's three study workloads — the extended
@@ -127,6 +128,45 @@ func MCTinyConfig() MCConfig { return mc.TinyConfig() }
 func MCPercentages(c [MCNumTypes]int64, lookups int) [MCNumTypes]float64 {
 	return mc.Percentages(c, lookups)
 }
+
+// Jacobi heat stencil (extension workload family).
+type (
+	// Heat is the extended algorithm-directed Jacobi relaxation with
+	// plane history and invariant-based recovery.
+	Heat = stencil.Heat
+	// HeatOptions configures a relaxation.
+	HeatOptions = stencil.Options
+	// HeatRecovery reports what stencil recovery concluded.
+	HeatRecovery = stencil.Recovery
+	// BaselineHeat is the conventional ping-pong relaxation driven
+	// through a conventional scheme's Guard.
+	BaselineHeat = stencil.Baseline
+	// HeatWorkload adapts the extended relaxation to the Workload
+	// lifecycle.
+	HeatWorkload = stencil.HeatWorkload
+	// BaselineHeatWorkload adapts the ping-pong relaxation to the
+	// Workload lifecycle under a conventional scheme.
+	BaselineHeatWorkload = stencil.BaselineWorkload
+)
+
+// NewHeat builds the extended algorithm-directed relaxation on a
+// machine (em may be nil when no crash will be injected).
+func NewHeat(m *Machine, em *Emulator, opts HeatOptions) *Heat {
+	return stencil.NewHeat(m, em, opts)
+}
+
+// NewBaselineHeat builds the ping-pong relaxation under a conventional
+// scheme (nil means native, no protection).
+func NewBaselineHeat(m *Machine, opts HeatOptions, sc Scheme) *BaselineHeat {
+	return stencil.NewBaseline(m, opts, sc)
+}
+
+// HeatWant computes the native reference plane for the given options —
+// the stencil family's verification oracle.
+func HeatWant(opts HeatOptions) []float64 { return stencil.Want(opts) }
+
+// HeatVerify compares a computed plane against the oracle.
+func HeatVerify(got, want []float64) error { return stencil.VerifyGrid(got, want) }
 
 // Pure input generators (no simulation cost).
 type (
