@@ -65,6 +65,7 @@ func main() {
 		listOnly  = flag.Bool("list", false, "list available experiments and exit")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		benchMode = flag.Bool("bench", false, "run the benchmark suite (kernels + timed experiments) and emit machine-readable results")
+		replay    = flag.Bool("replay", false, "run campaigns on the snapshot/fork replay engine (identical report, far less wall time)")
 		jsonPath  = flag.String("json", "", "with -bench: write the enveloped JSON suite to this file instead of stdout; with -experiment campaign: write the enveloped campaign report here")
 	)
 	flag.Parse()
@@ -94,6 +95,7 @@ func main() {
 	opts := []adcc.Option{
 		adcc.WithScale(effScale),
 		adcc.WithParallelism(*parallel),
+		adcc.WithCampaignReplay(*replay),
 	}
 	if *verbose {
 		opts = append(opts, adcc.WithVerbose(os.Stderr))

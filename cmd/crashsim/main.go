@@ -48,6 +48,7 @@ func main() {
 		campaignScale = flag.Float64("campaign-scale", 0.1, "with -campaign: problem-size and sweep-density scale")
 		parallel      = flag.Int("parallel", 1, "with -campaign: max concurrent injections (report identical at any setting)")
 		jsonPath      = flag.String("json", "", "with -campaign: write the machine-readable campaign report to this file")
+		replay        = flag.Bool("replay", false, "with -campaign: use the snapshot/fork replay engine (same report, far less wall time)")
 	)
 	flag.Parse()
 
@@ -69,7 +70,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "crashsim: -%s applies to single-point mode and is ignored by -campaign (the campaign sweeps both platforms with its own sizes); drop it\n", conflict)
 			os.Exit(2)
 		}
-		os.Exit(runCampaign(*workload, *campaignScale, *parallel, *jsonPath))
+		os.Exit(runCampaign(*workload, *campaignScale, *parallel, *jsonPath, *replay))
 	}
 
 	kind := adcc.NVMOnly
@@ -184,11 +185,12 @@ func main() {
 // and adccbench present identical tables. Returns the process exit
 // code; any silent corruption or unrecoverable injection under the
 // paper's selective-flush algorithm-directed schemes is a failure.
-func runCampaign(workload string, scale float64, parallel int, jsonPath string) int {
+func runCampaign(workload string, scale float64, parallel int, jsonPath string, replay bool) int {
 	opts := []adcc.Option{
 		adcc.WithScale(scale),
 		adcc.WithParallelism(parallel),
 		adcc.WithWorkloads(workload),
+		adcc.WithCampaignReplay(replay),
 		adcc.WithVerbose(os.Stderr),
 	}
 	if jsonPath != "" {

@@ -60,6 +60,11 @@ type Result struct {
 	// metric, so a recovery-rate regression fails benchdiff.
 	Injections int64 `json:"injections,omitempty"`
 	Failures   int64 `json:"failures,omitempty"`
+	// WallNSPerInjection is the host wall-clock cost of one injection of
+	// a campaign cell. Like ns/op it is a wall metric — machine-varying,
+	// compared generously and advisable on PRs — and it is what records
+	// the snapshot-replay engine's speedup in the trajectory.
+	WallNSPerInjection float64 `json:"wall_ns_per_injection,omitempty"`
 }
 
 // Suite is a full benchmark run: schema tag, the harness scale it ran

@@ -82,6 +82,10 @@ var metrics = []metric{
 	// any failure appearing from zero flags as a regression.
 	{"failures", func(r Result) float64 { return float64(r.Failures) },
 		func(r Result) bool { return r.Injections > 0 }, true},
+	// Campaign per-injection wall cost is a host measurement like ns/op:
+	// generous threshold, advisory on PRs.
+	{"wall_ns_per_injection", func(r Result) float64 { return r.WallNSPerInjection },
+		func(r Result) bool { return r.WallNSPerInjection > 0 }, false},
 }
 
 // Diff compares candidate against base metric by metric. A metric is

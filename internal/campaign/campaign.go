@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sync/atomic"
+	"time"
 
 	"adcc/internal/cache"
 	"adcc/internal/core"
@@ -28,6 +30,7 @@ import (
 	"adcc/internal/dense"
 	"adcc/internal/engine"
 	"adcc/internal/mc"
+	"adcc/internal/mem"
 	"adcc/internal/sparse"
 	"adcc/internal/stencil"
 )
@@ -63,9 +66,18 @@ type Config struct {
 	// schemes registered on an instance registry become sweepable by
 	// passing that registry here and naming them in Schemes.
 	Registry *engine.Registry
+	// Replay switches the inner loop to the snapshot/fork engine: each
+	// cell executes once, capturing a machine snapshot at every
+	// scheduled crash point, and recovery forks run from restored
+	// snapshots instead of re-executing the workload from op 0. The
+	// report is byte-identical to the legacy per-injection path; only
+	// wall-clock cost (and the shape of the event stream) differs.
+	Replay bool
 	// Events, when non-nil, receives Progress events for the profiling
 	// stage and one InjectionDone per classified injection, in
-	// deterministic index order (byte-identical at any Parallel).
+	// deterministic index order (byte-identical at any Parallel). Replay
+	// campaigns additionally emit a "campaign/record" Progress event per
+	// recorded cell.
 	Events engine.EventSink
 	// Verbose enables progress notes on Out.
 	Verbose bool
@@ -404,30 +416,24 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	// Stage 2: flatten every (cell, point) into an independent job and
-	// fan the shards through the bounded pool. Collection by index keeps
-	// the aggregation byte-identical for any pool width.
+	// Stage 2: execute the injections. Both engines produce one
+	// injection per (cell, point) in plan-major point order and account
+	// wall-clock cost per cell; the aggregation below cannot tell them
+	// apart — the report is byte-identical across engines and pool
+	// widths.
 	var jobs []job
 	for pi, p := range plans {
 		for _, pt := range p.Points {
 			jobs = append(jobs, job{PlanIdx: pi, Point: pt})
 		}
 	}
-	var observeInjection func(i int, inj injection, err error)
-	if cfg.Events != nil {
-		observeInjection = func(i int, inj injection, _ error) {
-			cfg.Events.Emit(engine.InjectionDone{
-				Cell:    plans[jobs[i].PlanIdx].Cell.String(),
-				Index:   i,
-				Total:   len(jobs),
-				Outcome: inj.Outcome.String(),
-			})
-		}
+	cellWallNS := make([]int64, len(plans))
+	var results []injection
+	if cfg.Replay {
+		results, err = runReplay(ctx, cfg, plans, jobs, cellWallNS)
+	} else {
+		results, err = runLegacy(ctx, cfg, plans, jobs, cellWallNS)
 	}
-	results, err := engine.RunCasesObserved(ctx, cfg.Parallel, len(jobs), func(i int) (injection, error) {
-		p := plans[jobs[i].PlanIdx]
-		return runInjection(cfg, p, jobs[i].Point), nil
-	}, observeInjection)
 	if err != nil {
 		return nil, err
 	}
@@ -472,11 +478,284 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if crashed := c.Injections - c.NoCrash; crashed > 0 {
 			c.RecoveryRate = float64(c.Clean+c.Recomputed) / float64(crashed)
 		}
+		if c.Injections > 0 {
+			c.WallNSPerInjection = float64(cellWallNS[i]) / float64(c.Injections)
+		}
 		rep.Injections += c.Injections
 	}
 	rep.Cells = byPlan
 	sortCells(rep.Cells)
 	return rep, nil
+}
+
+// runLegacy is the per-injection engine: every (cell, point) job runs
+// the workload from op 0 on a fresh machine. Jobs fan through the
+// bounded pool independently; collection by index keeps the aggregation
+// byte-identical for any pool width.
+func runLegacy(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWallNS []int64) ([]injection, error) {
+	var observe func(i int, inj injection, err error)
+	if cfg.Events != nil {
+		observe = func(i int, inj injection, _ error) {
+			cfg.Events.Emit(engine.InjectionDone{
+				Cell:    plans[jobs[i].PlanIdx].Cell.String(),
+				Index:   i,
+				Total:   len(jobs),
+				Outcome: inj.Outcome.String(),
+			})
+		}
+	}
+	return engine.RunCasesObserved(ctx, cfg.Parallel, len(jobs), func(i int) (injection, error) {
+		p := plans[jobs[i].PlanIdx]
+		start := time.Now()
+		inj := runInjection(cfg, p, jobs[i].Point)
+		atomic.AddInt64(&cellWallNS[jobs[i].PlanIdx], time.Since(start).Nanoseconds())
+		return inj, nil
+	}, observe)
+}
+
+// runReplay is the snapshot/fork engine: each cell executes once — a
+// recording run capturing a machine snapshot at every scheduled crash
+// point — and recovery runs on forks restored from those snapshots.
+// Snapshots deduplicate into post-crash equivalence classes (Crash
+// erases all volatile state, so two points whose persistent images and
+// auxiliary state match crash into identical machines), and one fork
+// per class serves every member point. Cells fan through the bounded
+// pool; within a cell the work is sequential, bounding resident
+// snapshot memory to roughly the pool width times the per-cell class
+// count.
+func runReplay(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWallNS []int64) ([]injection, error) {
+	// Global injection indices of each plan's first point, so replay
+	// events carry the same Index/Total coordinates as legacy ones.
+	offset := make([]int, len(plans)+1)
+	for pi, p := range plans {
+		offset[pi+1] = offset[pi] + len(p.Points)
+	}
+	var observe func(i int, inj []injection, err error)
+	if cfg.Events != nil {
+		observe = func(i int, inj []injection, _ error) {
+			cfg.Events.Emit(engine.Progress{Stage: "campaign/record", Done: i + 1, Total: len(plans)})
+			for j, r := range inj {
+				cfg.Events.Emit(engine.InjectionDone{
+					Cell:    plans[i].Cell.String(),
+					Index:   offset[i] + j,
+					Total:   len(jobs),
+					Outcome: r.Outcome.String(),
+				})
+			}
+		}
+	}
+	perCell, err := engine.RunCasesObserved(ctx, cfg.Parallel, len(plans), func(i int) ([]injection, error) {
+		start := time.Now()
+		inj := runCellReplay(cfg, plans[i])
+		atomic.AddInt64(&cellWallNS[i], time.Since(start).Nanoseconds())
+		return inj, nil
+	}, observe)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]injection, 0, len(jobs))
+	for _, inj := range perCell {
+		results = append(results, inj...)
+	}
+	return results, nil
+}
+
+// snapClass is one post-crash equivalence class of a cell's crash
+// points: the representative crash snapshot and the indices (into the
+// cell's point list) it stands for.
+type snapClass struct {
+	state  *crash.CrashState
+	points []int
+}
+
+// classResult is the point-independent part of a fork's outcome. All
+// cost fields are simulated-clock deltas, so they are identical for
+// every point of the class even though the members' absolute crash
+// times differ.
+type classResult struct {
+	prepErr    bool
+	recoverErr bool
+	resumeErr  bool
+	verifyFail bool
+	flushes    int64
+	recoverNS  int64
+	resumeNS   int64
+	resumeOps  int64
+}
+
+// runCellReplay executes one cell under the snapshot/fork engine and
+// returns its injections in point order.
+func runCellReplay(cfg Config, p plan) []injection {
+	injections := make([]injection, len(p.Points))
+	m := p.Cell.newMachine()
+	em := crash.NewEmulator(m)
+	w := p.Cell.newWorkload(cfg, p.Assets)
+	if err := w.Prepare(m, em); err != nil {
+		for i := range injections {
+			injections[i] = injection{Outcome: OutcomeUnrecoverable}
+		}
+		return injections
+	}
+
+	// Recording run: pause at every scheduled point, capture the
+	// post-crash state, and deduplicate into equivalence classes keyed
+	// on (persistent images, auxiliary state) — the only state Crash
+	// preserves. Three tiers of sharing: a version compare (StateVersion)
+	// proves in O(1) that nothing persistent changed since the previous
+	// point, so runs of points between writebacks share one class without
+	// even snapshotting; when the version did move, CrashSnapshot copies
+	// only the regions and aux components whose own counters moved
+	// (copy-on-write against the previous capture); and an FNV prefilter
+	// avoids most content comparisons when merging against older classes.
+	var classes []*snapClass
+	byHash := map[uint64][]int{}
+	captured := make([]bool, len(p.Points))
+	crashOps := make([]int64, len(p.Points))
+	lastClass, lastVer := -1, uint64(0)
+	var prev *crash.CrashState
+	em.Record(func() { w.Run(w.Start()) }, p.Points, func(pi int) {
+		captured[pi] = true
+		crashOps[pi] = em.OpCount()
+		if ver := m.StateVersion(); lastClass >= 0 && ver == lastVer {
+			classes[lastClass].points = append(classes[lastClass].points, pi)
+			return
+		} else {
+			lastVer = ver
+		}
+		st := m.CrashSnapshot(prev)
+		prev = st
+		for _, ci := range byHash[st.Hash()] {
+			c := classes[ci]
+			if c.state.Equal(st) {
+				c.points = append(c.points, pi)
+				lastClass = ci
+				return
+			}
+		}
+		classes = append(classes, &snapClass{state: st, points: []int{pi}})
+		byHash[st.Hash()] = append(byHash[st.Hash()], len(classes)-1)
+		lastClass = len(classes) - 1
+	})
+
+	// One fork per class on a single reused fork machine; expand each
+	// result to every member point.
+	f := newForker(cfg, p)
+	for _, c := range classes {
+		res := f.run(c.state)
+		for _, pi := range c.points {
+			injections[pi] = expandInjection(res, crashOps[pi], p)
+		}
+	}
+	// Points the recording run never reached mirror the legacy engine's
+	// unfired-crash outcome.
+	for pi, ok := range captured {
+		if !ok {
+			injections[pi] = injection{Outcome: OutcomeNoCrash}
+		}
+	}
+	return injections
+}
+
+// forker replays all of one cell's crash classes on a single reused
+// machine. The cell's machine, emulator, and workload are constructed
+// once — Prepare runs under a null accessor, since every fork's restore
+// overwrites everything Prepare computes — and each class run then
+// costs only a (memoized, copy-on-write) post-crash restore plus the
+// recovery/resume/verify the legacy engine would also pay.
+type forker struct {
+	p       plan
+	m       *crash.Machine
+	em      *crash.Emulator
+	w       engine.Workload
+	prepErr bool
+}
+
+func newForker(cfg Config, p plan) *forker {
+	f := &forker{p: p}
+	f.m = p.Cell.newMachine()
+	f.em = crash.NewEmulator(f.m)
+	f.w = p.Cell.newWorkload(cfg, p.Assets)
+	acc := f.m.Heap.Accessor()
+	f.m.Heap.SetAccessor(mem.NullAccessor{})
+	err := f.w.Prepare(f.m, f.em)
+	f.m.Heap.SetAccessor(acc)
+	f.prepErr = err != nil
+	return f
+}
+
+// run replays one equivalence class: restore the captured post-crash
+// state and run recovery/resume/verify exactly as the legacy engine
+// does after its crash returns. All cost fields are simulated-clock
+// deltas, so the fork machine's absolute clock position is irrelevant.
+func (f *forker) run(st *crash.CrashState) classResult {
+	var res classResult
+	if f.prepErr {
+		res.prepErr = true
+		return res
+	}
+	m, em, w := f.m, f.em, f.w
+	m.RestoreCrash(st)
+	flushes0 := m.LLC.Stats().Flushes
+
+	recStart := m.Clock.Now()
+	from, err := safeRecover(w)
+	res.recoverNS = m.Clock.Since(recStart)
+	if err != nil {
+		res.recoverErr = true
+		return res
+	}
+
+	resStart := m.Clock.Now()
+	crashedAgain, err := safeResume(em, w, from)
+	res.resumeNS = m.Clock.Since(resStart)
+	res.flushes = m.LLC.Stats().Flushes - flushes0
+	res.resumeOps = em.OpCount()
+	if err != nil || crashedAgain {
+		res.resumeErr = true
+		return res
+	}
+	if err := safeVerify(w); err != nil {
+		res.verifyFail = true
+	}
+	return res
+}
+
+// expandInjection specializes a class result to one member point,
+// mirroring runInjection's classification field for field: the only
+// point-dependent inputs are the crash op count and the rework derived
+// from it.
+func expandInjection(res classResult, crashOps int64, p plan) injection {
+	var inj injection
+	if res.prepErr {
+		inj.Outcome = OutcomeUnrecoverable
+		return inj
+	}
+	inj.CrashOps = crashOps
+	inj.RecoverNS = res.recoverNS
+	if res.recoverErr {
+		inj.Outcome = OutcomeUnrecoverable
+		return inj
+	}
+	inj.ResumeNS = res.resumeNS
+	inj.Flushes = res.flushes
+	remaining := p.Profile.Ops - inj.CrashOps
+	if rework := res.resumeOps - remaining; rework > 0 {
+		inj.ReworkOps = rework
+	}
+	if res.resumeErr {
+		inj.Outcome = OutcomeUnrecoverable
+		return inj
+	}
+	if res.verifyFail {
+		inj.Outcome = OutcomeCorrupt
+		return inj
+	}
+	if inj.ReworkOps <= 2*p.Profile.MainTriggerOps() {
+		inj.Outcome = OutcomeClean
+	} else {
+		inj.Outcome = OutcomeRecomputed
+	}
+	return inj
 }
 
 // runInjection executes one crash point on a fresh machine: run to the

@@ -98,6 +98,13 @@ type CellReport struct {
 	// post-crash detection/restore and in re-execution, respectively.
 	RecoverSimNS int64 `json:"recover_sim_ns"`
 	ResumeSimNS  int64 `json:"resume_sim_ns"`
+
+	// WallNSPerInjection is the host wall-clock cost of one injection of
+	// this cell (averaged over the cell). It is measurement, not
+	// simulation — nondeterministic across hosts and runs — so it is
+	// excluded from the canonical JSON encoding and surfaces only
+	// through BenchResults, where benchdiff treats it as a wall metric.
+	WallNSPerInjection float64 `json:"-"`
 }
 
 // Failures counts injections that ended without a verified result.
@@ -172,14 +179,16 @@ func (r *Report) BenchResults() []bench.Result {
 	out := make([]bench.Result, 0, len(r.Cells)+1)
 	var total bench.Result
 	total.Name = "campaign/total"
+	var totalWallNS float64
 	for _, c := range r.Cells {
 		res := bench.Result{
-			Name:       fmt.Sprintf("campaign/%s/%s@%s", c.Workload, c.Scheme, c.System),
-			SimNS:      c.RecoverSimNS + c.ResumeSimNS,
-			SimFlushes: c.FlushLines,
-			RecoveryNS: c.RecoverSimNS,
-			Injections: int64(c.Injections),
-			Failures:   int64(c.Failures()),
+			Name:               fmt.Sprintf("campaign/%s/%s@%s", c.Workload, c.Scheme, c.System),
+			SimNS:              c.RecoverSimNS + c.ResumeSimNS,
+			SimFlushes:         c.FlushLines,
+			RecoveryNS:         c.RecoverSimNS,
+			Injections:         int64(c.Injections),
+			Failures:           int64(c.Failures()),
+			WallNSPerInjection: c.WallNSPerInjection,
 		}
 		out = append(out, res)
 		total.SimNS += res.SimNS
@@ -187,6 +196,10 @@ func (r *Report) BenchResults() []bench.Result {
 		total.RecoveryNS += res.RecoveryNS
 		total.Injections += res.Injections
 		total.Failures += res.Failures
+		totalWallNS += c.WallNSPerInjection * float64(c.Injections)
+	}
+	if total.Injections > 0 {
+		total.WallNSPerInjection = totalWallNS / float64(total.Injections)
 	}
 	return append(out, total)
 }

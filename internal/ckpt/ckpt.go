@@ -21,6 +21,7 @@ package ckpt
 
 import (
 	"fmt"
+	"math"
 
 	"adcc/internal/crash"
 	"adcc/internal/mem"
@@ -45,6 +46,8 @@ type Checkpointer struct {
 	spare map[string]*snapshot
 	tag   int64
 	valid bool
+	// ver counts commits and restores for crash.AuxState.AuxVersion.
+	ver uint64
 	// tierFlushNS is the fixed per-checkpoint cost of flushing the
 	// heterogeneous system's DRAM cache (paper §III-A: checkpointing
 	// on NVM/DRAM "includes flushing both CPU caches (using CLFLUSH)
@@ -59,10 +62,12 @@ type snapshot struct {
 
 // NewHDD returns a checkpointer writing to a local hard drive.
 func NewHDD(m *crash.Machine) *Checkpointer {
-	return &Checkpointer{
+	c := &Checkpointer{
 		m: m, target: nvm.HDD(), name: "ckpt-HDD", memoryBased: false,
 		saved: map[string]*snapshot{}, spare: map[string]*snapshot{},
 	}
+	m.RegisterAux(c)
+	return c
 }
 
 // NewNVM returns a memory-based checkpointer writing to the machine's
@@ -83,6 +88,7 @@ func NewNVM(m *crash.Machine) *Checkpointer {
 		// speed (the paper implements it as a memory copy).
 		c.tierFlushNS = nvm.DRAM().ReadCost(tier)
 	}
+	m.RegisterAux(c)
 	return c
 }
 
@@ -134,6 +140,7 @@ func (c *Checkpointer) Checkpoint(tag int64, regions ...mem.Region) {
 	}
 	c.tag = tag
 	c.valid = true
+	c.ver++
 }
 
 // chargeSave prices one region save: a cached read of the source plus the
@@ -201,9 +208,102 @@ func (c *Checkpointer) Restore(regions ...mem.Region) int64 {
 	return c.tag
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// auxState is the checkpointer's contribution to a machine snapshot:
+// the committed checkpoint contents, tag, and validity. The staging
+// buffers are excluded — they are dead until the next Checkpoint call
+// overwrites them, so they are not observable state.
+type auxState struct {
+	saved map[string]*snapshot
+	tag   int64
+	valid bool
+}
+
+// SnapshotAux implements crash.AuxState.
+func (c *Checkpointer) SnapshotAux(prev crash.AuxSnapshot) crash.AuxSnapshot {
+	st, ok := prev.(*auxState)
+	if !ok || st == nil {
+		st = &auxState{saved: map[string]*snapshot{}}
 	}
-	return b
+	for name := range st.saved {
+		if _, live := c.saved[name]; !live {
+			delete(st.saved, name)
+		}
+	}
+	for name, s := range c.saved {
+		d := st.saved[name]
+		if d == nil {
+			d = &snapshot{}
+			st.saved[name] = d
+		}
+		if len(d.f64) != len(s.f64) {
+			d.f64 = make([]float64, len(s.f64))
+		}
+		copy(d.f64, s.f64)
+		if len(d.i64) != len(s.i64) {
+			d.i64 = make([]int64, len(s.i64))
+		}
+		copy(d.i64, s.i64)
+	}
+	st.tag = c.tag
+	st.valid = c.valid
+	return st
+}
+
+// RestoreAux implements crash.AuxState.
+func (c *Checkpointer) RestoreAux(snap crash.AuxSnapshot) {
+	st, ok := snap.(*auxState)
+	if !ok {
+		panic(fmt.Sprintf("ckpt: restore of foreign aux snapshot %T", snap))
+	}
+	for name := range c.saved {
+		if _, want := st.saved[name]; !want {
+			delete(c.saved, name)
+		}
+	}
+	for name, s := range st.saved {
+		d := c.saved[name]
+		if d == nil {
+			d = &snapshot{}
+			c.saved[name] = d
+		}
+		if len(d.f64) != len(s.f64) {
+			d.f64 = make([]float64, len(s.f64))
+		}
+		copy(d.f64, s.f64)
+		if len(d.i64) != len(s.i64) {
+			d.i64 = make([]int64, len(s.i64))
+		}
+		copy(d.i64, s.i64)
+	}
+	c.tag = st.tag
+	c.valid = st.valid
+	c.ver++
+}
+
+// AuxVersion implements crash.AuxState.
+func (c *Checkpointer) AuxVersion() uint64 { return c.ver }
+
+// EqualAux implements crash.AuxSnapshot.
+func (a *auxState) EqualAux(other crash.AuxSnapshot) bool {
+	b, ok := other.(*auxState)
+	if !ok || a.tag != b.tag || a.valid != b.valid || len(a.saved) != len(b.saved) {
+		return false
+	}
+	for name, sa := range a.saved {
+		sb, ok := b.saved[name]
+		if !ok || len(sa.f64) != len(sb.f64) || len(sa.i64) != len(sb.i64) {
+			return false
+		}
+		for i, v := range sa.f64 {
+			if math.Float64bits(v) != math.Float64bits(sb.f64[i]) {
+				return false
+			}
+		}
+		for i, v := range sa.i64 {
+			if v != sb.i64[i] {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -103,6 +103,10 @@ type Machine struct {
 	Mem   nvm.System
 
 	kind MachineConfig
+	aux  []AuxState
+	// auxMarks memoizes the last RestoreCrash per aux component so
+	// repeated restores of one snapshot skip untouched components.
+	auxMarks []auxMark
 }
 
 // NewMachine builds a platform. The heap's accessor is the LLC, so every
@@ -184,6 +188,247 @@ func (m *Machine) ChargeNVMWrite(size int) {
 	m.Clock.Advance(m.Mem.PersistModel().WriteCost(size))
 }
 
+// AuxSnapshot is an opaque deep-copy snapshot of one auxiliary
+// simulation component's state, produced by AuxState.SnapshotAux.
+type AuxSnapshot interface {
+	// EqualAux reports whether other captures identical state. Snapshot
+	// deduplication (campaign replay) relies on it.
+	EqualAux(other AuxSnapshot) bool
+}
+
+// AuxState is implemented by simulation components that carry mutable
+// simulated state outside the machine's heap/cache/memory layers — the
+// checkpointer's saved region copies, for example. Components register
+// themselves with Machine.RegisterAux at construction so machine
+// snapshots include them.
+type AuxState interface {
+	// SnapshotAux deep-copies the component's state. prev, when non-nil
+	// and produced by the same component type, may donate its buffers;
+	// implementations must tolerate a prev of any AuxSnapshot type.
+	SnapshotAux(prev AuxSnapshot) AuxSnapshot
+	// RestoreAux overwrites the component's state from a snapshot taken
+	// from an identically-constructed component.
+	RestoreAux(AuxSnapshot)
+	// AuxVersion returns a counter that advances on every state
+	// mutation. Like mem.Heap.ImageVersion, an unchanged version proves
+	// the state is untouched; a changed version proves nothing about
+	// contents.
+	AuxVersion() uint64
+}
+
+// RegisterAux attaches an auxiliary state carrier to the machine's
+// snapshots. Registration order must be deterministic (components
+// register during workload construction), because Restore matches
+// snapshots to carriers positionally.
+func (m *Machine) RegisterAux(a AuxState) { m.aux = append(m.aux, a) }
+
+// MachineState is a deep-copy snapshot of a Machine's entire simulation
+// state: simulated time, CPU remainder, all region live and image
+// contents, the LLC directory, the memory system's volatile tier, and
+// every registered auxiliary component. Capture with Snapshot, apply
+// with Restore.
+type MachineState struct {
+	ClockNS int64
+	CPURem  float64
+	Heap    *mem.HeapState
+	Cache   *cache.State
+	Mem     *nvm.SystemState
+	Aux     []AuxSnapshot
+}
+
+// StateVersion sums the mutation counters of every crash-surviving
+// state layer: the heap's image version and each registered auxiliary
+// component's version. All addends are monotone, so two observations
+// with equal versions bracket an interval in which no persistent state
+// changed — the O(1) fast path that lets campaign replay assign
+// consecutive crash points to one snapshot class without comparing
+// state contents.
+func (m *Machine) StateVersion() uint64 {
+	v := m.Heap.ImageVersion()
+	for _, a := range m.aux {
+		v += a.AuxVersion()
+	}
+	return v
+}
+
+// Snapshot captures the machine's full simulation state.
+func (m *Machine) Snapshot() *MachineState { return m.SnapshotInto(nil) }
+
+// SnapshotInto captures the machine's full simulation state into st and
+// returns it. A nil st allocates a fresh state; a non-nil st reuses its
+// buffers, so a pooled state snapshots with few or no allocations.
+func (m *Machine) SnapshotInto(st *MachineState) *MachineState {
+	if st == nil {
+		st = &MachineState{}
+	}
+	st.ClockNS = m.Clock.Now()
+	st.CPURem = m.CPU.Remainder()
+	st.Heap = m.Heap.Snapshot(st.Heap)
+	st.Cache = m.LLC.Snapshot(st.Cache)
+	st.Mem = m.Mem.Snapshot(st.Mem)
+	if cap(st.Aux) < len(m.aux) {
+		st.Aux = make([]AuxSnapshot, len(m.aux))
+	} else {
+		st.Aux = st.Aux[:len(m.aux)]
+	}
+	for i, a := range m.aux {
+		st.Aux[i] = a.SnapshotAux(st.Aux[i])
+	}
+	return st
+}
+
+// Restore overwrites the machine's full simulation state from st. The
+// machine must be structurally identical to the one st was captured
+// from: same platform configuration, same region allocation history,
+// and the same auxiliary components registered in the same order — in
+// practice, a machine built by re-running the same construction code.
+// Restore rewinds a fork to a captured instant; it is not a resumption
+// mechanism for arbitrary machines, and a structural mismatch panics.
+func (m *Machine) Restore(st *MachineState) {
+	if len(st.Aux) != len(m.aux) {
+		panic(fmt.Sprintf("crash: restore of %d aux snapshots onto %d registered carriers",
+			len(st.Aux), len(m.aux)))
+	}
+	m.Clock.SetNow(st.ClockNS)
+	m.CPU.SetRemainder(st.CPURem)
+	m.Heap.Restore(st.Heap)
+	m.LLC.Restore(st.Cache)
+	m.Mem.Restore(st.Mem)
+	for i, a := range m.aux {
+		a.RestoreAux(st.Aux[i])
+	}
+}
+
+// Equal reports whether two snapshots capture identical machine state.
+func (a *MachineState) Equal(b *MachineState) bool {
+	if a.ClockNS != b.ClockNS || a.CPURem != b.CPURem {
+		return false
+	}
+	if !a.Heap.Equal(b.Heap) || !a.Cache.Equal(b.Cache) || !a.Mem.Equal(b.Mem) {
+		return false
+	}
+	if len(a.Aux) != len(b.Aux) {
+		return false
+	}
+	for i := range a.Aux {
+		if !a.Aux[i].EqualAux(b.Aux[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CrashState is the post-crash subset of a machine snapshot: the
+// persistent region images (copy-on-write, shared across captures whose
+// regions did not change) and the auxiliary component snapshots. It is
+// sufficient to reproduce any run that begins with a crash, because
+// Crash discards every other state layer — cache directory, volatile
+// memory tier, live region values, CPU remainder. Campaign replay
+// captures one CrashState per injection point and restores it with
+// RestoreCrash, which costs almost nothing when consecutive points
+// share persistent state.
+type CrashState struct {
+	Img *mem.ImageState
+	Aux []AuxSnapshot
+
+	// auxVers are the components' AuxVersion values at capture time,
+	// used to share unchanged aux snapshots across captures.
+	auxVers []uint64
+	hash    uint64
+}
+
+// CrashSnapshot captures the machine's post-crash state. If prev is a
+// snapshot of the same machine, unchanged regions and unchanged aux
+// components share prev's entries instead of copying, so a capture
+// between two crash points that persisted little is nearly free.
+func (m *Machine) CrashSnapshot(prev *CrashState) *CrashState {
+	st := &CrashState{
+		Aux:     make([]AuxSnapshot, len(m.aux)),
+		auxVers: make([]uint64, len(m.aux)),
+	}
+	var prevImg *mem.ImageState
+	if prev != nil {
+		prevImg = prev.Img
+	}
+	st.Img = m.Heap.SnapshotImages(prevImg)
+	st.hash = st.Img.Hash()
+	for i, a := range m.aux {
+		v := a.AuxVersion()
+		if prev != nil && i < len(prev.Aux) && prev.auxVers[i] == v {
+			st.Aux[i] = prev.Aux[i]
+		} else {
+			// Shared snapshots are immutable; never donate one as a
+			// buffer for the next capture.
+			st.Aux[i] = a.SnapshotAux(nil)
+		}
+		st.auxVers[i] = v
+	}
+	return st
+}
+
+// Hash returns a content hash of the persistent images, a cheap
+// prefilter for Equal-based deduplication. Aux state is not mixed in
+// (aux contents hash less cheaply); Equal compares it exactly.
+func (a *CrashState) Hash() uint64 { return a.hash }
+
+// Equal reports whether two crash states capture identical post-crash
+// machine state.
+func (a *CrashState) Equal(b *CrashState) bool {
+	if !a.Img.Equal(b.Img) || len(a.Aux) != len(b.Aux) {
+		return false
+	}
+	for i := range a.Aux {
+		if a.Aux[i] != b.Aux[i] && !a.Aux[i].EqualAux(b.Aux[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RestoreCrash puts the machine into the post-crash state captured in
+// st: persistent images and live values are overwritten from the
+// snapshot (folding the restart-from-image step in), auxiliary
+// components are restored, and the volatile layers — cache directory,
+// microarchitectural state, volatile memory tier — are reset exactly as
+// Crash resets them. The simulated clock is NOT touched: a fork reports
+// only clock deltas, so it may resume from any absolute time.
+//
+// Restores are memoized: restoring the same CrashState onto a machine
+// whose persistent state was not touched since skips the data copies
+// entirely, which is the common case when a fork ends in
+// state-restoring recovery.
+func (m *Machine) RestoreCrash(st *CrashState) {
+	if len(st.Aux) != len(m.aux) {
+		panic(fmt.Sprintf("crash: restore of %d aux snapshots onto %d registered carriers",
+			len(st.Aux), len(m.aux)))
+	}
+	m.Heap.RestoreImages(st.Img)
+	if len(m.auxMarks) != len(m.aux) {
+		m.auxMarks = make([]auxMark, len(m.aux))
+	}
+	for i, a := range m.aux {
+		mk := &m.auxMarks[i]
+		if mk.snap == st.Aux[i] && a.AuxVersion() == mk.ver {
+			continue
+		}
+		a.RestoreAux(st.Aux[i])
+		// Record the version after the restore so an untouched component
+		// can prove it still holds this snapshot's state.
+		*mk = auxMark{snap: st.Aux[i], ver: a.AuxVersion()}
+	}
+	m.LLC.DiscardAll()
+	m.LLC.ResetVolatile()
+	m.Mem.Reset()
+	m.CPU.SetRemainder(0)
+}
+
+// auxMark memoizes the last RestoreCrash source snapshot per aux
+// component; see mem.Heap's restore memoization for the scheme.
+type auxMark struct {
+	snap AuxSnapshot
+	ver  uint64
+}
+
 // crashSignal is the sentinel panic value used for crash injection.
 type crashSignal struct {
 	ops     int64
@@ -209,6 +454,10 @@ type Emulator struct {
 	// profile, when non-nil, counts every Trigger call by name
 	// (installed by Profile runs).
 	profile map[string]int
+
+	// rec, when non-nil, pauses execution at scheduled crash points to
+	// let a callback capture machine snapshots (installed by Record).
+	rec *recording
 
 	// OnCrash, if set, runs at the crash point before any volatile
 	// state is discarded — the hook the crash_sim_output() API of the
@@ -375,6 +624,14 @@ func (e *Emulator) Trigger(name string) {
 	if e.profile != nil {
 		e.profile[name]++
 	}
+	if e.rec != nil {
+		if t := e.rec.trig[name]; t != nil {
+			t.seen++
+			for _, pi := range t.occ[t.seen] {
+				e.rec.capture(pi)
+			}
+		}
+	}
 	if e.trigTarget <= 0 || name != e.trigName {
 		return
 	}
@@ -382,6 +639,36 @@ func (e *Emulator) Trigger(name string) {
 	if e.trigSeen == e.trigTarget {
 		panic(crashSignal{ops: e.ops, trigger: name})
 	}
+}
+
+// EmulatorState is a snapshot of the emulator's injection counters. It
+// is separate from MachineState because forks typically want a fresh
+// emulator (Run resets the counters), but tooling that suspends and
+// resumes an emulator mid-flight can carry them across.
+type EmulatorState struct {
+	Ops       int64
+	TrigSeen  int
+	Crashed   bool
+	CrashOps  int64
+	CrashTrig string
+}
+
+// Snapshot captures the emulator's counters.
+func (e *Emulator) Snapshot() EmulatorState {
+	return EmulatorState{
+		Ops: e.ops, TrigSeen: e.trigSeen,
+		Crashed: e.crashed, CrashOps: e.crashOps, CrashTrig: e.crashTrig,
+	}
+}
+
+// Restore overwrites the emulator's counters from st. The armed crash
+// point is left untouched (it is configuration, not run state).
+func (e *Emulator) Restore(st EmulatorState) {
+	e.ops = st.Ops
+	e.trigSeen = st.TrigSeen
+	e.crashed = st.Crashed
+	e.crashOps = st.CrashOps
+	e.crashTrig = st.CrashTrig
 }
 
 // OpCount returns the number of memory operations observed so far in the
@@ -417,9 +704,73 @@ func (c *countingAccessor) Store(a mem.Addr, size int) {
 
 func (e *Emulator) tick() {
 	e.ops++
+	if r := e.rec; r != nil && r.opCursor < len(r.ops) && r.ops[r.opCursor] == e.ops {
+		for _, pi := range r.opIdx[e.ops] {
+			r.capture(pi)
+		}
+		r.opCursor++
+	}
 	if e.crashAtOp > 0 && e.ops == e.crashAtOp {
 		panic(crashSignal{ops: e.ops})
 	}
+}
+
+// recording is the state of one Record run: the scheduled op-count
+// points (sorted, deduplicated) with a cursor, the trigger-occurrence
+// points keyed by name, and the snapshot callback.
+type recording struct {
+	ops      []int64
+	opCursor int
+	opIdx    map[int64][]int
+	trig     map[string]*trigRecording
+	capture  func(pointIdx int)
+}
+
+type trigRecording struct {
+	occ  map[int][]int
+	seen int
+}
+
+// Record executes the workload uncrashed, pausing at every point in
+// points to invoke capture with the point's index — at exactly the
+// instant an armed crash at that point would have fired (after the op
+// count increments, before the access reaches the cache; at the
+// matching Trigger call). capture typically snapshots the machine; it
+// must not issue simulated accesses. Points the execution never
+// reaches are not captured. Any armed crash point is suspended for the
+// duration and re-armed afterwards.
+func (e *Emulator) Record(workload func(), points []CrashPoint, capture func(pointIdx int)) {
+	rec := &recording{
+		opIdx:   make(map[int64][]int),
+		trig:    make(map[string]*trigRecording),
+		capture: capture,
+	}
+	for i, p := range points {
+		switch {
+		case p.Op > 0:
+			if _, seen := rec.opIdx[p.Op]; !seen {
+				rec.ops = append(rec.ops, p.Op)
+			}
+			rec.opIdx[p.Op] = append(rec.opIdx[p.Op], i)
+		case p.Occurrence > 0:
+			t := rec.trig[p.Trigger]
+			if t == nil {
+				t = &trigRecording{occ: make(map[int][]int)}
+				rec.trig[p.Trigger] = t
+			}
+			t.occ[p.Occurrence] = append(t.occ[p.Occurrence], i)
+		}
+	}
+	sort.Slice(rec.ops, func(i, j int) bool { return rec.ops[i] < rec.ops[j] })
+
+	saved := CrashPoint{Op: e.crashAtOp, Trigger: e.trigName, Occurrence: e.trigTarget}
+	e.Disarm()
+	e.rec = rec
+	defer func() {
+		e.rec = nil
+		e.Arm(saved)
+	}()
+	e.Run(workload)
 }
 
 // Run executes the workload with crash instrumentation installed.
@@ -453,7 +804,7 @@ func (e *Emulator) Run(workload func()) (crashed bool) {
 			if e.OnCrash != nil {
 				e.OnCrash(e.M)
 			}
-			e.M.crash()
+			e.M.Crash()
 			crashed = true
 		}
 	}()
@@ -461,11 +812,20 @@ func (e *Emulator) Run(workload func()) (crashed bool) {
 	return e.crashed
 }
 
-// crash executes the machine-level crash protocol.
-func (m *Machine) crash() {
+// Crash executes the machine-level crash-and-restart protocol: the LLC
+// is discarded (dirty lines lost) along with its cold-start
+// microarchitectural state (LRU clock, prefetcher streams), the memory
+// system's volatile tier is reset, every region's live data is replaced
+// by its NVM image, and the CPU's sub-nanosecond remainder is dropped.
+// After Crash the machine's observable state is a function of the
+// persistent images and the registered auxiliary components alone —
+// the invariant the campaign's snapshot-replay engine deduplicates on.
+func (m *Machine) Crash() {
 	m.LLC.DiscardAll()
+	m.LLC.ResetVolatile()
 	m.Mem.Reset()
 	m.Heap.RestartFromImage()
+	m.CPU.SetRemainder(0)
 }
 
 // InjectCrashNow can be called by tests or workloads to crash

@@ -1,0 +1,149 @@
+package crash_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adcc/internal/ckpt"
+	"adcc/internal/crash"
+	"adcc/internal/mem"
+)
+
+// snapMachine is one randomized machine under test: the platform, its
+// regions, and a checkpointer registered as an aux carrier.
+type snapMachine struct {
+	m  *crash.Machine
+	f  []*mem.F64
+	i  []*mem.I64
+	cp *ckpt.Checkpointer
+}
+
+// buildSnapMachine constructs a machine deterministically from the
+// seed; calling it twice with the same seed yields two structurally
+// identical machines, which is the contract Restore requires.
+func buildSnapMachine(kind crash.SystemKind, seed int64) *snapMachine {
+	rng := rand.New(rand.NewSource(seed))
+	m := crash.NewMachine(crash.MachineConfig{System: kind})
+	s := &snapMachine{m: m}
+	for r := 0; r < 2+rng.Intn(3); r++ {
+		s.f = append(s.f, m.Heap.AllocF64(fmt.Sprintf("f%d", r), 16+rng.Intn(900)))
+	}
+	for r := 0; r < 1+rng.Intn(2); r++ {
+		s.i = append(s.i, m.Heap.AllocI64(fmt.Sprintf("i%d", r), 8+rng.Intn(200)))
+	}
+	s.cp = ckpt.NewNVM(m)
+	return s
+}
+
+// step applies one random simulated operation.
+func (s *snapMachine) step(rng *rand.Rand) {
+	switch rng.Intn(10) {
+	case 0, 1, 2: // element store
+		r := s.f[rng.Intn(len(s.f))]
+		r.Set(rng.Intn(r.Len()), rng.NormFloat64())
+	case 3, 4: // element load
+		r := s.f[rng.Intn(len(s.f))]
+		r.At(rng.Intn(r.Len()))
+	case 5: // range store
+		r := s.f[rng.Intn(len(s.f))]
+		i := rng.Intn(r.Len())
+		n := 1 + rng.Intn(r.Len()-i)
+		dst := r.StoreRange(i, n)
+		for k := range dst {
+			dst[k] = rng.NormFloat64()
+		}
+	case 6: // int store
+		r := s.i[rng.Intn(len(s.i))]
+		r.Set(rng.Intn(r.Len()), rng.Int63())
+	case 7: // persist a region
+		s.m.FlushRegion(s.f[rng.Intn(len(s.f))])
+	case 8: // checkpoint a random region pair
+		s.cp.Checkpoint(rng.Int63n(100), s.f[rng.Intn(len(s.f))], s.i[rng.Intn(len(s.i))])
+	case 9: // CPU compute (exercises the fractional remainder)
+		s.m.CPU.Compute(1 + rng.Int63n(1000))
+	}
+}
+
+// TestSnapshotRestoreRoundTrip is the snapshot layer's property test:
+// for randomized machines and operation scripts, re-running a script
+// suffix after Restore must reproduce the exact final state — both on
+// the machine the snapshot came from and on a freshly built structural
+// twin (the fork case).
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, kind := range []crash.SystemKind{crash.NVMOnly, crash.Hetero} {
+		for seed := int64(0); seed < 8; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", kind, seed), func(t *testing.T) {
+				a := buildSnapMachine(kind, seed)
+				rng := rand.New(rand.NewSource(seed + 1000))
+				for k := 0; k < 300; k++ {
+					a.step(rng)
+				}
+				mid := a.m.Snapshot()
+				// Continue with a recorded suffix so it can be replayed.
+				suffix := rand.New(rand.NewSource(seed + 2000))
+				for k := 0; k < 300; k++ {
+					a.step(suffix)
+				}
+				final := a.m.Snapshot()
+
+				// Same machine: rewind and re-run the suffix.
+				a.m.Restore(mid)
+				suffix = rand.New(rand.NewSource(seed + 2000))
+				for k := 0; k < 300; k++ {
+					a.step(suffix)
+				}
+				if got := a.m.Snapshot(); !got.Equal(final) {
+					t.Error("rewind + replay on the same machine diverged from the original run")
+				}
+
+				// Fresh structural twin: the fork case.
+				b := buildSnapMachine(kind, seed)
+				b.m.Restore(mid)
+				suffix = rand.New(rand.NewSource(seed + 2000))
+				for k := 0; k < 300; k++ {
+					b.step(suffix)
+				}
+				if got := b.m.Snapshot(); !got.Equal(final) {
+					t.Error("restore onto a fresh twin + replay diverged from the original run")
+				}
+
+				// A crash after restore must equal a crash at the
+				// original instant: post-crash state is a function of
+				// images and aux alone.
+				a.m.Restore(mid)
+				a.m.Crash()
+				afterA := a.m.Snapshot()
+				b.m.Restore(mid)
+				b.m.Crash()
+				if !afterA.Equal(b.m.Snapshot()) {
+					t.Error("post-crash states diverged between original machine and twin")
+				}
+			})
+		}
+	}
+}
+
+// TestEmulatorSnapshotRoundTrip pins the emulator counter snapshot.
+func TestEmulatorSnapshotRoundTrip(t *testing.T) {
+	s := buildSnapMachine(crash.NVMOnly, 7)
+	em := crash.NewEmulator(s.m)
+	em.CrashAtOp(25)
+	if !em.Run(func() {
+		rng := rand.New(rand.NewSource(7))
+		for k := 0; k < 500; k++ {
+			s.step(rng)
+		}
+	}) {
+		t.Fatal("armed crash did not fire")
+	}
+	st := em.Snapshot()
+	if st.Ops != 25 || !st.Crashed || st.CrashOps != 25 {
+		t.Fatalf("unexpected emulator state after crash: %+v", st)
+	}
+	em2 := crash.NewEmulator(s.m)
+	em2.Restore(st)
+	if em2.OpCount() != 25 || !em2.Crashed() || em2.CrashOps() != 25 || em2.CrashTrigger() != "" {
+		t.Error("restored emulator does not report the captured counters")
+	}
+}

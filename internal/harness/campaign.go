@@ -27,6 +27,7 @@ func RunCampaign(ctx context.Context, o Options) (*Table, error) {
 		Workloads: o.Workloads,
 		Schemes:   o.Schemes,
 		Registry:  o.Registry,
+		Replay:    o.Replay,
 		Events:    o.Events,
 		Verbose:   o.Verbose,
 		Out:       o.Out,

@@ -154,6 +154,11 @@ type Options struct {
 	Workloads []string
 	Schemes   []string
 	PerCell   int
+	// Replay switches the campaign experiment to the snapshot/fork
+	// replay engine (campaign.Config.Replay): one recording run per
+	// cell, forked per injection class. The report is byte-identical to
+	// the legacy path; only wall-clock cost differs.
+	Replay bool
 	// Registry resolves scheme names for the campaign experiment; nil
 	// means the process-global registry. The figure experiments always
 	// run the paper's built-in seven cases.

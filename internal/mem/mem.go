@@ -21,6 +21,7 @@ package mem
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -70,7 +71,24 @@ type Region interface {
 	restore()
 	// syncImage copies the whole live slice into the image.
 	syncImage()
+	// versions returns the region's mutation counters.
+	versions() *vers
 }
+
+// vers carries a region's mutation counters. Every path that can
+// mutate the live slice bumps liveVer, every path that can mutate the
+// image bumps imageVer — including the raw Live/Image accessors, which
+// hand out mutable slices (a returned slice may be written later, so
+// the bump is conservative: false-dirty costs a copy, a missed
+// mutation would corrupt copy-on-write sharing). An unchanged counter
+// therefore proves unchanged contents; a changed counter proves
+// nothing.
+type vers struct {
+	liveVer  uint64
+	imageVer uint64
+}
+
+func (v *vers) versions() *vers { return v }
 
 // Heap allocates regions at line-aligned simulated addresses and routes
 // writebacks from the cache simulator to the owning region.
@@ -86,6 +104,17 @@ type Heap struct {
 	lastFind Region
 	lastBase Addr
 	lastEnd  Addr
+	// imageVer counts image mutations (writebacks and image syncs). Two
+	// observations of an untouched heap see the same version, so a
+	// version compare is an O(1) "images unchanged since then" test —
+	// the fast path behind campaign snapshot deduplication. A changed
+	// version does not imply changed contents (a writeback may store the
+	// value already present), so equal-content detection still needs a
+	// full compare.
+	imageVer uint64
+	// imgMarks memoizes, per region, the last RestoreImages source entry
+	// so repeated restores of the same snapshot skip untouched regions.
+	imgMarks []imgMark
 }
 
 // NewHeap returns an empty heap whose accesses are observed by acc.
@@ -135,6 +164,7 @@ func (h *Heap) addRegion(r Region) {
 // when a dirty line is evicted or flushed. Ranges that fall outside any
 // region (e.g. a line padding tail) are ignored harmlessly.
 func (h *Heap) Writeback(a Addr, size int) {
+	h.imageVer++
 	for size > 0 {
 		r := h.find(a)
 		if r == nil {
@@ -184,16 +214,22 @@ func (h *Heap) RestartFromImage() {
 // used to establish initial conditions (the paper assumes the input state
 // — matrix, right-hand side, grids — is persistent before the run).
 func (h *Heap) SyncAllImages() {
+	h.imageVer++
 	for _, r := range h.regions {
 		r.syncImage()
 	}
 }
+
+// ImageVersion returns the heap's image-mutation counter; see the
+// imageVer field for the compare semantics.
+func (h *Heap) ImageVersion() uint64 { return h.imageVer }
 
 // Regions returns the allocated regions in address order.
 func (h *Heap) Regions() []Region { return h.regions }
 
 // F64 is a region of float64 elements.
 type F64 struct {
+	vers
 	h     *Heap
 	name  string
 	base  Addr
@@ -239,6 +275,7 @@ func (r *F64) At(i int) float64 {
 // Set performs a simulated store of v into element i.
 func (r *F64) Set(i int, v float64) {
 	r.h.acc.Store(r.Addr(i), 8)
+	r.liveVer++
 	r.live[i] = v
 }
 
@@ -263,17 +300,25 @@ func (r *F64) StoreRange(i, n int) []float64 {
 	if n > 0 {
 		r.h.acc.Store(r.Addr(i), 8*n)
 	}
+	r.liveVer++
 	return r.live[i : i+n]
 }
 
 // Image returns the persistent NVM image of the region. Recovery code
 // reads this after a crash; it must not be mutated except through
 // writebacks and restores.
-func (r *F64) Image() []float64 { return r.image }
+func (r *F64) Image() []float64 {
+	r.imageVer++
+	r.h.imageVer++
+	return r.image
+}
 
 // Live returns the live slice without charging a simulated access. It is
 // intended for test assertions and result extraction after a run.
-func (r *F64) Live() []float64 { return r.live }
+func (r *F64) Live() []float64 {
+	r.liveVer++
+	return r.live
+}
 
 func (r *F64) writeback(off, n int) {
 	lo := off / 8
@@ -281,15 +326,23 @@ func (r *F64) writeback(off, n int) {
 	if hi > len(r.live) {
 		hi = len(r.live)
 	}
+	r.imageVer++
 	copy(r.image[lo:hi], r.live[lo:hi])
 }
 
-func (r *F64) restore() { copy(r.live, r.image) }
+func (r *F64) restore() {
+	r.liveVer++
+	copy(r.live, r.image)
+}
 
-func (r *F64) syncImage() { copy(r.image, r.live) }
+func (r *F64) syncImage() {
+	r.imageVer++
+	copy(r.image, r.live)
+}
 
 // I64 is a region of int64 elements.
 type I64 struct {
+	vers
 	h     *Heap
 	name  string
 	base  Addr
@@ -335,6 +388,7 @@ func (r *I64) At(i int) int64 {
 // Set performs a simulated store of v into element i.
 func (r *I64) Set(i int, v int64) {
 	r.h.acc.Store(r.Addr(i), 8)
+	r.liveVer++
 	r.live[i] = v
 }
 
@@ -353,14 +407,22 @@ func (r *I64) StoreRange(i, n int) []int64 {
 	if n > 0 {
 		r.h.acc.Store(r.Addr(i), 8*n)
 	}
+	r.liveVer++
 	return r.live[i : i+n]
 }
 
 // Image returns the persistent NVM image of the region.
-func (r *I64) Image() []int64 { return r.image }
+func (r *I64) Image() []int64 {
+	r.imageVer++
+	r.h.imageVer++
+	return r.image
+}
 
 // Live returns the live slice without charging a simulated access.
-func (r *I64) Live() []int64 { return r.live }
+func (r *I64) Live() []int64 {
+	r.liveVer++
+	return r.live
+}
 
 func (r *I64) writeback(off, n int) {
 	lo := off / 8
@@ -368,21 +430,344 @@ func (r *I64) writeback(off, n int) {
 	if hi > len(r.live) {
 		hi = len(r.live)
 	}
+	r.imageVer++
 	copy(r.image[lo:hi], r.live[lo:hi])
 }
 
-func (r *I64) restore() { copy(r.live, r.image) }
+func (r *I64) restore() {
+	r.liveVer++
+	copy(r.live, r.image)
+}
 
-func (r *I64) syncImage() { copy(r.image, r.live) }
+func (r *I64) syncImage() {
+	r.imageVer++
+	copy(r.image, r.live)
+}
 
 // String aids debugging.
 func (h *Heap) String() string {
 	return fmt.Sprintf("mem.Heap{regions=%d, next=%#x}", len(h.regions), h.next)
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// HeapState is a deep-copy snapshot of every region's contents, taken
+// in address order: the live and image slices of all F64 regions
+// concatenated, then likewise for all I64 regions. Region layout
+// (count, order, lengths, addresses) is not captured — a snapshot may
+// only be restored onto a heap with the identical allocation history,
+// which Restore validates.
+type HeapState struct {
+	F64Live  []float64
+	F64Image []float64
+	I64Live  []int64
+	I64Image []int64
+
+	regions int
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	return b
+	return s[:n]
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// Snapshot deep-copies all region contents into st and returns it. A
+// nil st allocates a fresh state; a non-nil st reuses its buffers when
+// they are large enough, so a pooled state snapshots without
+// allocating.
+func (h *Heap) Snapshot(st *HeapState) *HeapState {
+	if st == nil {
+		st = &HeapState{}
+	}
+	nf, ni := 0, 0
+	for _, r := range h.regions {
+		switch r := r.(type) {
+		case *F64:
+			nf += len(r.live)
+		case *I64:
+			ni += len(r.live)
+		default:
+			panic(fmt.Sprintf("mem: cannot snapshot region type %T", r))
+		}
+	}
+	st.regions = len(h.regions)
+	st.F64Live = growF64(st.F64Live, nf)
+	st.F64Image = growF64(st.F64Image, nf)
+	st.I64Live = growI64(st.I64Live, ni)
+	st.I64Image = growI64(st.I64Image, ni)
+	f, i := 0, 0
+	for _, r := range h.regions {
+		switch r := r.(type) {
+		case *F64:
+			copy(st.F64Live[f:], r.live)
+			copy(st.F64Image[f:], r.image)
+			f += len(r.live)
+		case *I64:
+			copy(st.I64Live[i:], r.live)
+			copy(st.I64Image[i:], r.image)
+			i += len(r.live)
+		}
+	}
+	return st
+}
+
+// Restore overwrites every region's live and image contents from st.
+// The heap must have the identical allocation history as the heap st
+// was captured from; a region-count or length mismatch panics.
+func (h *Heap) Restore(st *HeapState) {
+	if st.regions != len(h.regions) {
+		panic(fmt.Sprintf("mem: restore of %d-region state onto %d-region heap",
+			st.regions, len(h.regions)))
+	}
+	f, i := 0, 0
+	for _, r := range h.regions {
+		switch r := r.(type) {
+		case *F64:
+			copy(r.live, st.F64Live[f:])
+			copy(r.image, st.F64Image[f:])
+			f += len(r.live)
+		case *I64:
+			copy(r.live, st.I64Live[i:])
+			copy(r.image, st.I64Image[i:])
+			i += len(r.live)
+		}
+	}
+	if f != len(st.F64Live) || i != len(st.I64Live) {
+		panic(fmt.Sprintf("mem: restore length mismatch (f64 %d != %d or i64 %d != %d)",
+			f, len(st.F64Live), i, len(st.I64Live)))
+	}
+}
+
+// ImagesEqual reports whether the persistent images of two snapshots of
+// the same heap are bit-identical. Floats compare by bit pattern, so
+// distinct NaN payloads count as different (never as spuriously equal).
+func (a *HeapState) ImagesEqual(b *HeapState) bool {
+	if len(a.F64Image) != len(b.F64Image) || len(a.I64Image) != len(b.I64Image) {
+		return false
+	}
+	for i, v := range a.F64Image {
+		if math.Float64bits(v) != math.Float64bits(b.F64Image[i]) {
+			return false
+		}
+	}
+	for i, v := range a.I64Image {
+		if v != b.I64Image[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two snapshots are bit-identical in both live
+// and image contents.
+func (a *HeapState) Equal(b *HeapState) bool {
+	if !a.ImagesEqual(b) || len(a.F64Live) != len(b.F64Live) || len(a.I64Live) != len(b.I64Live) {
+		return false
+	}
+	for i, v := range a.F64Live {
+		if math.Float64bits(v) != math.Float64bits(b.F64Live[i]) {
+			return false
+		}
+	}
+	for i, v := range a.I64Live {
+		if v != b.I64Live[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FNV-1a parameters, used for all content hashing in this package.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h ^= (v >> s) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// ImageHash returns an FNV-1a hash of the persistent images, a cheap
+// prefilter for ImagesEqual-based deduplication.
+func (a *HeapState) ImageHash() uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range a.F64Image {
+		h = fnvMix(h, math.Float64bits(v))
+	}
+	for _, v := range a.I64Image {
+		h = fnvMix(h, uint64(v))
+	}
+	return h
+}
+
+// ImageState is a copy-on-write snapshot of every region's persistent
+// image — the only heap state a crashed machine restarts from. Entries
+// are immutable once created and are shared between successive
+// snapshots of the same heap: SnapshotImages reuses the previous
+// snapshot's entry for any region whose image version counter has not
+// moved, so capturing a crash point that persisted little since the
+// last one copies only the regions that actually changed.
+type ImageState struct {
+	src     *Heap
+	regions []*imageRegion
+	hash    uint64
+}
+
+// imageRegion is one region's image copy. Exactly one of f64/i64 is
+// populated (matching the region type); ver is the region's image
+// version at capture time and hash is the FNV-1a hash of the contents.
+// An imageRegion is never mutated after SnapshotImages returns it.
+type imageRegion struct {
+	f64  []float64
+	i64  []int64
+	ver  uint64
+	hash uint64
+}
+
+// SnapshotImages captures the persistent images of all regions. If prev
+// is a snapshot of the same heap, any region whose image version is
+// unchanged since prev shares prev's entry instead of copying (the
+// version counters are bumped by every image-mutating path, so an equal
+// version proves equal contents).
+func (h *Heap) SnapshotImages(prev *ImageState) *ImageState {
+	st := &ImageState{src: h, regions: make([]*imageRegion, len(h.regions))}
+	share := prev != nil && prev.src == h && len(prev.regions) <= len(h.regions)
+	hash := uint64(fnvOffset64)
+	for i, r := range h.regions {
+		v := r.versions()
+		if share && i < len(prev.regions) && prev.regions[i].ver == v.imageVer {
+			st.regions[i] = prev.regions[i]
+		} else {
+			e := &imageRegion{ver: v.imageVer}
+			eh := uint64(fnvOffset64)
+			switch r := r.(type) {
+			case *F64:
+				e.f64 = append([]float64(nil), r.image...)
+				for _, x := range e.f64 {
+					eh = fnvMix(eh, math.Float64bits(x))
+				}
+			case *I64:
+				e.i64 = append([]int64(nil), r.image...)
+				for _, x := range e.i64 {
+					eh = fnvMix(eh, uint64(x))
+				}
+			default:
+				panic(fmt.Sprintf("mem: cannot snapshot region type %T", r))
+			}
+			e.hash = eh
+			st.regions[i] = e
+		}
+		hash = fnvMix(hash, st.regions[i].hash)
+	}
+	st.hash = hash
+	return st
+}
+
+// imgMark records which ImageState entry a region was last restored
+// from, plus the version counters observed immediately after that
+// restore. A later restore from the same (immutable) entry with unmoved
+// counters is a provable no-op and is skipped.
+type imgMark struct {
+	entry    *imageRegion
+	liveVer  uint64
+	imageVer uint64
+}
+
+// RestoreImages overwrites every region's live AND image contents from
+// st, the post-crash restart state: it folds RestartFromImage into the
+// restore, leaving live == image == the snapshot. The heap must have
+// the identical allocation history as the heap st was captured from —
+// which may be a different heap instance (a fork machine built by
+// re-running the same construction code); a region count or length
+// mismatch panics.
+//
+// Restores are memoized per region: restoring the same snapshot onto an
+// untouched region costs two counter compares instead of two copies,
+// which makes replaying many crash points against one shared prefix
+// nearly free when consecutive points share image state.
+func (h *Heap) RestoreImages(st *ImageState) {
+	if len(st.regions) != len(h.regions) {
+		panic(fmt.Sprintf("mem: restore of %d-region image state onto %d-region heap",
+			len(st.regions), len(h.regions)))
+	}
+	if len(h.imgMarks) != len(h.regions) {
+		h.imgMarks = make([]imgMark, len(h.regions))
+	}
+	for i, e := range st.regions {
+		r := h.regions[i]
+		v := r.versions()
+		mk := &h.imgMarks[i]
+		if mk.entry == e && mk.liveVer == v.liveVer && mk.imageVer == v.imageVer {
+			continue
+		}
+		switch r := r.(type) {
+		case *F64:
+			if len(e.f64) != len(r.live) {
+				panic(fmt.Sprintf("mem: image restore length mismatch on %q", r.name))
+			}
+			copy(r.live, e.f64)
+			copy(r.image, e.f64)
+		case *I64:
+			if len(e.i64) != len(r.live) {
+				panic(fmt.Sprintf("mem: image restore length mismatch on %q", r.name))
+			}
+			copy(r.live, e.i64)
+			copy(r.image, e.i64)
+		default:
+			panic(fmt.Sprintf("mem: cannot restore region type %T", r))
+		}
+		v.liveVer++
+		v.imageVer++
+		*mk = imgMark{entry: e, liveVer: v.liveVer, imageVer: v.imageVer}
+	}
+	h.imageVer++
+}
+
+// Hash returns an FNV-1a hash over the per-region content hashes, a
+// cheap prefilter for Equal-based deduplication.
+func (a *ImageState) Hash() uint64 { return a.hash }
+
+// Equal reports whether two image snapshots are bit-identical. Shared
+// entries and same-heap same-version entries are proven equal without
+// touching the data; everything else falls back to a hash compare and
+// then a content compare (floats by bit pattern).
+func (a *ImageState) Equal(b *ImageState) bool {
+	if a == b {
+		return true
+	}
+	if len(a.regions) != len(b.regions) {
+		return false
+	}
+	sameSrc := a.src == b.src
+	for i, ra := range a.regions {
+		rb := b.regions[i]
+		if ra == rb || (sameSrc && ra.ver == rb.ver) {
+			continue
+		}
+		if ra.hash != rb.hash || len(ra.f64) != len(rb.f64) || len(ra.i64) != len(rb.i64) {
+			return false
+		}
+		for j, v := range ra.f64 {
+			if math.Float64bits(v) != math.Float64bits(rb.f64[j]) {
+				return false
+			}
+		}
+		for j, v := range ra.i64 {
+			if v != rb.i64[j] {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -127,10 +127,3 @@ func SimCopy(cpu *sim.CPU, dst *mem.F64, dstOff int, src *mem.F64, srcOff int, n
 	}
 	cpu.Compute(int64(n))
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -84,6 +84,17 @@ func WithInjectionsPerCell(n int) Option {
 	return func(r *Runner) { r.perCell = n }
 }
 
+// WithCampaignReplay switches campaign runs (RunCampaign and the
+// "campaign" experiment) to the snapshot/fork replay engine: one
+// recording run per cell captures a machine snapshot at every
+// scheduled crash point, and each injection forks from its snapshot
+// instead of re-simulating the prefix. The report is byte-identical to
+// the default per-injection path; only the wall-clock cost (and the
+// recording-run Progress events in the stream) differ.
+func WithCampaignReplay(on bool) Option {
+	return func(r *Runner) { r.replay = on }
+}
+
 // WithCollector attaches a benchmark collector: every measured case
 // records one Result (named "<experiment>/<case>" or
 // "<workload>/<scheme>") carrying the deterministic simulated timings.
@@ -127,6 +138,7 @@ type Runner struct {
 	schemes      []string
 	workloads    []string
 	perCell      int
+	replay       bool
 	collector    *Collector
 	sink         EventSink
 	verbose      bool
@@ -285,6 +297,7 @@ func (r *Runner) RunExperiment(ctx context.Context, name string) (*Table, error)
 		Workloads:    r.workloads,
 		Schemes:      r.schemes,
 		PerCell:      r.perCell,
+		Replay:       r.replay,
 		Registry:     r.reg.engineRegistry(),
 		Verbose:      r.verbose,
 		Out:          r.out,
@@ -308,6 +321,7 @@ func (r *Runner) RunCampaign(ctx context.Context) (*CampaignReport, error) {
 		Workloads: r.workloads,
 		Schemes:   r.schemes,
 		Registry:  r.reg.engineRegistry(),
+		Replay:    r.replay,
 		Events:    r.sink,
 		Verbose:   r.verbose,
 		Out:       r.out,
