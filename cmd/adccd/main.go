@@ -1,0 +1,85 @@
+// Command adccd serves crash-consistency campaigns over HTTP: submit a
+// campaign spec with POST /v1/campaigns, follow its deterministic event
+// stream over SSE, and fetch the finished adcc-report/v1 envelope —
+// byte-identical to running the same spec through crashsim or
+// pkg/adcc directly. With -state, finished reports are cached by
+// content address and interrupted campaigns resume from per-shard
+// checkpoints after a restart. See docs/HTTP_API.md for the wire
+// reference and docs/OPERATIONS.md for running the daemon.
+//
+// Usage:
+//
+//	adccd [-listen addr] [-state dir] [-parallel n] [-jobs n]
+//	      [-cache-entries n] [-v]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adcc/pkg/adcc/adccd"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:8080", "address to serve the HTTP API on")
+		state        = flag.String("state", "", "state directory for checkpoints and the result cache (empty = ephemeral)")
+		parallel     = flag.Int("parallel", 0, "shards of one campaign to run concurrently (0 = GOMAXPROCS)")
+		jobs         = flag.Int("jobs", 1, "campaigns to run concurrently")
+		cacheEntries = flag.Int("cache-entries", 0, "result-cache entries to keep (0 = unbounded)")
+		verbose      = flag.Bool("v", false, "log per-job activity")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "adccd: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	logf := log.Printf
+	if !*verbose {
+		logf = func(string, ...any) {}
+	}
+	srv, err := adccd.New(adccd.Config{
+		StateDir:     *state,
+		Parallel:     *parallel,
+		Jobs:         *jobs,
+		CacheEntries: *cacheEntries,
+		Logf:         logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("adccd: listening on %s (state %q)", *listen, *state)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("adccd: %v: shutting down", s)
+	}
+
+	// Stop accepting requests, then stop campaigns at the next shard
+	// boundary; completed shards stay on disk for the next start.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("adccd: http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("adccd: close: %v", err)
+	}
+}

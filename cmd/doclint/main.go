@@ -1,0 +1,164 @@
+// Command doclint lints the repo's markdown documentation. Two checks,
+// both wired into the doc-lint CI job:
+//
+//   - every fenced ```go block under docs/ must be gofmt-clean
+//     (go/format.Source accepts whole files and statement fragments
+//     alike, so prose examples are held to the same bar as code);
+//   - every intra-repo markdown link — [text](relative/path), with an
+//     optional #fragment — must resolve to an existing file or
+//     directory. External (http, https, mailto) and pure-fragment
+//     links are skipped.
+//
+// Usage:
+//
+//	doclint [-root dir]
+//
+// Exits non-zero listing every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/format"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// skipDirs are directory names never walked for markdown: VCS state
+// and the reference-only related/ file set, which is not part of the
+// documentation surface.
+var skipDirs = map[string]bool{".git": true, "related": true, "node_modules": true}
+
+func main() {
+	root := flag.String("root", ".", "repository root to lint")
+	flag.Parse()
+
+	var files []string
+	err := filepath.WalkDir(*root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(1)
+	}
+
+	var problems []string
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", f, err))
+			continue
+		}
+		text := string(b)
+		if underDocs(*root, f) {
+			problems = append(problems, checkGoBlocks(f, text)...)
+		}
+		problems = append(problems, checkLinks(*root, f, text)...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s) in %d markdown file(s)\n", len(problems), len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("doclint: %d markdown file(s) clean\n", len(files))
+}
+
+func underDocs(root, path string) bool {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return false
+	}
+	return rel == "docs" || strings.HasPrefix(rel, "docs"+string(filepath.Separator))
+}
+
+// checkGoBlocks verifies every fenced go code block is gofmt-clean.
+func checkGoBlocks(file, text string) []string {
+	var problems []string
+	lines := strings.Split(text, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		end := start
+		for end < len(lines) && strings.TrimSpace(lines[end]) != "```" {
+			end++
+		}
+		block := strings.Join(lines[start:end], "\n")
+		i = end
+		src := strings.TrimRight(block, "\n") + "\n"
+		formatted, err := format.Source([]byte(src))
+		if err != nil {
+			problems = append(problems,
+				fmt.Sprintf("%s:%d: go block does not parse: %v", file, start+1, err))
+			continue
+		}
+		if string(formatted) != src {
+			problems = append(problems,
+				fmt.Sprintf("%s:%d: go block is not gofmt-clean", file, start+1))
+		}
+	}
+	return problems
+}
+
+// mdLink matches inline markdown links; images ("![alt](src)") share
+// the same tail and are checked the same way.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks verifies every relative link target exists on disk.
+func checkLinks(root, file, text string) []string {
+	var problems []string
+	inFence := false
+	for n, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if rel, err := filepath.Rel(root, resolved); err != nil ||
+				rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: link %q escapes the repository", file, n+1, m[1]))
+				continue
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: broken link %q (%s does not exist)", file, n+1, m[1], resolved))
+			}
+		}
+	}
+	return problems
+}

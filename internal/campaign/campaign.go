@@ -79,6 +79,23 @@ type Config struct {
 	// campaigns additionally emit a "campaign/record" Progress event per
 	// recorded cell.
 	Events engine.EventSink
+	// Completed maps cell keys (CellReport.Key, "workload/scheme@system")
+	// to cell reports aggregated by a previous run. Cells found here are
+	// skipped entirely — no profiling, no injections, no events — and the
+	// stored report is spliced into the final Report in canonical order.
+	// Every canonical-JSON field of a CellReport is a deterministic
+	// function of (code, scale, seed), so a report assembled from
+	// checkpoints is byte-identical to an uninterrupted run's; only the
+	// host-measured WallNSPerInjection is whatever the checkpoint carries
+	// (zero when restored from JSON, which excludes it).
+	Completed map[string]CellReport
+	// OnCell, when non-nil, is called once per freshly executed cell with
+	// the cell's aggregated CellReport, in deterministic grid order, as
+	// soon as the cell's last injection has been observed — the shard
+	// checkpointing hook resumable services persist progress with. Cells
+	// skipped via Completed are not re-announced. OnCell runs on the
+	// sweep's ordered observation path; keep it fast.
+	OnCell func(CellReport)
 	// Verbose enables progress notes on Out.
 	Verbose bool
 	Out     io.Writer
@@ -183,6 +200,22 @@ func schemesFor(workload string) []string {
 // runs on both, regardless of the scheme's paper pairing — the campaign
 // is a grid, not the seven-case comparison.
 var systems = []crash.SystemKind{crash.NVMOnly, crash.Hetero}
+
+// CellKeys enumerates the config's sweep grid in deterministic order,
+// returning each cell's CellReport.Key ("workload/scheme@system"). It
+// validates workload and scheme names exactly like Run, so a service
+// can size and reject a campaign before starting it.
+func (c Config) CellKeys() ([]string, error) {
+	cells, err := c.cells()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(cells))
+	for i, cl := range cells {
+		keys[i] = cl.String()
+	}
+	return keys, nil
+}
 
 // cells enumerates the sweep grid in deterministic order, honoring the
 // config's workload/scheme filters.
@@ -369,13 +402,27 @@ type job struct {
 // Cancelling ctx stops the dispatch of queued injections and surfaces
 // ctx.Err(); a cancelled campaign returns no report.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
-	cells, err := cfg.cells()
+	grid, err := cfg.cells()
 	if err != nil {
 		return nil, err
+	}
+	// Cells checkpointed by a previous run are spliced into the final
+	// report as-is; only the remainder executes.
+	var cells []cell
+	var restored []CellReport
+	for _, cl := range grid {
+		if cr, ok := cfg.Completed[cl.String()]; ok {
+			restored = append(restored, cr)
+			continue
+		}
+		cells = append(cells, cl)
 	}
 	perCell := cfg.perCell()
 	cfg.logf("campaign: %d cells x %d injections at scale %g",
 		len(cells), perCell, cfg.scale())
+	if len(restored) > 0 {
+		cfg.logf("campaign: %d of %d cells restored from checkpoints", len(restored), len(grid))
+	}
 
 	// Shared per-workload inputs (CG matrix, MM oracle), computed once.
 	assets := map[string]*cellAssets{}
@@ -438,20 +485,36 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	// Stage 3: aggregate per cell.
+	// Stage 3: aggregate per cell and splice in checkpointed cells.
 	rep := &Report{Schema: SchemaVersion, Scale: cfg.scale(), Seed: cfg.Seed}
-	byPlan := make([]CellReport, len(plans))
+	byPlan := make([]CellReport, 0, len(plans)+len(restored))
+	off := 0
 	for pi, p := range plans {
-		byPlan[pi] = CellReport{
-			Workload:   p.Cell.Workload,
-			Scheme:     p.Cell.Scheme.Name(),
-			System:     p.Cell.System.String(),
-			ProfileOps: p.Profile.Ops,
-			GrainOps:   p.Profile.MainTriggerOps(),
-		}
+		byPlan = append(byPlan, aggregateCell(p, results[off:off+len(p.Points)], cellWallNS[pi]))
+		off += len(p.Points)
 	}
-	for i, r := range results {
-		cr := &byPlan[jobs[i].PlanIdx]
+	byPlan = append(byPlan, restored...)
+	for i := range byPlan {
+		rep.Injections += byPlan[i].Injections
+	}
+	rep.Cells = byPlan
+	sortCells(rep.Cells)
+	return rep, nil
+}
+
+// aggregateCell folds one cell's injections into its CellReport. It is
+// the single aggregation path — stage 3 and the OnCell checkpoint hook
+// both use it — so a checkpointed cell report is identical to the one
+// an uninterrupted run assembles.
+func aggregateCell(p plan, inj []injection, wallNS int64) CellReport {
+	cr := CellReport{
+		Workload:   p.Cell.Workload,
+		Scheme:     p.Cell.Scheme.Name(),
+		System:     p.Cell.System.String(),
+		ProfileOps: p.Profile.Ops,
+		GrainOps:   p.Profile.MainTriggerOps(),
+	}
+	for _, r := range inj {
 		cr.Injections++
 		switch r.Outcome {
 		case OutcomeClean:
@@ -473,19 +536,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		cr.RecoverSimNS += r.RecoverNS
 		cr.ResumeSimNS += r.ResumeNS
 	}
-	for i := range byPlan {
-		c := &byPlan[i]
-		if crashed := c.Injections - c.NoCrash; crashed > 0 {
-			c.RecoveryRate = float64(c.Clean+c.Recomputed) / float64(crashed)
-		}
-		if c.Injections > 0 {
-			c.WallNSPerInjection = float64(cellWallNS[i]) / float64(c.Injections)
-		}
-		rep.Injections += c.Injections
+	if crashed := cr.Injections - cr.NoCrash; crashed > 0 {
+		cr.RecoveryRate = float64(cr.Clean+cr.Recomputed) / float64(crashed)
 	}
-	rep.Cells = byPlan
-	sortCells(rep.Cells)
-	return rep, nil
+	if cr.Injections > 0 {
+		cr.WallNSPerInjection = float64(wallNS) / float64(cr.Injections)
+	}
+	return cr
 }
 
 // runLegacy is the per-injection engine: every (cell, point) job runs
@@ -494,14 +551,30 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 // byte-identical for any pool width.
 func runLegacy(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWallNS []int64) ([]injection, error) {
 	var observe func(i int, inj injection, err error)
-	if cfg.Events != nil {
+	if cfg.Events != nil || cfg.OnCell != nil {
+		var cellBuf []injection
 		observe = func(i int, inj injection, _ error) {
-			cfg.Events.Emit(engine.InjectionDone{
-				Cell:    plans[jobs[i].PlanIdx].Cell.String(),
-				Index:   i,
-				Total:   len(jobs),
-				Outcome: inj.Outcome.String(),
-			})
+			if cfg.Events != nil {
+				cfg.Events.Emit(engine.InjectionDone{
+					Cell:    plans[jobs[i].PlanIdx].Cell.String(),
+					Index:   i,
+					Total:   len(jobs),
+					Outcome: inj.Outcome.String(),
+				})
+			}
+			if cfg.OnCell == nil {
+				return
+			}
+			// Jobs are plan-major and observed in strict index order, so
+			// the last job of a plan closes the cell: every injection of
+			// the cell has been collected and its wall accounting is
+			// final.
+			pi := jobs[i].PlanIdx
+			cellBuf = append(cellBuf, inj)
+			if i+1 == len(jobs) || jobs[i+1].PlanIdx != pi {
+				cfg.OnCell(aggregateCell(plans[pi], cellBuf, atomic.LoadInt64(&cellWallNS[pi])))
+				cellBuf = cellBuf[:0]
+			}
 		}
 	}
 	return engine.RunCasesObserved(ctx, cfg.Parallel, len(jobs), func(i int) (injection, error) {
@@ -531,16 +604,21 @@ func runReplay(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWa
 		offset[pi+1] = offset[pi] + len(p.Points)
 	}
 	var observe func(i int, inj []injection, err error)
-	if cfg.Events != nil {
+	if cfg.Events != nil || cfg.OnCell != nil {
 		observe = func(i int, inj []injection, _ error) {
-			cfg.Events.Emit(engine.Progress{Stage: "campaign/record", Done: i + 1, Total: len(plans)})
-			for j, r := range inj {
-				cfg.Events.Emit(engine.InjectionDone{
-					Cell:    plans[i].Cell.String(),
-					Index:   offset[i] + j,
-					Total:   len(jobs),
-					Outcome: r.Outcome.String(),
-				})
+			if cfg.Events != nil {
+				cfg.Events.Emit(engine.Progress{Stage: "campaign/record", Done: i + 1, Total: len(plans)})
+				for j, r := range inj {
+					cfg.Events.Emit(engine.InjectionDone{
+						Cell:    plans[i].Cell.String(),
+						Index:   offset[i] + j,
+						Total:   len(jobs),
+						Outcome: r.Outcome.String(),
+					})
+				}
+			}
+			if cfg.OnCell != nil {
+				cfg.OnCell(aggregateCell(plans[i], inj, atomic.LoadInt64(&cellWallNS[i])))
 			}
 		}
 	}

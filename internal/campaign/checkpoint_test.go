@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// runWithHooks executes cfg collecting every OnCell checkpoint.
+func runWithHooks(t *testing.T, cfg Config) (*Report, []CellReport) {
+	t.Helper()
+	var cells []CellReport
+	cfg.OnCell = func(c CellReport) { cells = append(cells, c) }
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep, cells
+}
+
+// TestOnCellMatchesReport asserts the checkpoint hook contract on both
+// engines: one callback per cell, in deterministic grid order, carrying
+// exactly the CellReport the final report aggregates.
+func TestOnCellMatchesReport(t *testing.T) {
+	for _, replay := range []bool{false, true} {
+		for _, parallel := range []int{1, 4} {
+			cfg := tinyConfig(parallel)
+			cfg.Replay = replay
+			rep, cells := runWithHooks(t, cfg)
+			if len(cells) != len(rep.Cells) {
+				t.Fatalf("replay=%v parallel=%d: %d OnCell calls, want %d",
+					replay, parallel, len(cells), len(rep.Cells))
+			}
+			keys, err := cfg.CellKeys()
+			if err != nil {
+				t.Fatalf("CellKeys: %v", err)
+			}
+			byKey := map[string]CellReport{}
+			for _, c := range rep.Cells {
+				byKey[c.Key()] = c
+			}
+			for i, c := range cells {
+				if c.Key() != keys[i] {
+					t.Errorf("replay=%v: OnCell #%d = %q, want grid order %q", replay, i, c.Key(), keys[i])
+				}
+				want := byKey[c.Key()]
+				// The wall measurement is host noise; canonical fields
+				// must match exactly.
+				c.WallNSPerInjection, want.WallNSPerInjection = 0, 0
+				if c != want {
+					t.Errorf("replay=%v: OnCell %s = %+v, want %+v", replay, c.Key(), c, want)
+				}
+			}
+		}
+	}
+}
+
+// TestResumeFromCheckpoints asserts that a campaign resumed from any
+// subset of checkpointed cells — round-tripped through JSON, as a
+// service persisting shards would — produces a byte-identical report,
+// and that a fully checkpointed campaign does no sweep work at all.
+func TestResumeFromCheckpoints(t *testing.T) {
+	base := tinyConfig(2)
+	full, cells := runWithHooks(t, base)
+	want, err := full.EncodeJSON()
+	if err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+
+	for _, keep := range []int{1, len(cells) / 2, len(cells)} {
+		cfg := tinyConfig(2)
+		cfg.Completed = map[string]CellReport{}
+		for _, c := range cells[:keep] {
+			// Round-trip through JSON: WallNSPerInjection is dropped,
+			// like a shard file written by adccd.
+			b, err := json.Marshal(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back CellReport
+			if err := json.Unmarshal(b, &back); err != nil {
+				t.Fatal(err)
+			}
+			cfg.Completed[back.Key()] = back
+		}
+		var fresh []CellReport
+		cfg.OnCell = func(c CellReport) { fresh = append(fresh, c) }
+		rep, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("resume with %d checkpoints: %v", keep, err)
+		}
+		got, err := rep.EncodeJSON()
+		if err != nil {
+			t.Fatalf("EncodeJSON: %v", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("resume with %d checkpoints: report differs from uninterrupted run\ngot:\n%s\nwant:\n%s", keep, got, want)
+		}
+		if len(fresh) != len(cells)-keep {
+			t.Errorf("resume with %d checkpoints: %d cells re-executed, want %d", keep, len(fresh), len(cells)-keep)
+		}
+	}
+}
+
+// TestCellKeys checks grid enumeration order and name validation.
+func TestCellKeys(t *testing.T) {
+	keys, err := tinyConfig(1).CellKeys()
+	if err != nil {
+		t.Fatalf("CellKeys: %v", err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("CellKeys returned an empty grid")
+	}
+	if keys[0] != "mm/native@NVM-only" {
+		t.Errorf("first key = %q, want mm/native@NVM-only", keys[0])
+	}
+	bad := tinyConfig(1)
+	bad.Schemes = []string{"no-such-scheme"}
+	if _, err := bad.CellKeys(); err == nil {
+		t.Error("CellKeys accepted an unknown scheme")
+	}
+}

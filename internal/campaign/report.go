@@ -110,6 +110,12 @@ type CellReport struct {
 // Failures counts injections that ended without a verified result.
 func (c CellReport) Failures() int { return c.Corrupt + c.Unrecoverable }
 
+// Key is the cell's sweep coordinate, "workload/scheme@system" — the
+// name Config.Completed checkpoints and CellKeys enumerations use.
+func (c CellReport) Key() string {
+	return fmt.Sprintf("%s/%s@%s", c.Workload, c.Scheme, c.System)
+}
+
 // Report is a full campaign run.
 type Report struct {
 	Schema string  `json:"schema"`

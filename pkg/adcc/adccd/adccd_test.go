@@ -1,0 +1,356 @@
+package adccd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adcc/pkg/adcc"
+	"adcc/pkg/adcc/adccclient"
+)
+
+// tinySpec is the cheapest interesting campaign: one workload, 2%
+// scale, two injections per cell, 12 cells.
+func tinySpec(replay bool) adcc.CampaignSpec {
+	return adcc.CampaignSpec{Workloads: []string{"mm"}, Scale: 0.02, InjectionsPerCell: 2, Replay: replay}
+}
+
+// directReport runs spec straight through the public Runner and
+// returns its enveloped bytes — the reference every service path must
+// reproduce exactly.
+func directReport(t *testing.T, spec adcc.CampaignSpec) []byte {
+	t.Helper()
+	rep, err := adcc.New(nil, append(spec.Options(), adcc.WithParallelism(2))...).RunCampaign(context.Background())
+	if err != nil {
+		t.Fatalf("direct RunCampaign: %v", err)
+	}
+	b, err := adcc.NewCampaignReport(rep).EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func waitDone(t *testing.T, s *Server, id string) adcc.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		info, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if info.Status == adcc.JobDone || info.Status == adcc.JobFailed {
+			return info
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return adcc.JobInfo{}
+}
+
+// TestServiceByteIdentity is the service's core contract: the report
+// served over HTTP is byte-identical to running the same spec directly
+// through Runner.RunCampaign, for both engines and at service
+// parallelism different from the reference run.
+func TestServiceByteIdentity(t *testing.T) {
+	for _, replay := range []bool{false, true} {
+		srv, err := New(Config{Parallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		c := adccclient.New(ts.URL, nil)
+
+		spec := tinySpec(replay)
+		info, err := c.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("replay=%v: Submit: %v", replay, err)
+		}
+		if info.Status == adcc.JobFailed {
+			t.Fatalf("replay=%v: job failed: %s", replay, info.Error)
+		}
+		final, err := c.Wait(context.Background(), info.ID, 20*time.Millisecond)
+		if err != nil || final.Status != adcc.JobDone {
+			t.Fatalf("replay=%v: Wait: %v (status %s, err %q)", replay, err, final.Status, final.Error)
+		}
+		got, err := c.Report(context.Background(), info.ID)
+		if err != nil {
+			t.Fatalf("replay=%v: Report: %v", replay, err)
+		}
+		if want := directReport(t, spec); !bytes.Equal(got, want) {
+			t.Errorf("replay=%v: served report differs from direct RunCampaign (%d vs %d bytes)",
+				replay, len(got), len(want))
+		}
+		if final.ShardsDone != final.ShardsTotal || final.ShardsTotal == 0 {
+			t.Errorf("replay=%v: shards %d/%d", replay, final.ShardsDone, final.ShardsTotal)
+		}
+		ts.Close()
+		srv.Close()
+	}
+}
+
+// TestCacheHit asserts that resubmitting a spec with the same cache key
+// does zero engine work — both against the live job table (dedupe) and,
+// after a restart over the same state directory, against the on-disk
+// result cache.
+func TestCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{StateDir: dir, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := srv.Submit(tinySpec(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, srv, info.ID)
+	want, err := srv.Report(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same key, different spelling (engine choice, list duplicates):
+	// answered by the live finished job, no new campaign.
+	dup, err := srv.Submit(adcc.CampaignSpec{Workloads: []string{"mm", "mm"}, Scale: 0.02, InjectionsPerCell: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != info.ID {
+		t.Errorf("dedup returned new job %s, want %s", dup.ID, info.ID)
+	}
+	if st := srv.Stats(); st.Deduped != 1 || st.CampaignsRun != 1 {
+		t.Errorf("after dedup: %+v", st)
+	}
+	srv.Close()
+
+	// Fresh process over the same state dir: resubmission dedupes
+	// against the restored finished job, and its report is served from
+	// the cache (the restarted process holds no report bytes in memory).
+	srv2, err := New(Config{StateDir: dir, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := srv2.Submit(tinySpec(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Status != adcc.JobDone || hit.ID != info.ID {
+		t.Errorf("restart submit: status %s id %s, want done job %s", hit.Status, hit.ID, info.ID)
+	}
+	if got, err := srv2.Report(info.ID); err != nil || !bytes.Equal(got, want) {
+		t.Errorf("job report after restart: %v", err)
+	}
+	if st := srv2.Stats(); st.Deduped != 1 || st.CampaignsRun != 0 || st.CellsExecuted != 0 {
+		t.Errorf("restart stats %+v, want zero engine work", st)
+	}
+	srv2.Close()
+
+	// With the job table gone (only the content-addressed cache left),
+	// the same submission is answered straight from the cache.
+	if err := os.RemoveAll(filepath.Join(dir, "jobs")); err != nil {
+		t.Fatal(err)
+	}
+	srv3, err := New(Config{StateDir: dir, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv3.Close()
+	cached, err := srv3.Submit(tinySpec(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Status != adcc.JobDone || !cached.Cached {
+		t.Errorf("cache submit: status %s cached %v, want done from cache", cached.Status, cached.Cached)
+	}
+	got, err := srv3.Report(cached.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("cached report differs from original")
+	}
+	if st := srv3.Stats(); st.CacheHits != 1 || st.CampaignsRun != 0 || st.CellsExecuted != 0 {
+		t.Errorf("cache stats %+v, want pure cache hit", st)
+	}
+}
+
+// TestKillAndResume kills the daemon after exactly one shard checkpoint
+// and restarts it over the same state directory: the job must resume
+// from the persisted shard, re-execute only the remaining cells, and
+// serve a report byte-identical to an uninterrupted run.
+func TestKillAndResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec(true)
+	want := directReport(t, spec)
+
+	// One worker, so no other cell can complete while the checkpoint
+	// hook holds the single worker hostage.
+	srv, err := New(Config{StateDir: dir, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	first := make(chan struct{})
+	// After the first shard persists, block the checkpoint path until
+	// shutdown so exactly one shard is on disk when the process "dies".
+	srv.testCellHook = func(ctx context.Context, _ string) {
+		once.Do(func() { close(first) })
+		<-ctx.Done()
+	}
+	info, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-first
+	srv.Close()
+
+	srv2, err := New(Config{StateDir: dir, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	resumed, ok := srv2.Job(info.ID)
+	if !ok {
+		t.Fatalf("job %s not restored", info.ID)
+	}
+	if !resumed.Resumed {
+		t.Error("restored job not marked resumed")
+	}
+	final := waitDone(t, srv2, info.ID)
+	if final.Status != adcc.JobDone {
+		t.Fatalf("resumed job: %s (%s)", final.Status, final.Error)
+	}
+	got, err := srv2.Report(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("resumed report differs from uninterrupted run")
+	}
+	st := srv2.Stats()
+	if st.JobsResumed != 1 {
+		t.Errorf("JobsResumed = %d", st.JobsResumed)
+	}
+	if want := int64(final.ShardsTotal - 1); st.CellsExecuted != want {
+		t.Errorf("resume executed %d cells, want %d (one was checkpointed)", st.CellsExecuted, want)
+	}
+}
+
+// TestEventStreamMatchesDirect asserts the SSE stream carries exactly
+// the deterministic engine events a direct run emits, in order, with
+// shard_done markers interleaved and a terminal done frame.
+func TestEventStreamMatchesDirect(t *testing.T) {
+	spec := tinySpec(true)
+
+	// Reference: encode the direct runner's events with the same wire
+	// encoding the service uses.
+	ref := newJob(adcc.JobInfo{})
+	runner := adcc.New(nil, append(spec.Options(),
+		adcc.WithParallelism(2), adcc.WithEventSink(adcc.SinkFunc(ref.appendEngineEvent)))...)
+	if _, err := runner.RunCampaign(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wantEvents, _, _ := ref.eventsFrom(0)
+
+	srv, err := New(Config{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := adccclient.New(ts.URL, nil)
+	info, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []adcc.StreamEvent
+	var doneFrames int
+	if err := c.Events(context.Background(), info.ID, -1, func(e adcc.StreamEvent) error {
+		switch e.Type {
+		case "done":
+			doneFrames++
+		case "shard_done":
+		default:
+			got = append(got, e)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if doneFrames != 1 {
+		t.Errorf("saw %d done frames, want 1", doneFrames)
+	}
+	if len(got) != len(wantEvents) {
+		t.Fatalf("streamed %d engine events, direct run emitted %d", len(got), len(wantEvents))
+	}
+	for i := range got {
+		if got[i].Type != wantEvents[i].Type || !bytes.Equal(got[i].Data, wantEvents[i].Data) {
+			t.Fatalf("event %d differs:\n  got  %s %s\n  want %s %s",
+				i, got[i].Type, got[i].Data, wantEvents[i].Type, wantEvents[i].Data)
+		}
+	}
+
+	// Resuming mid-history replays exactly the tail.
+	mid := len(wantEvents) / 2
+	var tail []adcc.StreamEvent
+	if err := c.Events(context.Background(), info.ID, mid, func(e adcc.StreamEvent) error {
+		tail = append(tail, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("resumed Events: %v", err)
+	}
+	if len(tail) == 0 || tail[0].Seq != mid+1 {
+		t.Fatalf("resume from %d started at %d", mid, tail[0].Seq)
+	}
+}
+
+// TestHTTPErrors covers the documented error responses.
+func TestHTTPErrors(t *testing.T) {
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) (int, string) {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&doc)
+		msg, _ := doc["error"].(string)
+		return resp.StatusCode, msg
+	}
+	if code, msg := post(`{"workloads":["bogus"]}`); code != http.StatusBadRequest || msg == "" {
+		t.Errorf("unknown workload: %d %q", code, msg)
+	}
+	if code, msg := post(`{"wrkloads":["mm"]}`); code != http.StatusBadRequest || !strings.Contains(msg, "wrkloads") {
+		t.Errorf("unknown field: %d %q", code, msg)
+	}
+	if code, _ := post(`{`); code != http.StatusBadRequest {
+		t.Errorf("truncated body: %d", code)
+	}
+	for _, path := range []string{"/v1/campaigns/nope", "/v1/campaigns/nope/report", "/v1/campaigns/nope/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

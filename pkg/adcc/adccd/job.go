@@ -1,0 +1,177 @@
+package adccd
+
+import (
+	"encoding/json"
+	"sync"
+
+	"adcc/pkg/adcc"
+)
+
+// job is one campaign submission: its status document, the buffered
+// event history every subscriber replays, and the finished report.
+type job struct {
+	mu     sync.Mutex
+	info   adcc.JobInfo
+	events []adcc.StreamEvent
+	// wake is closed and replaced whenever events grow or the job
+	// reaches a terminal state, waking every waiting subscriber.
+	wake   chan struct{}
+	done   bool
+	report []byte
+}
+
+func newJob(info adcc.JobInfo) *job {
+	return &job{info: info, wake: make(chan struct{})}
+}
+
+// snapshot returns a copy of the job's status document.
+func (j *job) snapshot() adcc.JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info
+}
+
+func (j *job) spec() adcc.CampaignSpec { return j.info.Spec }
+
+func (j *job) status() adcc.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info.Status
+}
+
+func (j *job) reportBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+func (j *job) setStatus(st adcc.JobStatus) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.info.Status = st
+}
+
+// complete marks the job done with its enveloped report.
+func (j *job) complete(report []byte, injections int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.completeLocked(report, injections)
+}
+
+// completeLocked is complete for callers already holding j.mu (or
+// holding the job exclusively during construction).
+func (j *job) completeLocked(report []byte, injections int) {
+	j.info.Status = adcc.JobDone
+	j.info.Injections = injections
+	j.info.ShardsDone = j.info.ShardsTotal
+	j.report = report
+	j.finishLocked()
+}
+
+// fail marks the job failed.
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.info.Status = adcc.JobFailed
+	j.info.Error = err.Error()
+	j.finishLocked()
+}
+
+func (j *job) finishLocked() {
+	if !j.done {
+		j.done = true
+		close(j.wake)
+		j.wake = make(chan struct{})
+	}
+}
+
+// appendEvent adds one frame to the event history and wakes
+// subscribers.
+func (j *job) appendEvent(typ string, data any) {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, adcc.StreamEvent{Seq: len(j.events), Type: typ, Data: b})
+	close(j.wake)
+	j.wake = make(chan struct{})
+}
+
+// appendEngineEvent translates one deterministic engine event into its
+// wire frame. The shapes here are the SSE data documents of
+// docs/HTTP_API.md.
+func (j *job) appendEngineEvent(e adcc.Event) {
+	switch e := e.(type) {
+	case adcc.CaseStarted:
+		j.appendEvent("case_started", caseData{
+			Experiment: e.Experiment, Case: e.Case, Index: e.Index, Total: e.Total,
+		})
+	case adcc.CaseFinished:
+		j.appendEvent("case_finished", caseData{
+			Experiment: e.Experiment, Case: e.Case, Index: e.Index, Total: e.Total, Error: e.Err,
+		})
+	case adcc.InjectionDone:
+		j.appendEvent("injection_done", injectionData{
+			Cell: e.Cell, Index: e.Index, Total: e.Total, Outcome: e.Outcome,
+		})
+	case adcc.Progress:
+		j.appendEvent("progress", progressData{Stage: e.Stage, Done: e.Done, Total: e.Total})
+	default:
+		j.appendEvent("event", textData{Text: e.String()})
+	}
+}
+
+// shardDone records one checkpointed shard and announces it on the
+// event stream.
+func (j *job) shardDone(cellKey string) {
+	j.mu.Lock()
+	j.info.ShardsDone++
+	done, total := j.info.ShardsDone, j.info.ShardsTotal
+	j.mu.Unlock()
+	j.appendEvent("shard_done", shardData{Cell: cellKey, ShardsDone: done, ShardsTotal: total})
+}
+
+// eventsFrom returns the buffered frames at and after seq, a channel
+// that is closed on the next append or state change, and whether the
+// job is terminal.
+func (j *job) eventsFrom(seq int) ([]adcc.StreamEvent, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evs []adcc.StreamEvent
+	if seq < len(j.events) {
+		evs = j.events[seq:len(j.events):len(j.events)]
+	}
+	return evs, j.wake, j.done
+}
+
+// SSE data payloads (see docs/HTTP_API.md).
+type (
+	caseData struct {
+		Experiment string `json:"experiment"`
+		Case       string `json:"case"`
+		Index      int    `json:"index"`
+		Total      int    `json:"total"`
+		Error      string `json:"error,omitempty"`
+	}
+	injectionData struct {
+		Cell    string `json:"cell"`
+		Index   int    `json:"index"`
+		Total   int    `json:"total"`
+		Outcome string `json:"outcome"`
+	}
+	progressData struct {
+		Stage string `json:"stage"`
+		Done  int    `json:"done"`
+		Total int    `json:"total"`
+	}
+	shardData struct {
+		Cell        string `json:"cell"`
+		ShardsDone  int    `json:"shards_done"`
+		ShardsTotal int    `json:"shards_total"`
+	}
+	textData struct {
+		Text string `json:"text"`
+	}
+)

@@ -95,6 +95,28 @@ func WithCampaignReplay(on bool) Option {
 	return func(r *Runner) { r.replay = on }
 }
 
+// WithCampaignResume seeds RunCampaign with cells already aggregated by
+// a previous run, keyed by CampaignCell.Key ("workload/scheme@system",
+// see CampaignCells). Seeded cells are skipped entirely — no profiling,
+// no injections, no events — and their stored reports are spliced into
+// the final report, which stays byte-identical to an uninterrupted
+// run's. This is the resume half of the checkpointing pair adccd uses;
+// WithCampaignCheckpoint is the persistence half.
+func WithCampaignResume(completed map[string]CampaignCell) Option {
+	return func(r *Runner) { r.completed = completed }
+}
+
+// WithCampaignCheckpoint attaches a shard checkpoint hook to
+// RunCampaign: fn is called once per freshly executed cell with the
+// cell's aggregated CampaignCell, in deterministic grid order, as soon
+// as the cell's last injection has been observed. Persisting each cell
+// and feeding them back through WithCampaignResume lets an interrupted
+// campaign continue instead of restarting. fn runs on the sweep's
+// ordered observation path; keep it fast.
+func WithCampaignCheckpoint(fn func(CampaignCell)) Option {
+	return func(r *Runner) { r.onCell = fn }
+}
+
 // WithCollector attaches a benchmark collector: every measured case
 // records one Result (named "<experiment>/<case>" or
 // "<workload>/<scheme>") carrying the deterministic simulated timings.
@@ -139,6 +161,8 @@ type Runner struct {
 	workloads    []string
 	perCell      int
 	replay       bool
+	completed    map[string]CampaignCell
+	onCell       func(CampaignCell)
 	collector    *Collector
 	sink         EventSink
 	verbose      bool
@@ -323,6 +347,8 @@ func (r *Runner) RunCampaign(ctx context.Context) (*CampaignReport, error) {
 		Registry:  r.reg.engineRegistry(),
 		Replay:    r.replay,
 		Events:    r.sink,
+		Completed: r.completed,
+		OnCell:    r.onCell,
 		Verbose:   r.verbose,
 		Out:       r.out,
 	})
