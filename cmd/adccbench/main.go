@@ -15,15 +15,18 @@
 //	adccbench -list                        # list experiments
 //	adccbench -bench -json out.json        # machine-readable benchmark suite
 //
-//	# statistical crash-injection campaign; -json adds the full report:
+//	# statistical crash-injection campaign; -json adds the full report,
+//	# -fault sweeps richer crash-time fault/persistency models:
 //	adccbench -experiment campaign -scale 0.1 -parallel 4 -json campaign.json
+//	adccbench -experiment campaign -scale 0.1 -fault failstop,torn,eadr,reorder,bitflip
 //
 // The -bench mode runs the kernel micro-benchmarks (wall-clock ns/op and
-// allocs/op plus deterministic simulated metrics) and the timed harness
-// experiments, and emits the JSON suite wrapped in the adcc-report/v1
-// envelope for cmd/benchdiff. Unless -scale is given explicitly, -bench
-// runs the experiments at the default bench scale (0.05), matching the
-// root bench_test defaults.
+// allocs/op plus deterministic simulated metrics), the timed harness
+// experiments, and a fixed fault sub-grid (a reduced campaign swept
+// under the torn/eadr/reorder/bitflip crash models), and emits the JSON
+// suite wrapped in the adcc-report/v1 envelope for cmd/benchdiff.
+// Unless -scale is given explicitly, -bench runs the experiments at the
+// default bench scale (0.05), matching the root bench_test defaults.
 //
 // Every experiment case is seeded and runs on its own simulated machine,
 // and the harness collects results in case order, so -parallel N output
@@ -66,6 +69,7 @@ func main() {
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		benchMode = flag.Bool("bench", false, "run the benchmark suite (kernels + timed experiments) and emit machine-readable results")
 		replay    = flag.Bool("replay", false, "run campaigns on the snapshot/fork replay engine (identical report, far less wall time)")
+		faultFlag = flag.String("fault", "", "comma-separated crash-time fault models the campaign experiment sweeps (failstop, torn, eadr, reorder, bitflip); empty = fail-stop only")
 		jsonPath  = flag.String("json", "", "with -bench: write the enveloped JSON suite to this file instead of stdout; with -experiment campaign: write the enveloped campaign report here")
 	)
 	flag.Parse()
@@ -96,6 +100,15 @@ func main() {
 		adcc.WithScale(effScale),
 		adcc.WithParallelism(*parallel),
 		adcc.WithCampaignReplay(*replay),
+	}
+	if *faultFlag != "" {
+		var models []string
+		for _, m := range strings.Split(*faultFlag, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				models = append(models, m)
+			}
+		}
+		opts = append(opts, adcc.WithFaultModels(models...))
 	}
 	if *verbose {
 		opts = append(opts, adcc.WithVerbose(os.Stderr))
@@ -184,7 +197,36 @@ func runBench(opts []adcc.Option, jsonPath string, scale float64, verbose bool) 
 		}
 	}
 
-	suite := adcc.NewSuite(scale, append(results, col.Results()...))
+	// The fault sub-grid: a fixed reduced campaign swept once per
+	// non-fail-stop fault model, so benchdiff gates the survival rates
+	// under torn writebacks, eADR drain, reordered writebacks, and bit
+	// flips alongside the fail-stop rows. It runs in its own collector
+	// because its "campaign/total" roll-up would collide with the main
+	// campaign experiment's; the per-cell rows are distinct (their names
+	// carry the "+<fault>" key suffix) and merge into the suite.
+	faultCol := adcc.NewCollector()
+	faultRunner := adcc.New(nil, append(append([]adcc.Option{}, opts...),
+		adcc.WithCollector(faultCol),
+		adcc.WithWorkloads("mc", "stencil"),
+		adcc.WithSchemes(adcc.SchemeNative, adcc.SchemePMEM, adcc.SchemeAlgoNVM, adcc.SchemeAlgoEvery),
+		adcc.WithFaultModels("torn", "eadr", "reorder", "bitflip"))...)
+	start := time.Now()
+	if _, err := faultRunner.RunCampaign(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "adccbench: bench fault sub-grid failed: %v\n", err)
+		return 1
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "[bench fault sub-grid completed in %v]\n", time.Since(start))
+	}
+	faultResults := faultCol.Results()
+	merged := make([]adcc.Result, 0, len(faultResults))
+	for _, r := range faultResults {
+		if r.Name != "campaign/total" {
+			merged = append(merged, r)
+		}
+	}
+
+	suite := adcc.NewSuite(scale, append(append(results, col.Results()...), merged...))
 	rep := adcc.NewBenchReport(suite)
 	if jsonPath == "" {
 		b, err := rep.EncodeJSON()

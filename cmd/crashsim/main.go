@@ -21,6 +21,14 @@
 // (and the full enveloped JSON report with -json):
 //
 //	crashsim -workload mc -campaign -campaign-scale 0.1 -parallel 4
+//
+// The -fault flag selects crash-time fault/persistency models beyond
+// clean fail-stop (torn line writebacks, eADR cache drain, reordered
+// writebacks, silent bit flips): one model for a single-point run, a
+// comma-separated sweep list with -campaign:
+//
+//	crashsim -workload cg -occurrence 15 -fault torn
+//	crashsim -workload mc -campaign -fault failstop,torn,eadr,reorder,bitflip
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"adcc/pkg/adcc"
 )
@@ -41,6 +50,7 @@ func main() {
 		lookups    = flag.Int("lookups", 50_000, "MC lookup count")
 		occurrence = flag.Int("occurrence", 15, "crash at this occurrence of the workload's iteration-end point")
 		crashOp    = flag.Int64("crash-op", 0, "crash after this many memory operations (overrides -occurrence)")
+		faultFlag  = flag.String("fault", "", "crash-time fault models (failstop, torn, eadr, reorder, bitflip): one model in single-point mode, a comma-separated sweep list with -campaign")
 		llcKB      = flag.Int("llc", 2048, "LLC size in KB")
 		hetero     = flag.Bool("hetero", false, "use the heterogeneous NVM/DRAM system")
 
@@ -70,7 +80,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "crashsim: -%s applies to single-point mode and is ignored by -campaign (the campaign sweeps both platforms with its own sizes); drop it\n", conflict)
 			os.Exit(2)
 		}
-		os.Exit(runCampaign(*workload, *campaignScale, *parallel, *jsonPath, *replay))
+		os.Exit(runCampaign(*workload, *campaignScale, *parallel, *jsonPath, *replay, faultNames(*faultFlag)))
+	}
+
+	// Single-point mode crashes exactly once, so it takes one fault
+	// model, not a sweep list.
+	var fault adcc.FaultModel
+	if names := faultNames(*faultFlag); len(names) > 1 {
+		fmt.Fprintf(os.Stderr, "crashsim: -fault takes one model in single-point mode (a comma-separated list needs -campaign)\n")
+		os.Exit(2)
+	} else if len(names) == 1 {
+		var err error
+		if fault, err = adcc.ParseFaultModel(names[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "crashsim: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	kind := adcc.NVMOnly
@@ -87,9 +111,16 @@ func main() {
 			HitNS:             4,
 			FlushChargesClean: true,
 			PrefetchStreams:   16,
+			// eADR keeps the LLC in the persistence domain, so flushes
+			// cost a hit and the crash drains dirty lines.
+			FlushFree: fault.Kind == adcc.EADR,
 		},
 	})
 	em := adcc.NewEmulator(m)
+	if err := em.SetFault(fault); err != nil {
+		fmt.Fprintf(os.Stderr, "crashsim: %v\n", err)
+		os.Exit(2)
+	}
 	em.OnCrash = func(m *adcc.Machine) {
 		fmt.Printf("--- crash fired (op %d, trigger %q) ---\n", em.OpCount(), em.CrashTrigger())
 		reportCacheState(m)
@@ -175,23 +206,46 @@ func main() {
 		fmt.Println("workload completed without reaching the crash point")
 		return
 	}
+	if err := em.FaultErr(); err != nil {
+		fmt.Printf("fault model fell back to fail-stop: %v\n", err)
+	}
 	fmt.Printf("--- post-crash (restarted from NVM image) ---\n")
 	recover()
 	fmt.Printf("simulated time at exit: %.3f ms\n", float64(m.Clock.Now())/1e6)
+}
+
+// faultNames splits a -fault flag value into model names.
+func faultNames(flagValue string) []string {
+	if flagValue == "" {
+		return nil
+	}
+	var out []string
+	for _, n := range strings.Split(flagValue, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // runCampaign sweeps one workload through the injection campaign and
 // prints its survival table, reusing the shared renderer so crashsim
 // and adccbench present identical tables. Returns the process exit
 // code; any silent corruption or unrecoverable injection under the
-// paper's selective-flush algorithm-directed schemes is a failure.
-func runCampaign(workload string, scale float64, parallel int, jsonPath string, replay bool) int {
+// paper's selective-flush algorithm-directed schemes is a failure —
+// under clean fail-stop only, because the richer fault models (torn
+// writebacks, reordering, bit flips) exist precisely to push schemes
+// past their guarantees.
+func runCampaign(workload string, scale float64, parallel int, jsonPath string, replay bool, faults []string) int {
 	opts := []adcc.Option{
 		adcc.WithScale(scale),
 		adcc.WithParallelism(parallel),
 		adcc.WithWorkloads(workload),
 		adcc.WithCampaignReplay(replay),
 		adcc.WithVerbose(os.Stderr),
+	}
+	if len(faults) > 0 {
+		opts = append(opts, adcc.WithFaultModels(faults...))
 	}
 	if jsonPath != "" {
 		opts = append(opts, adcc.WithCampaignJSON(jsonPath))
@@ -204,7 +258,7 @@ func runCampaign(workload string, scale float64, parallel int, jsonPath string, 
 	}
 	adcc.CampaignTable(rep).Fprint(os.Stdout)
 	for _, c := range rep.Cells {
-		if c.Failures() > 0 &&
+		if c.FaultModel == "" && c.Failures() > 0 &&
 			(c.Scheme == adcc.SchemeAlgoNVM || c.Scheme == adcc.SchemeAlgoHetero) {
 			fmt.Fprintf(os.Stderr, "crashsim: %s/%s@%s: %d of %d injections failed\n",
 				c.Workload, c.Scheme, c.System, c.Failures(), c.Injections)

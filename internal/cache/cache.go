@@ -19,6 +19,7 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"adcc/internal/mem"
 	"adcc/internal/sim"
@@ -78,6 +79,17 @@ type Config struct {
 	// a tracked stream is charged the bandwidth-only sequential cost.
 	// Zero disables prefetch modeling.
 	PrefetchStreams int
+	// FlushFree models an eADR platform, where the LLC sits inside the
+	// persistence domain and explicit flushes are semantically
+	// unnecessary: CLFLUSH and CLWB retire at the flat hit cost instead
+	// of the memory system's write cost (FlushChargesClean included).
+	// Only pricing changes — data movement, invalidation, and dirty-bit
+	// transitions are identical to the ADR configuration, so the access
+	// stream, the crash-point space, and the evolution of cache state
+	// are byte-for-byte the same and only the simulated clock differs.
+	// The crash-time drain (dirty lines persist instead of vanishing)
+	// is modeled one layer up, by crash.FaultModel kind EADR.
+	FlushFree bool
 }
 
 // DefaultConfig returns the LLC configuration used throughout the
@@ -145,7 +157,10 @@ type Cache struct {
 	// O(1) lookup. Entries are never cleared: a line is resident iff
 	// its last fill target still holds its tag valid, so the lookup's
 	// tag check is the single source of truth and eviction, flush, and
-	// DiscardAll need no directory bookkeeping.
+	// DiscardAll need no directory bookkeeping. Lines at or past
+	// dirMaxLines are never recorded (see lookupWay's scan fallback):
+	// growing the dense slice toward a wild line number would allocate
+	// memory proportional to the address.
 	wayOf []uint32
 
 	// MRU memo: the way that served the most recent hit or fill.
@@ -279,11 +294,21 @@ func (c *Cache) set(ln uint64) []way {
 	return c.ways[b : b+uint64(c.cfg.Assoc)]
 }
 
+// dirMaxLines bounds the dense line directory: 1<<26 lines cover 4 GiB
+// of simulated address space, far beyond any workload's heap (regions
+// are allocated compactly from zero). Accesses past the bound still
+// simulate correctly through lookupWay's associative scan — they occur
+// only when recovery code chases an address read from a fault-corrupted
+// image, and the bound keeps such a wild address from inflating the
+// directory allocation to the size of the address.
+const dirMaxLines = 1 << 26
+
 // lookupWay returns the way holding line ln, or nil when the line is
 // not resident. The MRU memo is consulted first, then the line
 // directory; in both cases the way's own valid bit and tag are the
 // source of truth, so stale entries can never alias another line (a
-// resident line is always in the way it was last filled into).
+// resident line is always in the way it was last filled into). Lines
+// past the directory bound fall back to scanning their set.
 func (c *Cache) lookupWay(ln uint64) *way {
 	if w := c.lastWay; w != nil && c.lastLn == ln && w.valid && w.tag == ln {
 		return w
@@ -296,16 +321,32 @@ func (c *Cache) lookupWay(ln uint64) *way {
 				return w
 			}
 		}
+	} else if ln >= dirMaxLines {
+		set := c.set(ln)
+		for i := range set {
+			if w := &set[i]; w.valid && w.tag == ln {
+				c.lastLn, c.lastWay = ln, w
+				return w
+			}
+		}
 	}
 	return nil
 }
 
-// setDir records that line ln was filled into way index wi.
+// setDir records that line ln was filled into way index wi. Lines past
+// the directory bound are not recorded; lookupWay scans for them.
 func (c *Cache) setDir(ln uint64, wi uint64) {
+	if ln >= dirMaxLines {
+		return
+	}
 	if ln >= uint64(len(c.wayOf)) {
-		grown := make([]uint32, ln+ln/2+64)
-		copy(grown, c.wayOf)
-		c.wayOf = grown
+		grown := ln + ln/2 + 64
+		if grown > dirMaxLines {
+			grown = dirMaxLines
+		}
+		g := make([]uint32, grown)
+		copy(g, c.wayOf)
+		c.wayOf = g
 	}
 	c.wayOf[ln] = uint32(wi) + 1
 }
@@ -441,14 +482,20 @@ func (c *Cache) flushLine(ln uint64) {
 		return
 	}
 	// Absent line: CLFLUSH still issues and, per the paper, costs the
-	// same order as flushing a resident line.
-	if c.cfg.FlushChargesClean {
+	// same order as flushing a resident line — unless the platform is
+	// eADR, where a flush is a retired no-op.
+	if c.cfg.FlushFree {
+		c.clock.Advance(c.cfg.HitNS)
+	} else if c.cfg.FlushChargesClean {
 		c.clock.Advance(c.writeCost(c.lineAddr(ln)))
 	}
 }
 
 // flushResident performs the CLFLUSH protocol on a resident line:
 // write back if dirty, charge per the clean-flush policy, invalidate.
+// On a FlushFree (eADR) platform the writeback still moves data — the
+// crash-time drain would persist the same bytes anyway — but retires
+// at pipeline cost.
 func (c *Cache) flushResident(w *way, ln uint64) {
 	if w.dirty {
 		c.stats.FlushDirty++
@@ -456,7 +503,13 @@ func (c *Cache) flushResident(w *way, ln uint64) {
 		if c.sink != nil {
 			c.sink.Writeback(addr, c.cfg.LineBytes)
 		}
-		c.clock.Advance(c.writeCost(addr))
+		if c.cfg.FlushFree {
+			c.clock.Advance(c.cfg.HitNS)
+		} else {
+			c.clock.Advance(c.writeCost(addr))
+		}
+	} else if c.cfg.FlushFree {
+		c.clock.Advance(c.cfg.HitNS)
 	} else if c.cfg.FlushChargesClean {
 		c.clock.Advance(c.writeCost(c.lineAddr(ln)))
 	}
@@ -501,7 +554,11 @@ func (c *Cache) flushOptResident(w *way, ln uint64) {
 		if c.sink != nil {
 			c.sink.Writeback(addr, c.cfg.LineBytes)
 		}
-		c.clock.Advance(c.writeCost(addr))
+		if c.cfg.FlushFree {
+			c.clock.Advance(c.cfg.HitNS)
+		} else {
+			c.clock.Advance(c.writeCost(addr))
+		}
 		w.dirty = false
 	} else {
 		c.clock.Advance(c.cfg.HitNS)
@@ -683,6 +740,24 @@ func (c *Cache) Contains(a mem.Addr) (resident, dirty bool) {
 		}
 	}
 	return false, false
+}
+
+// DirtyLineAddrs returns the line-base addresses of every dirty
+// resident line, sorted ascending. This is the crash-time candidate
+// set of the fault models: the lines an eADR drain would persist, a
+// relaxed writeback order would permute, or an in-flight flush would
+// tear. Sorting makes the result independent of set/way layout, which
+// the byte-determinism of fault overlays depends on.
+func (c *Cache) DirtyLineAddrs() []mem.Addr {
+	var addrs []mem.Addr
+	for i := range c.ways {
+		w := &c.ways[i]
+		if w.valid && w.dirty {
+			addrs = append(addrs, c.lineAddr(w.tag))
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
 }
 
 // DirtyLines returns the number of dirty lines currently resident.

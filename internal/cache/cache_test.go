@@ -293,3 +293,56 @@ func TestResetStats(t *testing.T) {
 		t.Fatalf("cache state lost on ResetStats: %+v", st)
 	}
 }
+
+// TestFlushFreePricing: on an eADR platform (FlushFree) every flush
+// variant retires at the flat hit cost, but data movement, dirty-bit
+// transitions, and stats stay byte-identical to the ADR twin — only the
+// clock deviates.
+func TestFlushFreePricing(t *testing.T) {
+	run := func(flushFree bool) (int64, Stats, []mem.Addr) {
+		clock := &sim.Clock{}
+		sink := &recSink{}
+		cfg := Config{
+			SizeBytes:         4 * 64 * 2,
+			LineBytes:         64,
+			Assoc:             2,
+			HitNS:             1,
+			FlushChargesClean: true,
+			FlushFree:         flushFree,
+		}
+		c := New(cfg, clock, flatModel{read: 100, write: 50}, sink)
+		c.Store(64, 8)  // dirty
+		c.Load(128, 8)  // clean resident
+		c.Store(192, 8) // dirty, for the CLWB leg
+		before := clock.Now()
+		c.Flush(64, 8)     // dirty: writeback
+		c.Flush(128, 8)    // clean resident
+		c.Flush(1024, 8)   // absent
+		c.FlushOpt(192, 8) // CLWB on dirty: writeback, stays resident
+		if res, _ := c.Contains(192); !res {
+			t.Fatal("CLWB evicted the line")
+		}
+		if res, _ := c.Contains(64); res {
+			t.Fatal("CLFLUSH left the line resident")
+		}
+		return clock.Now() - before, c.Stats(), sink.wbs
+	}
+
+	adrCost, adrStats, adrWbs := run(false)
+	freeCost, freeStats, freeWbs := run(true)
+
+	// ADR: two dirty writebacks at 50 plus two clean/absent flushes at
+	// 50 under FlushChargesClean. eADR: four flushes at HitNS=1 each.
+	if adrCost != 200 {
+		t.Fatalf("ADR flush cost = %d, want 200", adrCost)
+	}
+	if freeCost != 4 {
+		t.Fatalf("eADR flush cost = %d, want 4 (flat hit cost per flush)", freeCost)
+	}
+	if adrStats != freeStats {
+		t.Fatalf("stats diverge: ADR %+v, eADR %+v", adrStats, freeStats)
+	}
+	if len(adrWbs) != 2 || len(freeWbs) != 2 || adrWbs[0] != freeWbs[0] || adrWbs[1] != freeWbs[1] {
+		t.Fatalf("writeback streams diverge: ADR %v, eADR %v", adrWbs, freeWbs)
+	}
+}

@@ -61,6 +61,15 @@ type Config struct {
 	// (under the extended implementation for KindAlgo schemes, under
 	// the Guard-driven baselines otherwise).
 	Schemes []string
+	// FaultModels selects the crash-time fault/persistency models swept
+	// as a fourth grid axis ("failstop", "torn", "eadr", "reorder",
+	// "bitflip"); nil or empty sweeps clean fail-stop only, exactly the
+	// legacy grid. Each named model multiplies the grid. Fail-stop cells
+	// keep their legacy keys; every other model suffixes its cells'
+	// keys with "+<model>", so fail-stop reports (and checkpoints and
+	// cache keys derived from them) are byte-identical with or without
+	// an explicit "failstop" entry.
+	FaultModels []string
 	// Registry resolves scheme names; nil means the process-global
 	// registry (so pre-instance-registry callers keep working). Custom
 	// schemes registered on an instance registry become sweepable by
@@ -143,25 +152,49 @@ func (c Config) logf(format string, args ...any) {
 // appear in the sweep.
 const campaignLLCBytes = 1 << 20
 
-// cell is one workload x scheme x platform combination of the sweep
-// grid.
+// cell is one workload x scheme x platform x fault-model combination of
+// the sweep grid. FaultName is the canonical model name, or "" for
+// clean fail-stop so fail-stop cells keep their legacy keys.
 type cell struct {
-	Workload string
-	Scheme   engine.Scheme
-	System   crash.SystemKind
+	Workload  string
+	Scheme    engine.Scheme
+	System    crash.SystemKind
+	Fault     crash.FaultModel
+	FaultName string
 }
 
 func (c cell) String() string {
-	return fmt.Sprintf("%s/%s@%s", c.Workload, c.Scheme.Name(), c.System)
+	s := fmt.Sprintf("%s/%s@%s", c.Workload, c.Scheme.Name(), c.System)
+	if c.FaultName != "" {
+		s += "+" + c.FaultName
+	}
+	return s
 }
 
 // seed derives the cell's crash-point seed from the campaign seed via
-// FNV-1a over the cell coordinates, so cells are decorrelated but
-// stable across runs and subset selections.
+// FNV-1a over the workload/scheme/system coordinates, so cells are
+// decorrelated but stable across runs and subset selections. The fault
+// model is deliberately NOT mixed in: every fault model of one
+// workload/scheme/system cell sweeps the same crash points, so outcome
+// differences across models measure the model, not a different sample.
 func (c cell) seed(base int64) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%s|%d|%d", c.Workload, c.Scheme.Name(), c.System, base)
 	return int64(h.Sum64() >> 1)
+}
+
+// fault returns the cell's seeded fault model: the parsed model with
+// its fault-lottery seed derived from the full cell key (fault name
+// included) and the campaign seed. Fail-stop needs no seed.
+func (c cell) fault(base int64) crash.FaultModel {
+	f := c.Fault
+	if f.Kind == crash.FailStop {
+		return f
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|fault|%d", c.String(), base)
+	f.Seed = int64(h.Sum64() >> 1)
+	return f
 }
 
 // workloadNames is the sweep order of the paper's three studies plus
@@ -200,6 +233,39 @@ func schemesFor(workload string) []string {
 // runs on both, regardless of the scheme's paper pairing — the campaign
 // is a grid, not the seven-case comparison.
 var systems = []crash.SystemKind{crash.NVMOnly, crash.Hetero}
+
+// faultAxis is one resolved entry of the fault-model sweep axis.
+type faultAxis struct {
+	name  string // canonical name; "" for fail-stop (legacy cell keys)
+	model crash.FaultModel
+}
+
+// faultModels resolves Config.FaultModels into the swept axis,
+// deduplicating by canonical name and preserving first-mention order.
+// An empty config sweeps fail-stop only.
+func (c Config) faultModels() ([]faultAxis, error) {
+	if len(c.FaultModels) == 0 {
+		return []faultAxis{{}}, nil
+	}
+	var out []faultAxis
+	seen := map[crash.FaultKind]bool{}
+	for _, name := range c.FaultModels {
+		fm, err := crash.ParseFaultModel(name)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		if seen[fm.Kind] {
+			continue
+		}
+		seen[fm.Kind] = true
+		ax := faultAxis{model: fm}
+		if fm.Kind != crash.FailStop {
+			ax.name = fm.Kind.String()
+		}
+		out = append(out, ax)
+	}
+	return out, nil
+}
 
 // CellKeys enumerates the config's sweep grid in deterministic order,
 // returning each cell's CellReport.Key ("workload/scheme@system"). It
@@ -242,6 +308,10 @@ func (c Config) cells() ([]cell, error) {
 		}
 		return false
 	}
+	faults, err := c.faultModels()
+	if err != nil {
+		return nil, err
+	}
 	var out []cell
 	for _, w := range workloadNames {
 		if !inWorkloads(w) {
@@ -270,7 +340,12 @@ func (c Config) cells() ([]cell, error) {
 				return nil, fmt.Errorf("campaign: unknown scheme %q", name)
 			}
 			for _, sys := range systems {
-				out = append(out, cell{Workload: w, Scheme: sc, System: sys})
+				for _, fa := range faults {
+					out = append(out, cell{
+						Workload: w, Scheme: sc, System: sys,
+						Fault: fa.model, FaultName: fa.name,
+					})
+				}
 			}
 		}
 	}
@@ -281,7 +356,11 @@ func (c Config) cells() ([]cell, error) {
 }
 
 // newMachine builds one injection platform: per-cell system kind, the
-// campaign LLC, defaults elsewhere.
+// campaign LLC, defaults elsewhere. eADR cells run with flush-free
+// pricing — the cost half of the platform; the crash-time drain is the
+// fault model's overlay. FlushFree changes only the simulated clock,
+// never the access stream, so crash-point spaces stay comparable
+// across fault models.
 func (c cell) newMachine() *crash.Machine {
 	return crash.NewMachine(crash.MachineConfig{
 		System: c.System,
@@ -292,6 +371,7 @@ func (c cell) newMachine() *crash.Machine {
 			HitNS:             4,
 			FlushChargesClean: true,
 			PrefetchStreams:   16,
+			FlushFree:         c.Fault.Kind == crash.EADR,
 		},
 	})
 }
@@ -511,6 +591,7 @@ func aggregateCell(p plan, inj []injection, wallNS int64) CellReport {
 		Workload:   p.Cell.Workload,
 		Scheme:     p.Cell.Scheme.Name(),
 		System:     p.Cell.System.String(),
+		FaultModel: p.Cell.FaultName,
 		ProfileOps: p.Profile.Ops,
 		GrainOps:   p.Profile.MainTriggerOps(),
 	}
@@ -677,14 +758,20 @@ func runCellReplay(cfg Config, p plan) []injection {
 
 	// Recording run: pause at every scheduled point, capture the
 	// post-crash state, and deduplicate into equivalence classes keyed
-	// on (persistent images, auxiliary state) — the only state Crash
-	// preserves. Three tiers of sharing: a version compare (StateVersion)
-	// proves in O(1) that nothing persistent changed since the previous
-	// point, so runs of points between writebacks share one class without
-	// even snapshotting; when the version did move, CrashSnapshot copies
-	// only the regions and aux components whose own counters moved
-	// (copy-on-write against the previous capture); and an FNV prefilter
-	// avoids most content comparisons when merging against older classes.
+	// on (persistent images, auxiliary state, fault overlay) — the only
+	// state a faulted crash preserves. Three tiers of sharing: a version
+	// compare (StateVersion) proves in O(1) that nothing persistent
+	// changed since the previous point, so runs of points between
+	// writebacks share one class without even snapshotting — but ONLY
+	// under fail-stop, because a fault overlay also depends on volatile
+	// cache state and the point seed, which no version counter tracks;
+	// when the version did move (or a fault model is active),
+	// CrashSnapshotFault copies only the regions and aux components
+	// whose own counters moved (copy-on-write against the previous
+	// capture) and attaches the point's overlay; and an FNV prefilter —
+	// overlay mixed in — avoids most content comparisons when merging
+	// against older classes.
+	fm := p.Cell.fault(cfg.Seed)
 	var classes []*snapClass
 	byHash := map[uint64][]int{}
 	captured := make([]bool, len(p.Points))
@@ -694,13 +781,19 @@ func runCellReplay(cfg Config, p plan) []injection {
 	em.Record(func() { w.Run(w.Start()) }, p.Points, func(pi int) {
 		captured[pi] = true
 		crashOps[pi] = em.OpCount()
-		if ver := m.StateVersion(); lastClass >= 0 && ver == lastVer {
-			classes[lastClass].points = append(classes[lastClass].points, pi)
-			return
-		} else {
-			lastVer = ver
+		if fm.Kind == crash.FailStop {
+			if ver := m.StateVersion(); lastClass >= 0 && ver == lastVer {
+				classes[lastClass].points = append(classes[lastClass].points, pi)
+				return
+			} else {
+				lastVer = ver
+			}
 		}
-		st := m.CrashSnapshot(prev)
+		// The overlay error is impossible for the built-in models the
+		// campaign sweeps (no explicit permutation); an inapplicable
+		// model would degrade to its fail-stop capture, exactly like the
+		// legacy engine's fallback.
+		st, _ := m.CrashSnapshotFault(prev, fm, em.OpCount())
 		prev = st
 		for _, ci := range byHash[st.Hash()] {
 			c := classes[ci]
@@ -846,6 +939,12 @@ func runInjection(cfg Config, p plan, pt crash.CrashPoint) injection {
 	em := crash.NewEmulator(m)
 	w := p.Cell.newWorkload(cfg, p.Assets)
 	if err := w.Prepare(m, em); err != nil {
+		inj.Outcome = OutcomeUnrecoverable
+		return inj
+	}
+	if err := em.SetFault(p.Cell.fault(cfg.Seed)); err != nil {
+		// Unreachable for the parsed built-in models, but a malformed
+		// model must classify, not panic.
 		inj.Outcome = OutcomeUnrecoverable
 		return inj
 	}

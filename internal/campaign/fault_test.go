@@ -1,0 +1,162 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// faultConfig is a CI-sized campaign sweeping every fault model over a
+// restricted grid.
+func faultConfig(parallel int, replay bool) Config {
+	return Config{
+		Scale:       0.02,
+		Parallel:    parallel,
+		PerCell:     3,
+		Workloads:   []string{"mm", "mc"},
+		FaultModels: []string{"failstop", "torn", "eadr", "reorder", "bitflip"},
+		Replay:      replay,
+	}
+}
+
+// TestFailStopDifferential: the fault-model plumbing must not move a
+// single byte of a clean fail-stop campaign. An explicit ["failstop"]
+// config and a nil one encode identically, on both engines, at any
+// worker-pool width.
+func TestFailStopDifferential(t *testing.T) {
+	base := tinyConfig(1)
+	want, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	wantB, err := want.EncodeJSON()
+	if err != nil {
+		t.Fatalf("encode baseline: %v", err)
+	}
+	for _, replay := range []bool{false, true} {
+		for _, parallel := range []int{1, 8} {
+			cfg := tinyConfig(parallel)
+			cfg.FaultModels = []string{"failstop"}
+			cfg.Replay = replay
+			rep, err := Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("explicit failstop (replay=%v, parallel=%d): %v", replay, parallel, err)
+			}
+			got, err := rep.EncodeJSON()
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if string(got) != string(wantB) {
+				t.Errorf("explicit failstop report (replay=%v, parallel=%d) differs from legacy baseline:\nbase:\n%s\ngot:\n%s",
+					replay, parallel, wantB, got)
+			}
+		}
+	}
+}
+
+// TestFaultModelsValidated: an unknown fault-model name is rejected up
+// front, before any cell runs.
+func TestFaultModelsValidated(t *testing.T) {
+	cfg := tinyConfig(1)
+	cfg.FaultModels = []string{"torn", "half-line"}
+	if _, err := Run(context.Background(), cfg); err == nil ||
+		!strings.Contains(err.Error(), "unknown fault model") {
+		t.Fatalf("Run = %v, want unknown-fault-model error", err)
+	}
+	if _, err := cfg.CellKeys(); err == nil {
+		t.Fatal("CellKeys accepted an unknown fault model")
+	}
+}
+
+// TestFaultGridShape: each named model multiplies the grid, fail-stop
+// cells keep their legacy keys, and duplicate names collapse.
+func TestFaultGridShape(t *testing.T) {
+	plain := tinyConfig(1)
+	base, err := plain.CellKeys()
+	if err != nil {
+		t.Fatalf("CellKeys: %v", err)
+	}
+	cfg := tinyConfig(1)
+	cfg.FaultModels = []string{"failstop", "torn", "torn", ""}
+	keys, err := cfg.CellKeys()
+	if err != nil {
+		t.Fatalf("CellKeys: %v", err)
+	}
+	if len(keys) != 2*len(base) {
+		t.Fatalf("grid has %d cells, want %d (x2 models over %d)", len(keys), 2*len(base), len(base))
+	}
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		seen[k] = true
+	}
+	for _, k := range base {
+		if !seen[k] {
+			t.Errorf("legacy cell key %q missing from fault grid", k)
+		}
+		if !seen[k+"+torn"] {
+			t.Errorf("torn cell key %q+torn missing from fault grid", k)
+		}
+	}
+}
+
+// TestFaultReplayDifferential is the fault-axis analogue of
+// TestReplayDifferential: over every fault model, the snapshot/fork
+// engine must reproduce the legacy per-injection engine byte for byte,
+// at any worker-pool width on either side.
+func TestFaultReplayDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model differential campaign in -short mode")
+	}
+	legacy, err := Run(context.Background(), faultConfig(4, false))
+	if err != nil {
+		t.Fatalf("legacy campaign: %v", err)
+	}
+	want, err := legacy.EncodeJSON()
+	if err != nil {
+		t.Fatalf("encode legacy: %v", err)
+	}
+	for _, parallel := range []int{1, 8} {
+		replay, err := Run(context.Background(), faultConfig(parallel, true))
+		if err != nil {
+			t.Fatalf("replay campaign (parallel=%d): %v", parallel, err)
+		}
+		got, err := replay.EncodeJSON()
+		if err != nil {
+			t.Fatalf("encode replay: %v", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("replay fault report (parallel=%d) differs from legacy:\nlegacy:\n%s\nreplay:\n%s",
+				parallel, want, got)
+		}
+	}
+
+	// The models must actually bite: fail-stop mc/native recovers every
+	// injection (the paper's restart baseline), and the torn-writeback
+	// model must break that — silent corruption from a half-persisted
+	// line the restart trusts.
+	cells := make(map[string]CellReport, len(legacy.Cells))
+	for _, c := range legacy.Cells {
+		cells[c.Key()] = c
+	}
+	clean, ok := cells["mc/native@NVM-only"]
+	if !ok {
+		t.Fatal("mc/native@NVM-only cell missing")
+	}
+	if clean.RecoveryRate != 1 {
+		t.Fatalf("fail-stop mc/native recovery = %v, want 1 (baseline drifted; pick another canary)", clean.RecoveryRate)
+	}
+	torn, ok := cells["mc/native@NVM-only+torn"]
+	if !ok {
+		t.Fatal("mc/native@NVM-only+torn cell missing")
+	}
+	if torn.Corrupt == 0 || torn.RecoveryRate >= 1 {
+		t.Errorf("torn mc/native: corrupt=%d recovery=%v, want corruption below 100%%",
+			torn.Corrupt, torn.RecoveryRate)
+	}
+	// Outcome accounting holds on fault cells exactly as on legacy ones.
+	for _, c := range legacy.Cells {
+		if got := c.Clean + c.Recomputed + c.Corrupt + c.Unrecoverable + c.NoCrash; got != c.Injections {
+			t.Errorf("%s: outcomes sum to %d, want %d", c.Key(), got, c.Injections)
+		}
+	}
+}

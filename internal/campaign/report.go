@@ -64,6 +64,11 @@ type CellReport struct {
 	Workload string `json:"workload"`
 	Scheme   string `json:"scheme"`
 	System   string `json:"system"`
+	// FaultModel is the crash-time fault/persistency model swept in
+	// this cell ("torn", "eadr", "reorder", "bitflip"); empty means
+	// clean fail-stop, omitted from the JSON so fail-stop reports are
+	// byte-identical to pre-fault-axis ones.
+	FaultModel string `json:"fault_model,omitempty"`
 
 	// Injections is the number of crash points swept in this cell.
 	Injections int `json:"injections"`
@@ -110,10 +115,15 @@ type CellReport struct {
 // Failures counts injections that ended without a verified result.
 func (c CellReport) Failures() int { return c.Corrupt + c.Unrecoverable }
 
-// Key is the cell's sweep coordinate, "workload/scheme@system" — the
-// name Config.Completed checkpoints and CellKeys enumerations use.
+// Key is the cell's sweep coordinate, "workload/scheme@system" with a
+// "+fault" suffix for non-fail-stop fault models — the name
+// Config.Completed checkpoints and CellKeys enumerations use.
 func (c CellReport) Key() string {
-	return fmt.Sprintf("%s/%s@%s", c.Workload, c.Scheme, c.System)
+	k := fmt.Sprintf("%s/%s@%s", c.Workload, c.Scheme, c.System)
+	if c.FaultModel != "" {
+		k += "+" + c.FaultModel
+	}
+	return k
 }
 
 // Report is a full campaign run.
@@ -126,8 +136,9 @@ type Report struct {
 	Cells      []CellReport `json:"cells"`
 }
 
-// sortCells orders cells by (workload, scheme, system), the canonical
-// report order.
+// sortCells orders cells by (workload, scheme, system, fault model),
+// the canonical report order. Fail-stop ("") sorts before every named
+// model, keeping legacy rows in their legacy positions.
 func sortCells(cells []CellReport) {
 	sort.Slice(cells, func(i, j int) bool {
 		a, b := cells[i], cells[j]
@@ -137,7 +148,10 @@ func sortCells(cells []CellReport) {
 		if a.Scheme != b.Scheme {
 			return a.Scheme < b.Scheme
 		}
-		return a.System < b.System
+		if a.System != b.System {
+			return a.System < b.System
+		}
+		return a.FaultModel < b.FaultModel
 	})
 }
 
@@ -188,7 +202,7 @@ func (r *Report) BenchResults() []bench.Result {
 	var totalWallNS float64
 	for _, c := range r.Cells {
 		res := bench.Result{
-			Name:               fmt.Sprintf("campaign/%s/%s@%s", c.Workload, c.Scheme, c.System),
+			Name:               "campaign/" + c.Key(),
 			SimNS:              c.RecoverSimNS + c.ResumeSimNS,
 			SimFlushes:         c.FlushLines,
 			RecoveryNS:         c.RecoverSimNS,

@@ -331,6 +331,13 @@ type CrashState struct {
 	Img *mem.ImageState
 	Aux []AuxSnapshot
 
+	// Overlay is the fault-model image mutation of this crash point
+	// (nil for clean fail-stop): RestoreCrash applies it on top of the
+	// restored images, and it participates in Hash and Equal so
+	// equivalence-class deduplication keys on the torn/reordered bytes.
+	// Captured by CrashSnapshotFault.
+	Overlay []FaultWrite
+
 	// auxVers are the components' AuxVersion values at capture time,
 	// used to share unchanged aux snapshots across captures.
 	auxVers []uint64
@@ -372,10 +379,18 @@ func (m *Machine) CrashSnapshot(prev *CrashState) *CrashState {
 func (a *CrashState) Hash() uint64 { return a.hash }
 
 // Equal reports whether two crash states capture identical post-crash
-// machine state.
+// machine state. Overlays compare structurally: an equal base image
+// under an equal overlay yields an equal post-crash image, so equality
+// here is sufficient for replay deduplication (two states whose
+// different overlays happen to cancel are conservatively kept apart).
 func (a *CrashState) Equal(b *CrashState) bool {
-	if !a.Img.Equal(b.Img) || len(a.Aux) != len(b.Aux) {
+	if !a.Img.Equal(b.Img) || len(a.Aux) != len(b.Aux) || len(a.Overlay) != len(b.Overlay) {
 		return false
+	}
+	for i := range a.Overlay {
+		if a.Overlay[i] != b.Overlay[i] {
+			return false
+		}
 	}
 	for i := range a.Aux {
 		if a.Aux[i] != b.Aux[i] && !a.Aux[i].EqualAux(b.Aux[i]) {
@@ -403,6 +418,11 @@ func (m *Machine) RestoreCrash(st *CrashState) {
 			len(st.Aux), len(m.aux)))
 	}
 	m.Heap.RestoreImages(st.Img)
+	// Fault overlay: the torn/reordered/flipped words of this crash
+	// point, applied on top of the restored images. The word stores
+	// bump region versions past the restore marks, so a later restore
+	// of a different snapshot provably re-copies the mutated regions.
+	m.applyOverlay(st.Overlay)
 	if len(m.auxMarks) != len(m.aux) {
 		m.auxMarks = make([]auxMark, len(m.aux))
 	}
@@ -458,6 +478,12 @@ type Emulator struct {
 	// rec, when non-nil, pauses execution at scheduled crash points to
 	// let a callback capture machine snapshots (installed by Record).
 	rec *recording
+
+	// fault is the crash-time fault model (zero = clean fail-stop);
+	// faultErr records a model that could not be applied at the most
+	// recent crash. See SetFault / FaultErr in fault.go.
+	fault    FaultModel
+	faultErr error
 
 	// OnCrash, if set, runs at the crash point before any volatile
 	// state is discarded — the hook the crash_sim_output() API of the
@@ -786,6 +812,7 @@ func (e *Emulator) Run(workload func()) (crashed bool) {
 	e.crashed = false
 	e.crashOps = 0
 	e.crashTrig = ""
+	e.faultErr = nil
 
 	e.prevAcc = e.M.Heap.Accessor()
 	counting := &countingAccessor{e: e, inner: e.prevAcc}
@@ -804,7 +831,11 @@ func (e *Emulator) Run(workload func()) (crashed bool) {
 			if e.OnCrash != nil {
 				e.OnCrash(e.M)
 			}
-			e.M.Crash()
+			// The crash op count seeds the fault lottery, so the same
+			// point under the same model tears/reorders identically in
+			// this engine and in campaign replay. An inapplicable model
+			// leaves a fail-stop crash and is reported via FaultErr.
+			e.faultErr = e.M.CrashWithFault(e.fault, sig.ops)
 			crashed = true
 		}
 	}()

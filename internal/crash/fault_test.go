@@ -1,0 +1,518 @@
+package crash
+
+import (
+	"strings"
+	"testing"
+
+	"adcc/internal/cache"
+	"adcc/internal/mem"
+)
+
+// faultMachine builds a machine whose cache comfortably holds the test
+// working set, so written lines stay resident and dirty at the crash.
+func faultMachine() *Machine {
+	return NewMachine(MachineConfig{
+		System: NVMOnly,
+		Cache: cache.Config{
+			SizeBytes: 64 * 64, // 64 lines
+			LineBytes: 64,
+			Assoc:     4,
+			HitNS:     1,
+		},
+	})
+}
+
+// dirtyPattern writes a deterministic mix of persisted and dirty data:
+// region f holds 4 lines (the first flushed, the rest dirty), region g
+// holds 2 dirty lines plus a 3-word tail that pads its last line.
+func dirtyPattern(m *Machine) (f, g *mem.F64) {
+	f = m.Heap.AllocF64("f", 32)
+	g = m.Heap.AllocF64("g", 19)
+	for i := 0; i < f.Len(); i++ {
+		f.Set(i, float64(i+1))
+	}
+	m.FlushRegion(f)
+	for i := 8; i < f.Len(); i++ {
+		f.Set(i, 100.5+float64(i)) // re-dirty lines 1..3 after the flush
+	}
+	for i := 0; i < g.Len(); i++ {
+		g.Set(i, -float64(i+1))
+	}
+	return f, g
+}
+
+// imageWords reads every mapped 8-aligned image word of the heap.
+func imageWords(t *testing.T, m *Machine) map[mem.Addr]uint64 {
+	t.Helper()
+	out := make(map[mem.Addr]uint64)
+	for _, r := range m.Heap.Regions() {
+		for i := 0; i < r.Bytes()/8; i++ {
+			a := r.Base() + mem.Addr(8*i)
+			w, ok := m.Heap.ImageWord(a)
+			if !ok {
+				t.Fatalf("ImageWord(%#x) unmapped inside region %s", a, r.Name())
+			}
+			out[a] = w
+		}
+	}
+	return out
+}
+
+// liveWords reads every mapped 8-aligned live word of the heap.
+func liveWords(t *testing.T, m *Machine) map[mem.Addr]uint64 {
+	t.Helper()
+	out := make(map[mem.Addr]uint64)
+	for _, r := range m.Heap.Regions() {
+		for i := 0; i < r.Bytes()/8; i++ {
+			a := r.Base() + mem.Addr(8*i)
+			w, ok := m.Heap.LiveWord(a)
+			if !ok {
+				t.Fatalf("LiveWord(%#x) unmapped inside region %s", a, r.Name())
+			}
+			out[a] = w
+		}
+	}
+	return out
+}
+
+func TestFaultModelValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		f    FaultModel
+		want string // substring of the error; "" means valid
+	}{
+		{"zero", FaultModel{}, ""},
+		{"torn", FaultModel{Kind: TornLine, TearWords: 3}, ""},
+		{"bitflip-max", FaultModel{Kind: BitFlip, FlipBits: maxFlipBits}, ""},
+		{"reorder-perm", FaultModel{Kind: ReorderWB, ReorderPerm: []int{2, 0, 1}}, ""},
+		{"bad-kind-low", FaultModel{Kind: -1}, "unknown fault kind"},
+		{"bad-kind-high", FaultModel{Kind: BitFlip + 1}, "unknown fault kind"},
+		{"tear-negative", FaultModel{Kind: TornLine, TearWords: -1}, "tear offset"},
+		{"tear-full-line", FaultModel{Kind: TornLine, TearWords: wordsPerLine}, "tear offset"},
+		{"tear-past-line", FaultModel{Kind: TornLine, TearWords: 99}, "tear offset"},
+		{"flips-negative", FaultModel{Kind: BitFlip, FlipBits: -1}, "flip count"},
+		{"flips-unbounded", FaultModel{Kind: BitFlip, FlipBits: maxFlipBits + 1}, "flip count"},
+		{"perm-negative", FaultModel{Kind: ReorderWB, ReorderPerm: []int{0, -2}}, "negative reorder"},
+		{"perm-duplicate", FaultModel{Kind: ReorderWB, ReorderPerm: []int{1, 1}}, "duplicate reorder"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate: unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.want)
+			}
+			// The guards are errors, never panics, on every entry point.
+			e := NewEmulator(faultMachine())
+			if err := e.SetFault(tc.f); err == nil {
+				t.Fatal("SetFault accepted an invalid model")
+			}
+			m := faultMachine()
+			dirtyPattern(m)
+			if _, err := m.FaultOverlay(tc.f, 1); err == nil {
+				t.Fatal("FaultOverlay accepted an invalid model")
+			}
+		})
+	}
+}
+
+func TestParseFaultModelRoundTrip(t *testing.T) {
+	for _, name := range FaultModelNames() {
+		f, err := ParseFaultModel(name)
+		if err != nil {
+			t.Fatalf("ParseFaultModel(%q): %v", name, err)
+		}
+		if got := f.Kind.String(); got != name {
+			t.Errorf("ParseFaultModel(%q).Kind.String() = %q", name, got)
+		}
+	}
+	if f, err := ParseFaultModel(""); err != nil || f.Kind != FailStop {
+		t.Errorf("ParseFaultModel(\"\") = %+v, %v; want fail-stop", f, err)
+	}
+	if _, err := ParseFaultModel("torn-line"); err == nil {
+		t.Error("ParseFaultModel accepted an unknown name")
+	}
+}
+
+// TestFailStopFaultIdentity: the zero model is byte-identical to the
+// legacy crash protocol, with a nil overlay.
+func TestFailStopFaultIdentity(t *testing.T) {
+	m1, m2 := faultMachine(), faultMachine()
+	dirtyPattern(m1)
+	dirtyPattern(m2)
+	if ov, err := m2.FaultOverlay(FaultModel{}, 7); ov != nil || err != nil {
+		t.Fatalf("fail-stop overlay = %v, %v; want nil, nil", ov, err)
+	}
+	m1.Crash()
+	if err := m2.CrashWithFault(FaultModel{}, 7); err != nil {
+		t.Fatalf("CrashWithFault: %v", err)
+	}
+	w1, w2 := imageWords(t, m1), imageWords(t, m2)
+	for a, w := range w1 {
+		if w2[a] != w {
+			t.Fatalf("image word %#x differs under zero fault model: %#x vs %#x", a, w, w2[a])
+		}
+	}
+}
+
+// TestTornLineOverlayProperty checks the torn-line overlay against its
+// naive reference semantics: the persisted bytes are exactly a k-word
+// (1 <= k < 8) prefix of one dirty line, 8-byte aligned and in line
+// order, carrying the line's live (in-cache) values; no other word of
+// the image moves.
+func TestTornLineOverlayProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		for _, point := range []int64{1, 17, 90001} {
+			m := faultMachine()
+			dirtyPattern(m)
+			dirty := make(map[mem.Addr]bool)
+			for _, a := range m.LLC.DirtyLineAddrs() {
+				dirty[a] = true
+			}
+			if len(dirty) == 0 {
+				t.Fatal("pattern left no dirty lines")
+			}
+			live := liveWords(t, m)
+			img := imageWords(t, m)
+
+			f := FaultModel{Kind: TornLine, Seed: seed}
+			ov, err := m.FaultOverlay(f, point)
+			if err != nil {
+				t.Fatalf("FaultOverlay(seed=%d, point=%d): %v", seed, point, err)
+			}
+			if len(ov) == 0 {
+				// Legal: the seeded prefix may already match the image.
+				continue
+			}
+			line := ov[0].Addr &^ (mem.LineSize - 1)
+			if !dirty[line] {
+				t.Fatalf("torn line %#x is not dirty", line)
+			}
+			maxIdx := 0
+			for i, w := range ov {
+				if w.Addr%8 != 0 {
+					t.Fatalf("overlay write %#x not 8-byte aligned", w.Addr)
+				}
+				if w.Addr&^(mem.LineSize-1) != line {
+					t.Fatalf("overlay touches a second line: %#x and %#x", line, w.Addr)
+				}
+				if i > 0 && ov[i].Addr <= ov[i-1].Addr {
+					t.Fatalf("overlay not in ascending line order at %d", i)
+				}
+				if w.Word != live[w.Addr] {
+					t.Fatalf("overlay word %#x = %#x, want live value %#x", w.Addr, w.Word, live[w.Addr])
+				}
+				if idx := int(w.Addr-line) / 8; idx > maxIdx {
+					maxIdx = idx
+				}
+			}
+			if maxIdx >= wordsPerLine-1 {
+				t.Fatalf("prefix reaches word %d: a full-line persist is not a tear", maxIdx)
+			}
+			// Prefix completeness: every line word up to maxIdx either
+			// persisted, was already clean, or pads past the region end.
+			for i := 0; i <= maxIdx; i++ {
+				a := line + mem.Addr(8*i)
+				inOverlay := false
+				for _, w := range ov {
+					if w.Addr == a {
+						inOverlay = true
+					}
+				}
+				lv, mapped := live[a]
+				if !inOverlay && mapped && lv != img[a] {
+					t.Fatalf("word %d of torn prefix skipped despite live != image", i)
+				}
+			}
+
+			// A fixed tear offset bounds the prefix exactly.
+			fixed := FaultModel{Kind: TornLine, Seed: seed, TearWords: 2}
+			ov2, err := m.FaultOverlay(fixed, point)
+			if err != nil {
+				t.Fatalf("FaultOverlay(TearWords=2): %v", err)
+			}
+			for _, w := range ov2 {
+				if idx := int(w.Addr&(mem.LineSize-1)) / 8; idx >= 2 {
+					t.Fatalf("TearWords=2 overlay persisted word %d", idx)
+				}
+			}
+		}
+	}
+}
+
+// TestTornLineCrashDifferential: crashing under TornLine differs from a
+// fail-stop twin exactly by the overlay, nowhere else.
+func TestTornLineCrashDifferential(t *testing.T) {
+	m1, m2 := faultMachine(), faultMachine()
+	dirtyPattern(m1)
+	dirtyPattern(m2)
+	f := FaultModel{Kind: TornLine, Seed: 3}
+	ov, err := m2.FaultOverlay(f, 55)
+	if err != nil {
+		t.Fatalf("FaultOverlay: %v", err)
+	}
+	inOverlay := make(map[mem.Addr]uint64, len(ov))
+	for _, w := range ov {
+		inOverlay[w.Addr] = w.Word
+	}
+	m1.Crash()
+	if err := m2.CrashWithFault(f, 55); err != nil {
+		t.Fatalf("CrashWithFault: %v", err)
+	}
+	w1, w2 := imageWords(t, m1), imageWords(t, m2)
+	for a, w := range w2 {
+		if ovw, ok := inOverlay[a]; ok {
+			if w != ovw {
+				t.Fatalf("word %#x = %#x, want overlay value %#x", a, w, ovw)
+			}
+		} else if w != w1[a] {
+			t.Fatalf("word %#x moved outside the overlay: %#x vs fail-stop %#x", a, w, w1[a])
+		}
+	}
+}
+
+// TestEADRDrainsDirtyLines: under eADR every dirty line persists in
+// full, so the post-crash image carries the pre-crash live values of
+// every dirty word; words outside dirty lines match the fail-stop twin.
+func TestEADRDrainsDirtyLines(t *testing.T) {
+	m1, m2 := faultMachine(), faultMachine()
+	dirtyPattern(m1)
+	dirtyPattern(m2)
+	live := liveWords(t, m2)
+	dirty := make(map[mem.Addr]bool)
+	for _, a := range m2.LLC.DirtyLineAddrs() {
+		dirty[a] = true
+	}
+	m1.Crash()
+	if err := m2.CrashWithFault(FaultModel{Kind: EADR}, 9); err != nil {
+		t.Fatalf("CrashWithFault: %v", err)
+	}
+	w1, w2 := imageWords(t, m1), imageWords(t, m2)
+	for a, w := range w2 {
+		if dirty[a&^(mem.LineSize-1)] {
+			if w != live[a] {
+				t.Fatalf("dirty word %#x = %#x after eADR drain, want live %#x", a, w, live[a])
+			}
+		} else if w != w1[a] {
+			t.Fatalf("clean word %#x moved under eADR: %#x vs %#x", a, w, w1[a])
+		}
+	}
+	// Nothing was dirty after the drain-equivalent crash; a second eADR
+	// crash is a no-op overlay.
+	if ov, err := m2.FaultOverlay(FaultModel{Kind: EADR}, 10); err != nil || ov != nil {
+		t.Fatalf("post-crash eADR overlay = %v, %v; want nil, nil", ov, err)
+	}
+}
+
+// TestReorderWBPrefixProperty: the reorder overlay persists whole lines
+// drawn from the dirty set, each carrying live values.
+func TestReorderWBPrefixProperty(t *testing.T) {
+	m := faultMachine()
+	dirtyPattern(m)
+	live := liveWords(t, m)
+	dirty := make(map[mem.Addr]bool)
+	for _, a := range m.LLC.DirtyLineAddrs() {
+		dirty[a] = true
+	}
+	sawPartial := false
+	for point := int64(1); point <= 32; point++ {
+		f := FaultModel{Kind: ReorderWB, Seed: 11}
+		ov, err := m.FaultOverlay(f, point)
+		if err != nil {
+			t.Fatalf("FaultOverlay(point=%d): %v", point, err)
+		}
+		lines := make(map[mem.Addr]bool)
+		for _, w := range ov {
+			line := w.Addr &^ (mem.LineSize - 1)
+			if !dirty[line] {
+				t.Fatalf("reorder persisted non-dirty line %#x", line)
+			}
+			if w.Word != live[w.Addr] {
+				t.Fatalf("reorder word %#x = %#x, want live %#x", w.Addr, w.Word, live[w.Addr])
+			}
+			lines[line] = true
+		}
+		// Drained lines persist in full: every changed live word of a
+		// touched line must be in the overlay.
+		for line := range lines {
+			for i := 0; i < wordsPerLine; i++ {
+				a := line + mem.Addr(8*i)
+				lv, mapped := live[a]
+				if !mapped {
+					continue
+				}
+				found := false
+				for _, w := range ov {
+					if w.Addr == a {
+						found = true
+					}
+				}
+				img, _ := m.Heap.ImageWord(a)
+				if !found && lv != img {
+					t.Fatalf("drained line %#x missing changed word %#x", line, a)
+				}
+			}
+		}
+		if len(lines) > 0 && len(lines) < len(dirty) {
+			sawPartial = true
+		}
+		// Determinism: the same (seed, point) draws the same overlay.
+		again, err := m.FaultOverlay(f, point)
+		if err != nil || len(again) != len(ov) {
+			t.Fatalf("reorder overlay not deterministic at point %d", point)
+		}
+		for i := range ov {
+			if ov[i] != again[i] {
+				t.Fatalf("reorder overlay not deterministic at point %d", point)
+			}
+		}
+	}
+	if !sawPartial {
+		t.Error("no point drained a strict prefix: the reorder cutoff never varied")
+	}
+}
+
+// TestReorderPermGuard: an explicit permutation naming more lines than
+// are dirty is rejected at crash time with an error — the machine still
+// crashes fail-stop and the emulator reports the fallback via FaultErr.
+func TestReorderPermGuard(t *testing.T) {
+	m1, m2 := faultMachine(), faultMachine()
+	dirtyPattern(m1)
+	dirtyPattern(m2)
+	perm := make([]int, 41)
+	for i := range perm {
+		perm[i] = i
+	}
+	f := FaultModel{Kind: ReorderWB, ReorderPerm: perm}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("static Validate rejected a runtime-checked perm: %v", err)
+	}
+	m1.Crash()
+	err := m2.CrashWithFault(f, 3)
+	if err == nil || !strings.Contains(err.Error(), "undrained lines") {
+		t.Fatalf("CrashWithFault = %v, want undrained-lines error", err)
+	}
+	w1, w2 := imageWords(t, m1), imageWords(t, m2)
+	for a, w := range w1 {
+		if w2[a] != w {
+			t.Fatalf("inapplicable perm perturbed word %#x", a)
+		}
+	}
+
+	// The emulator path: the model passes SetFault (it is statically
+	// well-formed), the run crashes fail-stop, FaultErr reports why.
+	m3 := faultMachine()
+	e := NewEmulator(m3)
+	if err := e.SetFault(f); err != nil {
+		t.Fatalf("SetFault: %v", err)
+	}
+	r := m3.Heap.AllocF64("v", 8)
+	e.CrashAtOp(4)
+	if !e.Run(func() {
+		for i := 0; i < 8; i++ {
+			r.Set(i, 1.5)
+		}
+	}) {
+		t.Fatal("expected crash")
+	}
+	if err := e.FaultErr(); err == nil || !strings.Contains(err.Error(), "undrained lines") {
+		t.Fatalf("FaultErr = %v, want undrained-lines error", err)
+	}
+}
+
+// TestBitFlipBudget: FlipBits=0 means one flip; each overlay word
+// differs from the image by exactly the flipped bits.
+func TestBitFlipBudget(t *testing.T) {
+	m := faultMachine()
+	dirtyPattern(m)
+	img := imageWords(t, m)
+	flipped := 0
+	for point := int64(1); point <= 16; point++ {
+		ov, err := m.FaultOverlay(FaultModel{Kind: BitFlip, Seed: 2}, point)
+		if err != nil {
+			t.Fatalf("FaultOverlay: %v", err)
+		}
+		if len(ov) > 1 {
+			t.Fatalf("single-flip model produced %d writes", len(ov))
+		}
+		for _, w := range ov {
+			diff := w.Word ^ img[w.Addr]
+			if diff == 0 || diff&(diff-1) != 0 {
+				t.Fatalf("flip at %#x changed %#x: not a single bit", w.Addr, diff)
+			}
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Error("no point flipped a mapped bit")
+	}
+}
+
+// TestCrashSnapshotFaultMatchesCrashWithFault: restoring a fault
+// snapshot reproduces the direct faulted crash word for word, for every
+// model.
+func TestCrashSnapshotFaultMatchesCrashWithFault(t *testing.T) {
+	for _, kind := range []FaultKind{FailStop, TornLine, EADR, ReorderWB, BitFlip} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m1, m2 := faultMachine(), faultMachine()
+			dirtyPattern(m1)
+			dirtyPattern(m2)
+			f := FaultModel{Kind: kind, Seed: 6}
+			st, err1 := m1.CrashSnapshotFault(nil, f, 123)
+			err2 := m2.CrashWithFault(f, 123)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch: snapshot %v, crash %v", err1, err2)
+			}
+			m1.RestoreCrash(st)
+			w1, w2 := imageWords(t, m1), imageWords(t, m2)
+			for a, w := range w2 {
+				if w1[a] != w {
+					t.Fatalf("restored word %#x = %#x, direct crash %#x", a, w1[a], w)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashSnapshotFaultDedup: snapshots from one machine instant under
+// different fault draws are distinct (Equal false), while an identical
+// draw hashes and compares equal — the property the replay engine's
+// equivalence-class dedup rests on.
+func TestCrashSnapshotFaultDedup(t *testing.T) {
+	build := func() *Machine {
+		m := faultMachine()
+		dirtyPattern(m)
+		return m
+	}
+	f := FaultModel{Kind: TornLine, Seed: 1}
+	a, err := build().CrashSnapshotFault(nil, f, 10)
+	if err != nil {
+		t.Fatalf("snapshot a: %v", err)
+	}
+	b, err := build().CrashSnapshotFault(nil, f, 10)
+	if err != nil {
+		t.Fatalf("snapshot b: %v", err)
+	}
+	if a.Hash() != b.Hash() || !a.Equal(b) {
+		t.Fatal("identical fault draws produced unequal snapshots")
+	}
+	// A different point seed draws a different tear; find one.
+	for point := int64(11); point < 40; point++ {
+		c, err := build().CrashSnapshotFault(nil, f, point)
+		if err != nil {
+			t.Fatalf("snapshot c: %v", err)
+		}
+		if len(c.Overlay) > 0 && !c.Equal(a) {
+			if c.Hash() == a.Hash() {
+				t.Fatal("unequal overlays share a hash (not fatal in theory, wrong for FNV here)")
+			}
+			return
+		}
+	}
+	t.Fatal("no point seed drew a distinct tear")
+}

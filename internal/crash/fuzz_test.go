@@ -2,6 +2,8 @@ package crash
 
 import (
 	"testing"
+
+	"adcc/internal/mem"
 )
 
 // FuzzProfilePoints throws arbitrary profiles at the campaign's
@@ -63,6 +65,132 @@ func FuzzProfilePoints(f *testing.F) {
 			default:
 				t.Fatalf("point %d is disarmed: %+v", i, pt)
 			}
+		}
+	})
+}
+
+// FuzzCrashFaultModel throws arbitrary fault models — including
+// malformed ones — at crashes of a synthetic store/flush workload.
+// Contracts under fuzz:
+//
+//   - malformed models come back as errors from SetFault, never panics;
+//   - no accepted model panics the run, the crash, or a post-crash rerun
+//     of the machine;
+//   - for the dirty-line models (torn, eADR, reorder), every post-crash
+//     image word is either the fail-stop image word or the pre-crash
+//     live word — faults replay data the program actually wrote, they
+//     never invent bytes;
+//   - a crash is never silently misreported as clean fail-stop: whenever
+//     the image deviates from a fail-stop twin, the emulator's installed
+//     model was a non-fail-stop one that reported no fallback error.
+func FuzzCrashFaultModel(f *testing.F) {
+	f.Add(int8(0), int64(0), int8(0), int16(0), uint16(0), uint8(9), uint8(3))
+	f.Add(int8(1), int64(42), int8(3), int16(0), uint16(0), uint8(17), uint8(7))
+	f.Add(int8(2), int64(-5), int8(0), int16(0), uint16(0), uint8(30), uint8(1))
+	f.Add(int8(3), int64(7), int8(0), int16(0), uint16(0b1011), uint8(40), uint8(5))
+	f.Add(int8(4), int64(99), int8(0), int16(12), uint16(0), uint8(50), uint8(2))
+	f.Add(int8(-3), int64(1), int8(-8), int16(-1), uint16(0xffff), uint8(60), uint8(0))
+	f.Add(int8(1), int64(3), int8(120), int16(9999), uint16(5), uint8(4), uint8(6))
+	f.Fuzz(func(t *testing.T, kind int8, seed int64, tear int8, flips int16, permMask uint16, crashOp8, pattern uint8) {
+		fm := FaultModel{
+			Kind:      FaultKind(kind),
+			Seed:      seed,
+			TearWords: int(tear),
+			FlipBits:  int(flips),
+		}
+		for b := 0; b < 16; b++ {
+			if permMask&(1<<b) != 0 {
+				fm.ReorderPerm = append(fm.ReorderPerm, b)
+			}
+		}
+
+		// Twin deterministic workloads: m1 crashes fail-stop, m2 under
+		// the fuzzed model, at the same op.
+		build := func() (*Machine, *Emulator, func()) {
+			m := NewMachine(MachineConfig{System: NVMOnly})
+			e := NewEmulator(m)
+			r := m.Heap.AllocF64("data", 32)
+			q := m.Heap.AllocI64("tail", 5) // padded last line
+			workload := func() {
+				for i := 0; i < r.Len(); i++ {
+					r.Set(i, float64(int(pattern)+i))
+					if i%8 == 7 && pattern%3 == 0 {
+						m.FlushRegion(r)
+					}
+				}
+				for i := 0; i < q.Len(); i++ {
+					q.Set(i, int64(pattern)<<8|int64(i))
+				}
+				e.Trigger("end")
+			}
+			return m, e, workload
+		}
+
+		m2, e2, w2 := build()
+		if err := e2.SetFault(fm); err != nil {
+			if fm.Validate() == nil {
+				t.Fatalf("SetFault rejected a valid model: %v", err)
+			}
+			return // malformed models come back as errors; done
+		}
+		if fm.Validate() != nil {
+			t.Fatal("SetFault accepted a model Validate rejects")
+		}
+
+		m1, e1, w1 := build()
+		crashOp := int64(crashOp8%120) + 1
+		e1.CrashAtOp(crashOp)
+		e2.CrashAtOp(crashOp)
+		var preLive map[mem.Addr]uint64
+		e2.OnCrash = func(m *Machine) {
+			preLive = make(map[mem.Addr]uint64)
+			for _, r := range m.Heap.Regions() {
+				for i := 0; i < r.Bytes()/8; i++ {
+					a := r.Base() + mem.Addr(8*i)
+					if w, ok := m.Heap.LiveWord(a); ok {
+						preLive[a] = w
+					}
+				}
+			}
+		}
+		c1, c2 := e1.Run(w1), e2.Run(w2)
+		if c1 != c2 {
+			t.Fatalf("crash divergence: fail-stop twin %v, fault twin %v", c1, c2)
+		}
+		if !c2 {
+			return
+		}
+
+		deviates := false
+		for _, r := range m2.Heap.Regions() {
+			for i := 0; i < r.Bytes()/8; i++ {
+				a := r.Base() + mem.Addr(8*i)
+				w, ok := m2.Heap.ImageWord(a)
+				if !ok {
+					t.Fatalf("image word %#x unmapped post-crash", a)
+				}
+				ref, _ := m1.Heap.ImageWord(a)
+				if w == ref {
+					continue
+				}
+				deviates = true
+				if fm.Kind != BitFlip && w != preLive[a] {
+					t.Fatalf("word %#x = %#x: neither fail-stop image %#x nor pre-crash live %#x",
+						a, w, ref, preLive[a])
+				}
+			}
+		}
+		if deviates && (fm.Kind == FailStop || e2.FaultErr() != nil) {
+			t.Fatalf("image deviates from fail-stop but the crash was reported as fail-stop (model %v, fault err %v)",
+				fm.Kind, e2.FaultErr())
+		}
+
+		// The machine must stay usable: disarm and rerun the workload to
+		// completion on the crashed machine — no panic, no crash.
+		e2.OnCrash = nil
+		e2.Disarm()
+		if e2.Run(w2) {
+			t.Fatal("disarmed rerun crashed")
 		}
 	})
 }

@@ -20,17 +20,18 @@ import (
 // InjectionDone event in deterministic order.
 func RunCampaign(ctx context.Context, o Options) (*Table, error) {
 	rep, err := campaign.Run(ctx, campaign.Config{
-		Scale:     o.scale(),
-		Seed:      o.Seed,
-		Parallel:  o.Parallel,
-		PerCell:   o.PerCell,
-		Workloads: o.Workloads,
-		Schemes:   o.Schemes,
-		Registry:  o.Registry,
-		Replay:    o.Replay,
-		Events:    o.Events,
-		Verbose:   o.Verbose,
-		Out:       o.Out,
+		Scale:       o.scale(),
+		Seed:        o.Seed,
+		Parallel:    o.Parallel,
+		PerCell:     o.PerCell,
+		Workloads:   o.Workloads,
+		Schemes:     o.Schemes,
+		FaultModels: o.FaultModels,
+		Registry:    o.Registry,
+		Replay:      o.Replay,
+		Events:      o.Events,
+		Verbose:     o.Verbose,
+		Out:         o.Out,
 	})
 	if err != nil {
 		return nil, err
@@ -53,7 +54,7 @@ func CampaignTable(rep *campaign.Report) *Table {
 		Name:  "campaign",
 		Title: "Crash-injection survival by scheme",
 		Headers: []string{
-			"Workload", "Scheme", "System", "Inj", "Clean", "Recomp",
+			"Workload", "Scheme", "System", "Fault", "Inj", "Clean", "Recomp",
 			"Corrupt", "Unrec", "Recovery", "Rework/grain",
 		},
 	}
@@ -62,7 +63,11 @@ func CampaignTable(rep *campaign.Report) *Table {
 		if crashed := c.Injections - c.NoCrash; crashed > 0 && c.GrainOps > 0 {
 			rework = float64(c.ReworkOps) / float64(crashed) / float64(c.GrainOps)
 		}
-		t.AddRow(c.Workload, c.Scheme, c.System, c.Injections,
+		fault := c.FaultModel
+		if fault == "" {
+			fault = "failstop"
+		}
+		t.AddRow(c.Workload, c.Scheme, c.System, fault, c.Injections,
 			c.Clean, c.Recomputed, c.Corrupt, c.Unrecoverable,
 			fmt.Sprintf("%.1f%%", 100*c.RecoveryRate),
 			fmt.Sprintf("%.2f", rework))

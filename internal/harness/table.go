@@ -154,6 +154,10 @@ type Options struct {
 	Workloads []string
 	Schemes   []string
 	PerCell   int
+	// FaultModels selects the campaign experiment's crash-time
+	// fault/persistency models (campaign.Config.FaultModels); nil
+	// sweeps clean fail-stop only.
+	FaultModels []string
 	// Replay switches the campaign experiment to the snapshot/fork
 	// replay engine (campaign.Config.Replay): one recording run per
 	// cell, forked per injection class. The report is byte-identical to

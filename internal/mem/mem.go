@@ -227,6 +227,85 @@ func (h *Heap) ImageVersion() uint64 { return h.imageVer }
 // Regions returns the allocated regions in address order.
 func (h *Heap) Regions() []Region { return h.regions }
 
+// ImageWord returns the persistent-image word at 8-byte-aligned address
+// a as raw bits, or ok=false when a is unaligned or unmapped. It reads
+// the image directly, without charging a simulated access or bumping
+// version counters: fault-model overlays are computed from pre-crash
+// state and must not perturb copy-on-write snapshot sharing.
+func (h *Heap) ImageWord(a Addr) (uint64, bool) {
+	if a%8 != 0 {
+		return 0, false
+	}
+	r := h.find(a)
+	if r == nil {
+		return 0, false
+	}
+	i := int(a-h.lastBase) / 8
+	switch r := r.(type) {
+	case *F64:
+		return math.Float64bits(r.image[i]), true
+	case *I64:
+		return uint64(r.image[i]), true
+	}
+	return 0, false
+}
+
+// LiveWord returns the live word at 8-byte-aligned address a as raw
+// bits, or ok=false when a is unaligned or unmapped. Like ImageWord it
+// observes without charging an access or bumping counters.
+func (h *Heap) LiveWord(a Addr) (uint64, bool) {
+	if a%8 != 0 {
+		return 0, false
+	}
+	r := h.find(a)
+	if r == nil {
+		return 0, false
+	}
+	i := int(a-h.lastBase) / 8
+	switch r := r.(type) {
+	case *F64:
+		return math.Float64bits(r.live[i]), true
+	case *I64:
+		return uint64(r.live[i]), true
+	}
+	return 0, false
+}
+
+// StorePersistWord overwrites both the live and image word at
+// 8-byte-aligned address a with the raw bits w, reporting whether a was
+// mapped. It is the post-crash primitive fault models use to rewrite
+// what "actually persisted" (a torn or reordered line, a flipped bit):
+// after a crash live equals image, so both copies must move together.
+// The owning region's version counters are bumped exactly like a
+// writeback followed by a restart, so copy-on-write snapshot sharing
+// and restore memoization stay sound.
+func (h *Heap) StorePersistWord(a Addr, w uint64) bool {
+	if a%8 != 0 {
+		return false
+	}
+	r := h.find(a)
+	if r == nil {
+		return false
+	}
+	i := int(a-h.lastBase) / 8
+	switch r := r.(type) {
+	case *F64:
+		f := math.Float64frombits(w)
+		r.live[i] = f
+		r.image[i] = f
+	case *I64:
+		r.live[i] = int64(w)
+		r.image[i] = int64(w)
+	default:
+		return false
+	}
+	v := r.versions()
+	v.liveVer++
+	v.imageVer++
+	h.imageVer++
+	return true
+}
+
 // F64 is a region of float64 elements.
 type F64 struct {
 	vers

@@ -84,6 +84,18 @@ func WithInjectionsPerCell(n int) Option {
 	return func(r *Runner) { r.perCell = n }
 }
 
+// WithFaultModels selects the crash-time fault/persistency models
+// campaign runs sweep (see ParseFaultModel for the names: "failstop",
+// "torn", "eadr", "reorder", "bitflip"). Each named model adds one
+// grid axis value: every workload/scheme/system cell is swept once per
+// model, over the same crash points, so outcome differences between
+// models measure the model rather than a different sample. Nil (the
+// default) sweeps clean fail-stop only, producing reports
+// byte-identical to runners without the option.
+func WithFaultModels(models ...string) Option {
+	return func(r *Runner) { r.faultModels = models }
+}
+
 // WithCampaignReplay switches campaign runs (RunCampaign and the
 // "campaign" experiment) to the snapshot/fork replay engine: one
 // recording run per cell captures a machine snapshot at every
@@ -160,6 +172,7 @@ type Runner struct {
 	schemes      []string
 	workloads    []string
 	perCell      int
+	faultModels  []string
 	replay       bool
 	completed    map[string]CampaignCell
 	onCell       func(CampaignCell)
@@ -321,6 +334,7 @@ func (r *Runner) RunExperiment(ctx context.Context, name string) (*Table, error)
 		Workloads:    r.workloads,
 		Schemes:      r.schemes,
 		PerCell:      r.perCell,
+		FaultModels:  r.faultModels,
 		Replay:       r.replay,
 		Registry:     r.reg.engineRegistry(),
 		Verbose:      r.verbose,
@@ -338,19 +352,20 @@ func (r *Runner) RunExperiment(ctx context.Context, name string) (*Table, error)
 // WithEventSink, every injection streams an InjectionDone event.
 func (r *Runner) RunCampaign(ctx context.Context) (*CampaignReport, error) {
 	rep, err := campaign.Run(ctx, campaign.Config{
-		Scale:     r.scale,
-		Seed:      r.seed,
-		Parallel:  r.parallel,
-		PerCell:   r.perCell,
-		Workloads: r.workloads,
-		Schemes:   r.schemes,
-		Registry:  r.reg.engineRegistry(),
-		Replay:    r.replay,
-		Events:    r.sink,
-		Completed: r.completed,
-		OnCell:    r.onCell,
-		Verbose:   r.verbose,
-		Out:       r.out,
+		Scale:       r.scale,
+		Seed:        r.seed,
+		Parallel:    r.parallel,
+		PerCell:     r.perCell,
+		Workloads:   r.workloads,
+		Schemes:     r.schemes,
+		FaultModels: r.faultModels,
+		Registry:    r.reg.engineRegistry(),
+		Replay:      r.replay,
+		Events:      r.sink,
+		Completed:   r.completed,
+		OnCell:      r.onCell,
+		Verbose:     r.verbose,
+		Out:         r.out,
 	})
 	if err != nil {
 		return nil, err

@@ -32,6 +32,12 @@ type CampaignSpec struct {
 	// InjectionsPerCell overrides the number of crash points per cell
 	// (0 = scaled default).
 	InjectionsPerCell int `json:"injections_per_cell,omitempty"`
+	// FaultModels selects the crash-time fault/persistency models swept
+	// through the grid ("failstop", "torn", "eadr", "reorder",
+	// "bitflip"); nil means clean fail-stop only. Canonical normalizes a
+	// list equivalent to the default back to nil, so fail-stop-only
+	// specs keep their pre-fault-axis cache keys.
+	FaultModels []string `json:"fault_models,omitempty"`
 	// Replay runs the snapshot/fork replay engine instead of the legacy
 	// per-injection engine. The report is byte-identical either way, so
 	// Replay is excluded from CacheKey.
@@ -49,6 +55,23 @@ func (s CampaignSpec) Canonical() CampaignSpec {
 	}
 	s.Workloads = sortDedup(s.Workloads)
 	s.Schemes = sortDedup(s.Schemes)
+	if len(s.FaultModels) > 0 {
+		// "" is ParseFaultModel's alias for "failstop"; fold it before
+		// deduplicating so the two spellings share one canonical form.
+		fm := make([]string, len(s.FaultModels))
+		for i, m := range s.FaultModels {
+			if m == "" {
+				m = "failstop"
+			}
+			fm[i] = m
+		}
+		s.FaultModels = sortDedup(fm)
+		if len(s.FaultModels) == 1 && s.FaultModels[0] == "failstop" {
+			// ["failstop"] selects exactly the default sweep; normalize
+			// it away so the spec's cache key matches the nil form.
+			s.FaultModels = nil
+		}
+	}
 	return s
 }
 
@@ -102,6 +125,9 @@ func (s CampaignSpec) Options() []Option {
 	if len(s.Schemes) > 0 {
 		opts = append(opts, WithSchemes(s.Schemes...))
 	}
+	if fm := s.Canonical().FaultModels; len(fm) > 0 {
+		opts = append(opts, WithFaultModels(fm...))
+	}
 	return opts
 }
 
@@ -116,12 +142,13 @@ func CampaignCells(reg *Registry, s CampaignSpec) ([]string, error) {
 	}
 	c := s.Canonical()
 	keys, err := campaign.Config{
-		Scale:     c.Scale,
-		Seed:      c.Seed,
-		PerCell:   c.InjectionsPerCell,
-		Workloads: c.Workloads,
-		Schemes:   c.Schemes,
-		Registry:  reg.engineRegistry(),
+		Scale:       c.Scale,
+		Seed:        c.Seed,
+		PerCell:     c.InjectionsPerCell,
+		Workloads:   c.Workloads,
+		Schemes:     c.Schemes,
+		FaultModels: c.FaultModels,
+		Registry:    reg.engineRegistry(),
 	}.CellKeys()
 	if err != nil {
 		return nil, fmt.Errorf("adcc: %w", err)

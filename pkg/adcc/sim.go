@@ -51,6 +51,43 @@ type Machine = crash.Machine
 // paper-shape defaults (NVM-only system, 2 MB LLC).
 func NewMachine(cfg MachineConfig) *Machine { return crash.NewMachine(cfg) }
 
+// FaultKind names a crash-time fault/persistency model.
+type FaultKind = crash.FaultKind
+
+// Crash-time fault/persistency models (see FaultModel).
+const (
+	// FailStop is the clean fail-stop baseline: the persistent image is
+	// exactly what was explicitly persisted before the crash.
+	FailStop = crash.FailStop
+	// TornLine persists a partial prefix of one in-flight dirty cache
+	// line, modeling a flush torn mid-writeback by the power failure.
+	TornLine = crash.TornLine
+	// EADR models an eADR platform whose LLC sits inside the persistence
+	// domain: every dirty line drains to the image at crash time.
+	EADR = crash.EADR
+	// ReorderWB persists a seeded prefix of the dirty lines in a seeded
+	// order, modeling writebacks racing the failure between fences.
+	ReorderWB = crash.ReorderWB
+	// BitFlip folds silent media bit flips into the persisted image.
+	BitFlip = crash.BitFlip
+)
+
+// FaultModel configures one crash-time fault/persistency model: a kind
+// plus its seed and optional shape parameters.
+type FaultModel = crash.FaultModel
+
+// FaultWrite is one deterministic word-level mutation a fault model
+// applies to the persistent image at crash time.
+type FaultWrite = crash.FaultWrite
+
+// ParseFaultModel resolves a fault-model name ("failstop", "torn",
+// "eadr", "reorder", "bitflip"; "" means failstop) to its FaultModel.
+func ParseFaultModel(name string) (FaultModel, error) { return crash.ParseFaultModel(name) }
+
+// FaultModelNames lists the recognized fault-model names in canonical
+// order.
+func FaultModelNames() []string { return crash.FaultModelNames() }
+
 // Emulator injects crashes into a run at chosen execution points and
 // enumerates a run's crash-point space (Profile).
 type Emulator = crash.Emulator
