@@ -71,6 +71,7 @@ func main() {
 		replay    = flag.Bool("replay", false, "run campaigns on the snapshot/fork replay engine (identical report, far less wall time)")
 		faultFlag = flag.String("fault", "", "comma-separated crash-time fault models the campaign experiment sweeps (failstop, torn, eadr, reorder, bitflip); empty = fail-stop only")
 		jsonPath  = flag.String("json", "", "with -bench: write the enveloped JSON suite to this file instead of stdout; with -experiment campaign: write the enveloped campaign report here")
+		storePath = flag.String("store", "", "write the campaign experiment's raw per-injection rows to a columnar result store at this path (query with adccquery)")
 	)
 	flag.Parse()
 
@@ -120,7 +121,7 @@ func main() {
 	}
 
 	if *benchMode {
-		os.Exit(runBench(opts, *jsonPath, effScale, *verbose))
+		os.Exit(runBench(opts, *jsonPath, *storePath, effScale, *verbose))
 	}
 
 	var selected []string
@@ -145,6 +146,9 @@ func main() {
 
 	if *jsonPath != "" {
 		opts = append(opts, adcc.WithCampaignJSON(*jsonPath))
+	}
+	if *storePath != "" {
+		opts = append(opts, adcc.WithCampaignStore(*storePath))
 	}
 	runner := adcc.New(nil, opts...)
 	ctx := context.Background()
@@ -174,9 +178,11 @@ func main() {
 
 // runBench executes the kernel micro-benchmarks and the timed harness
 // experiments, assembles a bench suite, and writes its adcc-report/v1
-// envelope to jsonPath (stdout when empty). Returns the process exit
-// code.
-func runBench(opts []adcc.Option, jsonPath string, scale float64, verbose bool) int {
+// envelope to jsonPath (stdout when empty). With storePath, the main
+// campaign experiment also writes its raw rows to a result store (the
+// fault sub-grid keeps its own spec and is excluded). Returns the
+// process exit code.
+func runBench(opts []adcc.Option, jsonPath, storePath string, scale float64, verbose bool) int {
 	if verbose {
 		fmt.Fprintf(os.Stderr, "bench: kernels + %s at scale %g\n",
 			strings.Join(benchExperiments, ","), scale)
@@ -184,7 +190,11 @@ func runBench(opts []adcc.Option, jsonPath string, scale float64, verbose bool) 
 	results := adcc.RunKernels()
 
 	col := adcc.NewCollector()
-	runner := adcc.New(nil, append(opts, adcc.WithCollector(col))...)
+	mainOpts := append(append([]adcc.Option{}, opts...), adcc.WithCollector(col))
+	if storePath != "" {
+		mainOpts = append(mainOpts, adcc.WithCampaignStore(storePath))
+	}
+	runner := adcc.New(nil, mainOpts...)
 	ctx := context.Background()
 	for _, name := range benchExperiments {
 		start := time.Now()

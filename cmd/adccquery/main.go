@@ -1,0 +1,225 @@
+// Command adccquery runs queries against a columnar injection-outcome
+// store ("*.adccs") written by crashsim -store, adccbench -store, or
+// adccd. It is built entirely on the public pkg/adcc API.
+//
+// A store holds one raw row per injection; adccquery filters those
+// rows by cell coordinates and outcome, then renders one of several
+// views:
+//
+//	adccquery -store out.adccs                         # survival table (default view)
+//	adccquery -store out.adccs -cells                  # cell index
+//	adccquery -store out.adccs -rows                   # NDJSON row stream
+//	adccquery -store out.adccs -agg                    # outcome counts + distributions
+//	adccquery -store out.adccs -dist rework-ops        # one metric's percentiles
+//	adccquery -store out.adccs -export report.json     # rebuild the adcc-report/v1 envelope
+//
+// Filters compose with every view:
+//
+//	adccquery -store out.adccs -workload mm -scheme pmem -agg
+//	adccquery -store out.adccs -fault torn -outcome corrupt -rows
+//	adccquery -store out.adccs -fault failstop -survival
+//
+// The -export view writes the campaign report rebuilt from the store;
+// for a store written alongside -json, the two files are
+// byte-identical — the envelope is an export of the store.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"adcc/pkg/adcc"
+)
+
+func main() {
+	var (
+		storePath = flag.String("store", "", "result store file to query (required)")
+
+		workload = flag.String("workload", "", "filter: workload name (cg, mm, mc, stencil; empty = all)")
+		scheme   = flag.String("scheme", "", "filter: scheme name (empty = all)")
+		system   = flag.String("system", "", "filter: system kind (nvm, hetero; empty = all)")
+		fault    = flag.String("fault", "", "filter: fault model (failstop, torn, eadr, reorder, bitflip; empty = all)")
+		outcome  = flag.String("outcome", "", "filter: outcome name (clean, recomputed, corrupt, unrecoverable, no-crash; empty = all)")
+
+		survival = flag.Bool("survival", false, "render the per-scheme survival table over the filtered rows (the default view)")
+		cells    = flag.Bool("cells", false, "list the store's cells with row counts")
+		rows     = flag.Bool("rows", false, "stream the filtered rows as newline-delimited JSON")
+		agg      = flag.Bool("agg", false, "print outcome counts and rework/recovery-cost/flush distributions as JSON")
+		dist     = flag.String("dist", "", "print one metric's count/sum/max/p50/p95/p99 as JSON (see -list-metrics)")
+		export   = flag.String("export", "", "write the adcc-report/v1 envelope rebuilt from the whole store to this path")
+
+		listMetrics = flag.Bool("list-metrics", false, "list the -dist metric names and exit")
+	)
+	flag.Parse()
+
+	if *listMetrics {
+		for _, m := range adcc.StoreMetricNames() {
+			fmt.Println(m)
+		}
+		return
+	}
+	if *storePath == "" {
+		fmt.Fprintln(os.Stderr, "adccquery: -store is required")
+		os.Exit(2)
+	}
+	modes := 0
+	for _, on := range []bool{*survival, *cells, *rows, *agg, *dist != "", *export != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "adccquery: pick one view (-survival, -cells, -rows, -agg, -dist, -export)")
+		os.Exit(2)
+	}
+
+	s, err := adcc.OpenResultStore(*storePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adccquery: %v\n", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+
+	f := adcc.StoreFilter{
+		Workload:   *workload,
+		Scheme:     *scheme,
+		System:     *system,
+		FaultModel: *fault,
+		Outcome:    *outcome,
+	}
+
+	switch {
+	case *cells:
+		err = printCells(s)
+	case *rows:
+		err = printRows(s, f)
+	case *agg:
+		err = printAggregate(s, f)
+	case *dist != "":
+		err = printDist(s, f, *dist)
+	case *export != "":
+		err = exportEnvelope(s, f, *export)
+	default:
+		err = printSurvival(s, f)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adccquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// printCells lists the cell index: coordinates, per-cell constants,
+// and row counts, plus the footer meta.
+func printCells(s *adcc.ResultStoreFile) error {
+	fmt.Printf("%-10s %-12s %-8s %-10s %10s %12s %10s\n",
+		"workload", "scheme", "system", "fault", "rows", "profile-ops", "grain-ops")
+	for _, c := range s.Cells() {
+		faultName := c.FaultModel
+		if faultName == "" {
+			faultName = "failstop"
+		}
+		fmt.Printf("%-10s %-12s %-8s %-10s %10d %12d %10d\n",
+			c.Workload, c.Scheme, c.System, faultName, c.Injections, c.ProfileOps, c.GrainOps)
+	}
+	fmt.Printf("# scale %g, seed %d, %d rows\n", s.Scale(), s.Seed(), s.TotalRows())
+	return nil
+}
+
+// printRows streams the filtered rows as NDJSON, one object per
+// injection, outcomes as names.
+func printRows(s *adcc.ResultStoreFile, f adcc.StoreFilter) error {
+	enc := json.NewEncoder(os.Stdout)
+	return s.Scan(f, func(r adcc.StoreRow) error { return enc.Encode(r) })
+}
+
+// printAggregate renders the standard roll-up of the filtered rows.
+func printAggregate(s *adcc.ResultStoreFile, f adcc.StoreFilter) error {
+	a, err := s.Aggregate(f)
+	if err != nil {
+		return err
+	}
+	return writeJSON(a)
+}
+
+// printDist renders one metric's distribution over the filtered rows.
+func printDist(s *adcc.ResultStoreFile, f adcc.StoreFilter, name string) error {
+	m, err := adcc.ParseStoreMetric(name)
+	if err != nil {
+		return err
+	}
+	d, err := s.Distribution(f, m)
+	if err != nil {
+		return err
+	}
+	return writeJSON(struct {
+		Metric string         `json:"metric"`
+		Dist   adcc.StoreDist `json:"dist"`
+	}{m.String(), d})
+}
+
+// printSurvival rebuilds the filtered cells' aggregates through the
+// same Add/Finalize path the campaign engines use and renders the
+// shared survival table — the campaign's headline view, produced here
+// as a store query.
+func printSurvival(s *adcc.ResultStoreFile, f adcc.StoreFilter) error {
+	rep, err := filteredReport(s, f)
+	if err != nil {
+		return err
+	}
+	adcc.CampaignTable(rep).Fprint(os.Stdout)
+	return nil
+}
+
+// exportEnvelope writes the campaign report rebuilt from the filtered
+// store rows, wrapped in the adcc-report/v1 envelope. With no filters
+// it reproduces the live run's -json output byte-identically.
+func exportEnvelope(s *adcc.ResultStoreFile, f adcc.StoreFilter, path string) error {
+	var rep *adcc.CampaignReport
+	var err error
+	if f == (adcc.StoreFilter{}) {
+		rep, err = s.CampaignReport()
+	} else {
+		rep, err = filteredReport(s, f)
+	}
+	if err != nil {
+		return err
+	}
+	if err := adcc.NewCampaignReport(rep).WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "adccquery: wrote %d cells (%d injections) to %s\n",
+		len(rep.Cells), rep.Injections, path)
+	return nil
+}
+
+// filteredReport assembles a campaign report over the filter's cells
+// and rows.
+func filteredReport(s *adcc.ResultStoreFile, f adcc.StoreFilter) (*adcc.CampaignReport, error) {
+	cells, err := s.CellReports(f)
+	if err != nil {
+		return nil, err
+	}
+	rep := &adcc.CampaignReport{
+		Schema: adcc.CampaignSchemaVersion,
+		Scale:  s.Scale(),
+		Seed:   s.Seed(),
+		Cells:  cells,
+	}
+	for _, c := range cells {
+		rep.Injections += c.Injections
+	}
+	return rep, nil
+}
+
+// writeJSON prints v with two-space indentation and a trailing
+// newline, matching the repo's canonical JSON shape.
+func writeJSON(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(b, '\n'))
+	return err
+}

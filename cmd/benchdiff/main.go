@@ -1,8 +1,10 @@
 // Command benchdiff compares two benchmark result files produced by
 // `adccbench -bench -json` and exits non-zero when the candidate
-// regresses against the baseline. It reads both the adcc-report/v1
-// envelope and bare legacy adcc-bench/v1 suites, so pre-envelope
-// baselines keep working.
+// regresses against the baseline. It reads the adcc-report/v1
+// envelope, bare legacy adcc-bench/v1 suites (so pre-envelope
+// baselines keep working), and columnar result stores written with
+// -store — a store's cell aggregates are rebuilt through the query
+// layer and compared like a campaign report's.
 //
 // Usage:
 //
@@ -45,13 +47,37 @@ import (
 )
 
 // readSuite loads a bench suite from an enveloped or legacy report
-// file.
+// file, or — when the path is a columnar result store — from the cell
+// aggregates rebuilt by the store's query layer. Either way duplicate
+// benchmark names are rejected: in a plain name index the last row
+// would silently win and the comparison would prove nothing about the
+// shadowed result.
 func readSuite(path string) (adcc.Suite, error) {
-	rep, err := adcc.ReadReport(path)
-	if err != nil {
-		return adcc.Suite{}, err
+	var suite adcc.Suite
+	if adcc.IsResultStore(path) {
+		s, err := adcc.OpenResultStore(path)
+		if err != nil {
+			return adcc.Suite{}, err
+		}
+		defer s.Close()
+		rep, err := s.CampaignReport()
+		if err != nil {
+			return adcc.Suite{}, err
+		}
+		suite = adcc.NewSuite(s.Scale(), rep.BenchResults())
+	} else {
+		rep, err := adcc.ReadReport(path)
+		if err != nil {
+			return adcc.Suite{}, err
+		}
+		if suite, err = rep.BenchSuite(); err != nil {
+			return adcc.Suite{}, err
+		}
 	}
-	return rep.BenchSuite()
+	if err := suite.Validate(); err != nil {
+		return adcc.Suite{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return suite, nil
 }
 
 func main() {

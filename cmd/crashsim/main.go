@@ -21,6 +21,7 @@
 // (and the full enveloped JSON report with -json):
 //
 //	crashsim -workload mc -campaign -campaign-scale 0.1 -parallel 4
+//	crashsim -workload mc -campaign -store out.adccs   # raw rows, query with adccquery
 //
 // The -fault flag selects crash-time fault/persistency models beyond
 // clean fail-stop (torn line writebacks, eADR cache drain, reordered
@@ -58,6 +59,7 @@ func main() {
 		campaignScale = flag.Float64("campaign-scale", 0.1, "with -campaign: problem-size and sweep-density scale")
 		parallel      = flag.Int("parallel", 1, "with -campaign: max concurrent injections (report identical at any setting)")
 		jsonPath      = flag.String("json", "", "with -campaign: write the machine-readable campaign report to this file")
+		storePath     = flag.String("store", "", "with -campaign: write every injection's raw outcome row to a columnar result store at this path (query with adccquery)")
 		replay        = flag.Bool("replay", false, "with -campaign: use the snapshot/fork replay engine (same report, far less wall time)")
 	)
 	flag.Parse()
@@ -80,7 +82,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "crashsim: -%s applies to single-point mode and is ignored by -campaign (the campaign sweeps both platforms with its own sizes); drop it\n", conflict)
 			os.Exit(2)
 		}
-		os.Exit(runCampaign(*workload, *campaignScale, *parallel, *jsonPath, *replay, faultNames(*faultFlag)))
+		os.Exit(runCampaign(*workload, *campaignScale, *parallel, *jsonPath, *storePath, *replay, faultNames(*faultFlag)))
 	}
 
 	// Single-point mode crashes exactly once, so it takes one fault
@@ -236,7 +238,7 @@ func faultNames(flagValue string) []string {
 // under clean fail-stop only, because the richer fault models (torn
 // writebacks, reordering, bit flips) exist precisely to push schemes
 // past their guarantees.
-func runCampaign(workload string, scale float64, parallel int, jsonPath string, replay bool, faults []string) int {
+func runCampaign(workload string, scale float64, parallel int, jsonPath, storePath string, replay bool, faults []string) int {
 	opts := []adcc.Option{
 		adcc.WithScale(scale),
 		adcc.WithParallelism(parallel),
@@ -249,6 +251,9 @@ func runCampaign(workload string, scale float64, parallel int, jsonPath string, 
 	}
 	if jsonPath != "" {
 		opts = append(opts, adcc.WithCampaignJSON(jsonPath))
+	}
+	if storePath != "" {
+		opts = append(opts, adcc.WithCampaignStore(storePath))
 	}
 	runner := adcc.New(nil, opts...)
 	rep, err := runner.RunCampaign(context.Background())

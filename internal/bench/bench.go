@@ -121,13 +121,29 @@ func ReadFile(path string) (Suite, error) {
 	return s, nil
 }
 
-// byName indexes results for diffing.
+// byName indexes results for diffing. Duplicate names must be rejected
+// with Validate before indexing — in a plain map the last one would
+// silently win.
 func (s Suite) byName() map[string]Result {
 	m := make(map[string]Result, len(s.Results))
 	for _, r := range s.Results {
 		m[r.Name] = r
 	}
 	return m
+}
+
+// Validate rejects suites whose benchmark names collide: a duplicate
+// would silently shadow its twin in every comparison, so a diff over
+// such a suite proves nothing about the hidden result.
+func (s Suite) Validate() error {
+	seen := make(map[string]bool, len(s.Results))
+	for _, r := range s.Results {
+		if seen[r.Name] {
+			return fmt.Errorf("bench: duplicate benchmark name %q in suite", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	return nil
 }
 
 // Collector accumulates Results from concurrently executing experiment

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -284,5 +285,37 @@ func TestDiffSkipsUnmeasuredMetrics(t *testing.T) {
 	}
 	if rep.HasRegression() {
 		t.Errorf("unexpected regression: %+v", rep)
+	}
+}
+
+// TestSuiteValidateDuplicates: a suite with colliding benchmark names
+// must be rejected — in the diff's name index the last result would
+// silently shadow its twin.
+func TestSuiteValidateDuplicates(t *testing.T) {
+	ok := NewSuite(1, []Result{{Name: "a"}, {Name: "b"}})
+	if err := ok.Validate(); err != nil {
+		t.Errorf("distinct names rejected: %v", err)
+	}
+	dup := NewSuite(1, []Result{{Name: "a"}, {Name: "b"}, {Name: "a"}})
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate names accepted")
+	} else if !strings.Contains(err.Error(), `"a"`) {
+		t.Errorf("error %v does not name the duplicate", err)
+	}
+}
+
+// TestFormatSummaryLine: the roll-up line reports how much was
+// actually compared, not just the deltas' dispositions.
+func TestFormatSummaryLine(t *testing.T) {
+	base := NewSuite(1, []Result{
+		{Name: "k", Iterations: 1, NsPerOp: 100, SimNS: 1000},
+		{Name: "gone", Iterations: 1, NsPerOp: 5},
+	})
+	cand := NewSuite(1, []Result{{Name: "k", Iterations: 1, NsPerOp: 200, SimNS: 1000}})
+	var buf strings.Builder
+	diffOf(base, cand).Format(&buf, false)
+	out := buf.String()
+	if !strings.Contains(out, "compared 2 metrics across 1 benchmarks: 1 regressed, 0 improved, 1 unchanged, 1 missing, 0 added") {
+		t.Errorf("summary line missing or wrong:\n%s", out)
 	}
 }

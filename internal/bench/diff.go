@@ -212,6 +212,10 @@ func (r Report) Format(w io.Writer, verbose bool) {
 	for _, name := range r.Added {
 		fmt.Fprintf(w, "added       %s (not in baseline)\n", name)
 	}
-	fmt.Fprintf(w, "benchdiff: %d regressed, %d improved, %d unchanged, %d missing, %d added\n",
-		regressions, improvements, ok, len(r.Missing), len(r.Added))
+	names := map[string]bool{}
+	for _, d := range r.Deltas {
+		names[d.Name] = true
+	}
+	fmt.Fprintf(w, "benchdiff: compared %d metrics across %d benchmarks: %d regressed, %d improved, %d unchanged, %d missing, %d added\n",
+		len(r.Deltas), len(names), regressions, improvements, ok, len(r.Missing), len(r.Added))
 }

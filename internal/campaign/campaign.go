@@ -105,6 +105,16 @@ type Config struct {
 	// skipped via Completed are not re-announced. OnCell runs on the
 	// sweep's ordered observation path; keep it fast.
 	OnCell func(CellReport)
+	// Sink, when non-nil, receives one row per injection: BeginCell once
+	// per cell in deterministic grid order, then one Row per crash point
+	// in point order. Both engines feed it the identical sequence at any
+	// Parallel setting, so a sink that serializes what it is handed (the
+	// result-store writer) produces byte-identical output for any
+	// execution strategy. Sink runs on the sweep's ordered observation
+	// path; keep it fast. Run rejects a Sink combined with Completed
+	// cells: restored aggregates carry no per-injection rows, so the
+	// sink's output would silently omit them.
+	Sink RowSink
 	// Verbose enables progress notes on Out.
 	Verbose bool
 	Out     io.Writer
@@ -454,14 +464,44 @@ func (c cell) newWorkload(cfg Config, as *cellAssets) engine.Workload {
 	}
 }
 
-// injection is the outcome of one crash point.
-type injection struct {
-	Outcome   Outcome
-	CrashOps  int64
-	ReworkOps int64 // ops redone beyond the not-yet-executed remainder
-	Flushes   int64
-	RecoverNS int64
-	ResumeNS  int64
+// InjectionRow is the outcome of one crash point — the unit record the
+// campaign aggregates into CellReports and streams to Config.Sink.
+type InjectionRow struct {
+	// Outcome classifies the injection's end state.
+	Outcome Outcome
+	// CrashOps is the memory-operation count the crash fired at.
+	CrashOps int64
+	// ReworkOps counts ops redone beyond the not-yet-executed remainder
+	// (the recomputation the scheme forced).
+	ReworkOps int64
+	// FlushLines counts cache-line flushes issued during recovery and
+	// resumption.
+	FlushLines int64
+	// RecoverSimNS and ResumeSimNS are the simulated time spent in
+	// post-crash detection/restore and in re-execution.
+	RecoverSimNS int64
+	ResumeSimNS  int64
+}
+
+// CellInfo identifies one sweep cell for RowSink consumers: the grid
+// coordinates plus the per-cell profile constants CellReport carries.
+type CellInfo struct {
+	Workload   string
+	Scheme     string
+	System     string
+	FaultModel string // "" for clean fail-stop, like CellReport
+	ProfileOps int64
+	GrainOps   int64
+	// Injections is the number of rows that will follow before the next
+	// BeginCell (the cell's scheduled crash-point count).
+	Injections int
+}
+
+// RowSink receives the campaign's per-injection rows in deterministic
+// order; see Config.Sink.
+type RowSink interface {
+	BeginCell(CellInfo)
+	Row(InjectionRow)
 }
 
 // plan is one cell with its shared assets and enumerated crash points.
@@ -470,6 +510,19 @@ type plan struct {
 	Assets  *cellAssets
 	Profile crash.RunProfile
 	Points  []crash.CrashPoint
+}
+
+// info renders the plan's coordinates and constants for RowSinks.
+func (p plan) info() CellInfo {
+	return CellInfo{
+		Workload:   p.Cell.Workload,
+		Scheme:     p.Cell.Scheme.Name(),
+		System:     p.Cell.System.String(),
+		FaultModel: p.Cell.FaultName,
+		ProfileOps: p.Profile.Ops,
+		GrainOps:   p.Profile.MainTriggerOps(),
+		Injections: len(p.Points),
+	}
 }
 
 // job is one injection task of the flattened sweep.
@@ -496,6 +549,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			continue
 		}
 		cells = append(cells, cl)
+	}
+	if cfg.Sink != nil && len(restored) > 0 {
+		return nil, fmt.Errorf("campaign: Sink cannot be combined with %d Completed cells: restored aggregates carry no per-injection rows", len(restored))
 	}
 	perCell := cfg.perCell()
 	cfg.logf("campaign: %d cells x %d injections at scale %g",
@@ -555,7 +611,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 	cellWallNS := make([]int64, len(plans))
-	var results []injection
+	var results []InjectionRow
 	if cfg.Replay {
 		results, err = runReplay(ctx, cfg, plans, jobs, cellWallNS)
 	} else {
@@ -578,15 +634,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.Injections += byPlan[i].Injections
 	}
 	rep.Cells = byPlan
-	sortCells(rep.Cells)
+	SortCells(rep.Cells)
 	return rep, nil
 }
 
-// aggregateCell folds one cell's injections into its CellReport. It is
-// the single aggregation path — stage 3 and the OnCell checkpoint hook
-// both use it — so a checkpointed cell report is identical to the one
-// an uninterrupted run assembles.
-func aggregateCell(p plan, inj []injection, wallNS int64) CellReport {
+// aggregateCell folds one cell's injections into its CellReport via
+// the shared CellReport.Add/Finalize path. It is the single aggregation
+// route — stage 3, the OnCell checkpoint hook, and (through the same
+// Add/Finalize methods) the result-store query layer all use it — so a
+// checkpointed or store-rebuilt cell report is identical to the one an
+// uninterrupted run assembles.
+func aggregateCell(p plan, inj []InjectionRow, wallNS int64) CellReport {
 	cr := CellReport{
 		Workload:   p.Cell.Workload,
 		Scheme:     p.Cell.Scheme.Name(),
@@ -596,33 +654,9 @@ func aggregateCell(p plan, inj []injection, wallNS int64) CellReport {
 		GrainOps:   p.Profile.MainTriggerOps(),
 	}
 	for _, r := range inj {
-		cr.Injections++
-		switch r.Outcome {
-		case OutcomeClean:
-			cr.Clean++
-		case OutcomeRecomputed:
-			cr.Recomputed++
-		case OutcomeCorrupt:
-			cr.Corrupt++
-		case OutcomeUnrecoverable:
-			cr.Unrecoverable++
-		case OutcomeNoCrash:
-			cr.NoCrash++
-		}
-		cr.ReworkOps += r.ReworkOps
-		if r.ReworkOps > cr.MaxReworkOps {
-			cr.MaxReworkOps = r.ReworkOps
-		}
-		cr.FlushLines += r.Flushes
-		cr.RecoverSimNS += r.RecoverNS
-		cr.ResumeSimNS += r.ResumeNS
+		cr.Add(r)
 	}
-	if crashed := cr.Injections - cr.NoCrash; crashed > 0 {
-		cr.RecoveryRate = float64(cr.Clean+cr.Recomputed) / float64(crashed)
-	}
-	if cr.Injections > 0 {
-		cr.WallNSPerInjection = float64(wallNS) / float64(cr.Injections)
-	}
+	cr.Finalize(wallNS)
 	return cr
 }
 
@@ -630,14 +664,24 @@ func aggregateCell(p plan, inj []injection, wallNS int64) CellReport {
 // the workload from op 0 on a fresh machine. Jobs fan through the
 // bounded pool independently; collection by index keeps the aggregation
 // byte-identical for any pool width.
-func runLegacy(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWallNS []int64) ([]injection, error) {
-	var observe func(i int, inj injection, err error)
-	if cfg.Events != nil || cfg.OnCell != nil {
-		var cellBuf []injection
-		observe = func(i int, inj injection, _ error) {
+func runLegacy(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWallNS []int64) ([]InjectionRow, error) {
+	var observe func(i int, inj InjectionRow, err error)
+	if cfg.Events != nil || cfg.OnCell != nil || cfg.Sink != nil {
+		var cellBuf []InjectionRow
+		observe = func(i int, inj InjectionRow, _ error) {
+			pi := jobs[i].PlanIdx
+			if cfg.Sink != nil {
+				// Jobs are plan-major, so a plan-index change (or i == 0)
+				// opens the cell; the sink sees exactly the grid-order
+				// BeginCell/Row sequence the replay engine emits.
+				if i == 0 || jobs[i-1].PlanIdx != pi {
+					cfg.Sink.BeginCell(plans[pi].info())
+				}
+				cfg.Sink.Row(inj)
+			}
 			if cfg.Events != nil {
 				cfg.Events.Emit(engine.InjectionDone{
-					Cell:    plans[jobs[i].PlanIdx].Cell.String(),
+					Cell:    plans[pi].Cell.String(),
 					Index:   i,
 					Total:   len(jobs),
 					Outcome: inj.Outcome.String(),
@@ -650,7 +694,6 @@ func runLegacy(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWa
 			// the last job of a plan closes the cell: every injection of
 			// the cell has been collected and its wall accounting is
 			// final.
-			pi := jobs[i].PlanIdx
 			cellBuf = append(cellBuf, inj)
 			if i+1 == len(jobs) || jobs[i+1].PlanIdx != pi {
 				cfg.OnCell(aggregateCell(plans[pi], cellBuf, atomic.LoadInt64(&cellWallNS[pi])))
@@ -658,7 +701,7 @@ func runLegacy(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWa
 			}
 		}
 	}
-	return engine.RunCasesObserved(ctx, cfg.Parallel, len(jobs), func(i int) (injection, error) {
+	return engine.RunCasesObserved(ctx, cfg.Parallel, len(jobs), func(i int) (InjectionRow, error) {
 		p := plans[jobs[i].PlanIdx]
 		start := time.Now()
 		inj := runInjection(cfg, p, jobs[i].Point)
@@ -677,16 +720,22 @@ func runLegacy(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWa
 // pool; within a cell the work is sequential, bounding resident
 // snapshot memory to roughly the pool width times the per-cell class
 // count.
-func runReplay(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWallNS []int64) ([]injection, error) {
+func runReplay(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWallNS []int64) ([]InjectionRow, error) {
 	// Global injection indices of each plan's first point, so replay
 	// events carry the same Index/Total coordinates as legacy ones.
 	offset := make([]int, len(plans)+1)
 	for pi, p := range plans {
 		offset[pi+1] = offset[pi] + len(p.Points)
 	}
-	var observe func(i int, inj []injection, err error)
-	if cfg.Events != nil || cfg.OnCell != nil {
-		observe = func(i int, inj []injection, _ error) {
+	var observe func(i int, inj []InjectionRow, err error)
+	if cfg.Events != nil || cfg.OnCell != nil || cfg.Sink != nil {
+		observe = func(i int, inj []InjectionRow, _ error) {
+			if cfg.Sink != nil {
+				cfg.Sink.BeginCell(plans[i].info())
+				for _, r := range inj {
+					cfg.Sink.Row(r)
+				}
+			}
 			if cfg.Events != nil {
 				cfg.Events.Emit(engine.Progress{Stage: "campaign/record", Done: i + 1, Total: len(plans)})
 				for j, r := range inj {
@@ -703,7 +752,7 @@ func runReplay(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWa
 			}
 		}
 	}
-	perCell, err := engine.RunCasesObserved(ctx, cfg.Parallel, len(plans), func(i int) ([]injection, error) {
+	perCell, err := engine.RunCasesObserved(ctx, cfg.Parallel, len(plans), func(i int) ([]InjectionRow, error) {
 		start := time.Now()
 		inj := runCellReplay(cfg, plans[i])
 		atomic.AddInt64(&cellWallNS[i], time.Since(start).Nanoseconds())
@@ -712,7 +761,7 @@ func runReplay(ctx context.Context, cfg Config, plans []plan, jobs []job, cellWa
 	if err != nil {
 		return nil, err
 	}
-	results := make([]injection, 0, len(jobs))
+	results := make([]InjectionRow, 0, len(jobs))
 	for _, inj := range perCell {
 		results = append(results, inj...)
 	}
@@ -744,14 +793,14 @@ type classResult struct {
 
 // runCellReplay executes one cell under the snapshot/fork engine and
 // returns its injections in point order.
-func runCellReplay(cfg Config, p plan) []injection {
-	injections := make([]injection, len(p.Points))
+func runCellReplay(cfg Config, p plan) []InjectionRow {
+	injections := make([]InjectionRow, len(p.Points))
 	m := p.Cell.newMachine()
 	em := crash.NewEmulator(m)
 	w := p.Cell.newWorkload(cfg, p.Assets)
 	if err := w.Prepare(m, em); err != nil {
 		for i := range injections {
-			injections[i] = injection{Outcome: OutcomeUnrecoverable}
+			injections[i] = InjectionRow{Outcome: OutcomeUnrecoverable}
 		}
 		return injections
 	}
@@ -821,7 +870,7 @@ func runCellReplay(cfg Config, p plan) []injection {
 	// unfired-crash outcome.
 	for pi, ok := range captured {
 		if !ok {
-			injections[pi] = injection{Outcome: OutcomeNoCrash}
+			injections[pi] = InjectionRow{Outcome: OutcomeNoCrash}
 		}
 	}
 	return injections
@@ -895,20 +944,20 @@ func (f *forker) run(st *crash.CrashState) classResult {
 // mirroring runInjection's classification field for field: the only
 // point-dependent inputs are the crash op count and the rework derived
 // from it.
-func expandInjection(res classResult, crashOps int64, p plan) injection {
-	var inj injection
+func expandInjection(res classResult, crashOps int64, p plan) InjectionRow {
+	var inj InjectionRow
 	if res.prepErr {
 		inj.Outcome = OutcomeUnrecoverable
 		return inj
 	}
 	inj.CrashOps = crashOps
-	inj.RecoverNS = res.recoverNS
+	inj.RecoverSimNS = res.recoverNS
 	if res.recoverErr {
 		inj.Outcome = OutcomeUnrecoverable
 		return inj
 	}
-	inj.ResumeNS = res.resumeNS
-	inj.Flushes = res.flushes
+	inj.ResumeSimNS = res.resumeNS
+	inj.FlushLines = res.flushes
 	remaining := p.Profile.Ops - inj.CrashOps
 	if rework := res.resumeOps - remaining; rework > 0 {
 		inj.ReworkOps = rework
@@ -933,8 +982,8 @@ func expandInjection(res classResult, crashOps int64, p plan) injection {
 // crash, recover under the cell's scheme, resume with op counting, and
 // verify. Panics in recovery or resumption are contained and classified
 // as unrecoverable — a campaign survives pathological injections.
-func runInjection(cfg Config, p plan, pt crash.CrashPoint) injection {
-	var inj injection
+func runInjection(cfg Config, p plan, pt crash.CrashPoint) InjectionRow {
+	var inj InjectionRow
 	m := p.Cell.newMachine()
 	em := crash.NewEmulator(m)
 	w := p.Cell.newWorkload(cfg, p.Assets)
@@ -959,7 +1008,7 @@ func runInjection(cfg Config, p plan, pt crash.CrashPoint) injection {
 	// Post-crash detection/restore under the scheme.
 	recStart := m.Clock.Now()
 	from, err := safeRecover(w)
-	inj.RecoverNS = m.Clock.Since(recStart)
+	inj.RecoverSimNS = m.Clock.Since(recStart)
 	if err != nil {
 		inj.Outcome = OutcomeUnrecoverable
 		return inj
@@ -970,8 +1019,8 @@ func runInjection(cfg Config, p plan, pt crash.CrashPoint) injection {
 	em.Disarm()
 	resStart := m.Clock.Now()
 	crashedAgain, err := safeResume(em, w, from)
-	inj.ResumeNS = m.Clock.Since(resStart)
-	inj.Flushes = m.LLC.Stats().Flushes - flushes0
+	inj.ResumeSimNS = m.Clock.Since(resStart)
+	inj.FlushLines = m.LLC.Stats().Flushes - flushes0
 	remaining := p.Profile.Ops - inj.CrashOps
 	if rework := em.OpCount() - remaining; rework > 0 {
 		inj.ReworkOps = rework

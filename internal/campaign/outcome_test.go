@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestOutcomeTextRoundTrip marshals every outcome to its name and back,
+// and checks the name set matches String().
+func TestOutcomeTextRoundTrip(t *testing.T) {
+	names := OutcomeNames()
+	if len(names) != 5 {
+		t.Fatalf("OutcomeNames() = %v, want 5 names", names)
+	}
+	for i, name := range names {
+		o := Outcome(i)
+		if o.String() != name {
+			t.Errorf("Outcome(%d).String() = %q, want %q", i, o.String(), name)
+		}
+		b, err := o.MarshalText()
+		if err != nil {
+			t.Fatalf("Outcome(%d).MarshalText(): %v", i, err)
+		}
+		if string(b) != name {
+			t.Errorf("Outcome(%d).MarshalText() = %q, want %q", i, b, name)
+		}
+		var back Outcome
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", b, err)
+		}
+		if back != o {
+			t.Errorf("round-trip %q: got %v, want %v", name, back, o)
+		}
+		p, err := ParseOutcome(name)
+		if err != nil || p != o {
+			t.Errorf("ParseOutcome(%q) = %v, %v; want %v, nil", name, p, err, o)
+		}
+	}
+}
+
+// TestOutcomeTextInvalid covers the failure edges: out-of-range values
+// refuse to marshal, unknown names refuse to parse.
+func TestOutcomeTextInvalid(t *testing.T) {
+	if _, err := Outcome(99).MarshalText(); err == nil {
+		t.Error("MarshalText on Outcome(99): want error, got nil")
+	}
+	if _, err := Outcome(-1).MarshalText(); err == nil {
+		t.Error("MarshalText on Outcome(-1): want error, got nil")
+	}
+	var o Outcome
+	if err := o.UnmarshalText([]byte("exploded")); err == nil {
+		t.Error(`UnmarshalText("exploded"): want error, got nil`)
+	}
+	if _, err := ParseOutcome(""); err == nil {
+		t.Error(`ParseOutcome(""): want error, got nil`)
+	}
+}
+
+// TestOutcomeJSON confirms outcomes travel through encoding/json as
+// quoted names, the representation query responses rely on.
+func TestOutcomeJSON(t *testing.T) {
+	b, err := json.Marshal(OutcomeCorrupt)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	if string(b) != `"corrupt"` {
+		t.Errorf("json.Marshal(OutcomeCorrupt) = %s, want %q", b, `"corrupt"`)
+	}
+	var o Outcome
+	if err := json.Unmarshal([]byte(`"no-crash"`), &o); err != nil {
+		t.Fatalf("json.Unmarshal: %v", err)
+	}
+	if o != OutcomeNoCrash {
+		t.Errorf("json.Unmarshal(\"no-crash\") = %v, want OutcomeNoCrash", o)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"adcc/internal/bench"
 )
@@ -54,6 +55,48 @@ func (o Outcome) String() string {
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
+}
+
+// outcomeNames is the canonical name set in Outcome value order; it is
+// what MarshalText emits, what ParseOutcome accepts, and the dictionary
+// order result stores encode outcomes under.
+var outcomeNames = []string{"clean", "recomputed", "corrupt", "unrecoverable", "no-crash"}
+
+// OutcomeNames lists every outcome name in Outcome value order.
+func OutcomeNames() []string {
+	return append([]string(nil), outcomeNames...)
+}
+
+// ParseOutcome resolves an outcome name ("clean", "recomputed",
+// "corrupt", "unrecoverable", "no-crash") to its Outcome value.
+func ParseOutcome(name string) (Outcome, error) {
+	for i, n := range outcomeNames {
+		if n == name {
+			return Outcome(i), nil
+		}
+	}
+	return 0, fmt.Errorf("campaign: unknown outcome %q (want one of %s)",
+		name, strings.Join(outcomeNames, ", "))
+}
+
+// MarshalText serializes the outcome as its name, so outcomes travel
+// through JSON, result-store dictionaries, and query parameters as
+// "clean"/"corrupt"/... instead of bare ints.
+func (o Outcome) MarshalText() ([]byte, error) {
+	if int(o) < 0 || int(o) >= len(outcomeNames) {
+		return nil, fmt.Errorf("campaign: cannot marshal invalid outcome %d", int(o))
+	}
+	return []byte(outcomeNames[o]), nil
+}
+
+// UnmarshalText parses an outcome name.
+func (o *Outcome) UnmarshalText(b []byte) error {
+	v, err := ParseOutcome(string(b))
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
 }
 
 // CellReport aggregates every injection of one workload x scheme x
@@ -115,6 +158,46 @@ type CellReport struct {
 // Failures counts injections that ended without a verified result.
 func (c CellReport) Failures() int { return c.Corrupt + c.Unrecoverable }
 
+// Add folds one injection row into the aggregate. It is the single
+// accumulation step shared by the campaign engines and the result-store
+// query layer (resultstore.Store.CampaignReport), so cell aggregates
+// rebuilt from stored rows are field-identical to the ones a live run
+// assembles.
+func (c *CellReport) Add(r InjectionRow) {
+	c.Injections++
+	switch r.Outcome {
+	case OutcomeClean:
+		c.Clean++
+	case OutcomeRecomputed:
+		c.Recomputed++
+	case OutcomeCorrupt:
+		c.Corrupt++
+	case OutcomeUnrecoverable:
+		c.Unrecoverable++
+	case OutcomeNoCrash:
+		c.NoCrash++
+	}
+	c.ReworkOps += r.ReworkOps
+	if r.ReworkOps > c.MaxReworkOps {
+		c.MaxReworkOps = r.ReworkOps
+	}
+	c.FlushLines += r.FlushLines
+	c.RecoverSimNS += r.RecoverSimNS
+	c.ResumeSimNS += r.ResumeSimNS
+}
+
+// Finalize computes the derived fields once every row has been added:
+// the recovery rate over crashed injections and (when wallNS is
+// nonzero) the host wall cost per injection.
+func (c *CellReport) Finalize(wallNS int64) {
+	if crashed := c.Injections - c.NoCrash; crashed > 0 {
+		c.RecoveryRate = float64(c.Clean+c.Recomputed) / float64(crashed)
+	}
+	if c.Injections > 0 {
+		c.WallNSPerInjection = float64(wallNS) / float64(c.Injections)
+	}
+}
+
 // Key is the cell's sweep coordinate, "workload/scheme@system" with a
 // "+fault" suffix for non-fail-stop fault models — the name
 // Config.Completed checkpoints and CellKeys enumerations use.
@@ -136,10 +219,11 @@ type Report struct {
 	Cells      []CellReport `json:"cells"`
 }
 
-// sortCells orders cells by (workload, scheme, system, fault model),
+// SortCells orders cells by (workload, scheme, system, fault model),
 // the canonical report order. Fail-stop ("") sorts before every named
-// model, keeping legacy rows in their legacy positions.
-func sortCells(cells []CellReport) {
+// model, keeping legacy rows in their legacy positions. Exported so the
+// result-store query layer assembles reports in exactly this order.
+func SortCells(cells []CellReport) {
 	sort.Slice(cells, func(i, j int) bool {
 		a, b := cells[i], cells[j]
 		if a.Workload != b.Workload {

@@ -6,6 +6,7 @@ import (
 
 	"adcc/internal/campaign"
 	"adcc/internal/report"
+	"adcc/internal/resultstore"
 )
 
 // RunCampaign runs the statistical fault-injection campaign
@@ -19,7 +20,7 @@ import (
 // envelope; with Options.Events set, every injection streams an
 // InjectionDone event in deterministic order.
 func RunCampaign(ctx context.Context, o Options) (*Table, error) {
-	rep, err := campaign.Run(ctx, campaign.Config{
+	cfg := campaign.Config{
 		Scale:       o.scale(),
 		Seed:        o.Seed,
 		Parallel:    o.Parallel,
@@ -32,7 +33,21 @@ func RunCampaign(ctx context.Context, o Options) (*Table, error) {
 		Events:      o.Events,
 		Verbose:     o.Verbose,
 		Out:         o.Out,
-	})
+	}
+	var fw *resultstore.FileWriter
+	if o.CampaignStore != "" {
+		var err error
+		if fw, err = resultstore.CreateFile(o.CampaignStore, cfg.Scale, cfg.Seed); err != nil {
+			return nil, err
+		}
+		cfg.Sink = fw
+	}
+	rep, err := campaign.Run(ctx, cfg)
+	if fw != nil {
+		if cerr := fw.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("harness: write campaign store: %w", cerr)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -143,6 +143,12 @@ type Options struct {
 	// its full machine-readable report (wrapped in the adcc-report/v1
 	// envelope) to this path.
 	CampaignJSON string
+	// CampaignStore, when non-empty, makes the campaign experiment
+	// write every injection's raw outcome row to a columnar result
+	// store (internal/resultstore) at this path. Store bytes are a pure
+	// function of the campaign spec — identical at any Parallel and on
+	// either engine.
+	CampaignStore string
 	// Seed drives the campaign experiment's crash-point selection; the
 	// default 0 is a valid seed. The figure experiments use fixed
 	// paper-shape seeds and ignore it.

@@ -1,0 +1,58 @@
+package resultstore
+
+import (
+	"bytes"
+	"testing"
+
+	"adcc/internal/campaign"
+)
+
+// FuzzResultStoreDecode throws arbitrary bytes at the store reader:
+// truncated, bit-flipped, or adversarial files must return an error —
+// never panic, over-read, or allocate unboundedly. When a mutated file
+// still parses, every query path must hold the same no-panic contract.
+func FuzzResultStoreDecode(f *testing.F) {
+	// Seed with valid stores of several shapes so mutations explore the
+	// format from the inside, plus the committed corpus in testdata.
+	for seed := int64(0); seed < 3; seed++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 0.5, seed)
+		for c := int64(0); c <= seed; c++ {
+			w.BeginCell(campaign.CellInfo{
+				Workload: "mm", Scheme: "pmem", System: "nvm",
+				ProfileOps: 1000 * (c + 1), GrainOps: 10, Injections: int(2 * c),
+			})
+			for i := int64(0); i < 2*c; i++ {
+				w.Row(campaign.InjectionRow{
+					Outcome:  campaign.Outcome(i % 5),
+					CrashOps: 100 * i, ReworkOps: i, FlushLines: i * 3,
+					RecoverSimNS: 7 * i, ResumeSimNS: 11 * i,
+				})
+			}
+		}
+		if err := w.Close(); err != nil {
+			f.Fatalf("seed store: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(headerMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Open(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		// A parsed store must answer every query without panicking;
+		// decode errors are acceptable, silence is not required.
+		_ = s.Cells()
+		_ = s.Scan(Filter{}, func(Row) error { return nil })
+		if _, err := s.Aggregate(Filter{}); err != nil {
+			return
+		}
+		if _, err := s.Distribution(Filter{Workload: "mm"}, MetricReworkOps); err != nil {
+			return
+		}
+		_, _ = s.CampaignReport()
+	})
+}

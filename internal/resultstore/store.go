@@ -1,0 +1,339 @@
+package resultstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"adcc/internal/campaign"
+)
+
+// Store is an open result store: the parsed footer index over a
+// seekable byte source. Column blocks are read lazily, per query, so
+// opening a store costs one footer read regardless of row count.
+type Store struct {
+	r         io.ReaderAt
+	size      int64
+	strs      []string
+	cells     []cellEntry
+	scale     float64
+	seed      int64
+	totalRows int64
+}
+
+// Open parses the footer of a store held in r. Every length and offset
+// is validated against size before use, so corrupt or truncated files
+// (and adversarial ones — see FuzzResultStoreDecode) error instead of
+// panicking or over-reading.
+func Open(r io.ReaderAt, size int64) (*Store, error) {
+	if size < int64(minFileLen) {
+		return nil, fmt.Errorf("resultstore: %d bytes is smaller than the smallest store (%d)", size, minFileLen)
+	}
+	var head [len(headerMagic)]byte
+	if _, err := r.ReadAt(head[:], 0); err != nil {
+		return nil, fmt.Errorf("resultstore: read header: %w", err)
+	}
+	if string(head[:]) != headerMagic {
+		return nil, fmt.Errorf("resultstore: bad header magic %q", head[:])
+	}
+	var trailer [trailerLen]byte
+	if _, err := r.ReadAt(trailer[:], size-int64(trailerLen)); err != nil {
+		return nil, fmt.Errorf("resultstore: read trailer: %w", err)
+	}
+	if string(trailer[8:]) != endMagic {
+		return nil, fmt.Errorf("resultstore: bad end magic %q", trailer[8:])
+	}
+	ftrLen := binary.LittleEndian.Uint64(trailer[:8])
+	maxFtr := uint64(size) - uint64(len(headerMagic)) - uint64(trailerLen)
+	if ftrLen > maxFtr {
+		return nil, fmt.Errorf("resultstore: footer length %d exceeds file capacity %d", ftrLen, maxFtr)
+	}
+	ftrStart := size - int64(trailerLen) - int64(ftrLen)
+	ftr := make([]byte, ftrLen)
+	if _, err := r.ReadAt(ftr, ftrStart); err != nil {
+		return nil, fmt.Errorf("resultstore: read footer: %w", err)
+	}
+
+	s := &Store{r: r, size: size}
+	br := &byteReader{b: ftr}
+
+	dictCount, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if dictCount > uint64(br.remaining()) {
+		return nil, fmt.Errorf("resultstore: dictionary count %d exceeds footer size", dictCount)
+	}
+	s.strs = make([]string, dictCount)
+	for i := range s.strs {
+		n, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(br.remaining()) {
+			return nil, fmt.Errorf("resultstore: dictionary string %d length %d exceeds footer size", i, n)
+		}
+		b, err := br.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		s.strs[i] = string(b)
+	}
+
+	cellCount, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if cellCount > uint64(br.remaining()) {
+		return nil, fmt.Errorf("resultstore: cell count %d exceeds footer size", cellCount)
+	}
+	s.cells = make([]cellEntry, cellCount)
+	var rowSum, next int64
+	next = int64(len(headerMagic))
+	for i := range s.cells {
+		c := &s.cells[i]
+		if err := s.readCellEntry(br, c); err != nil {
+			return nil, fmt.Errorf("resultstore: cell %d: %w", i, err)
+		}
+		// Blocks are written back to back from the header on; enforcing
+		// exactly that layout bounds every later column read.
+		if c.offset != next {
+			return nil, fmt.Errorf("resultstore: cell %d blocks at offset %d, want %d", i, c.offset, next)
+		}
+		for col, n := range c.colLen {
+			// Each row costs at least one byte per column, so a row count
+			// exceeding a column's byte length is corruption.
+			if int64(c.rowCount) > n {
+				return nil, fmt.Errorf("resultstore: cell %d column %d: %d rows in %d bytes", i, col, c.rowCount, n)
+			}
+			next += n
+		}
+		if next > ftrStart {
+			return nil, fmt.Errorf("resultstore: cell %d blocks end at %d, past footer start %d", i, next, ftrStart)
+		}
+		rowSum += int64(c.rowCount)
+	}
+
+	scaleBits, err := br.bytes(8)
+	if err != nil {
+		return nil, err
+	}
+	s.scale = math.Float64frombits(binary.LittleEndian.Uint64(scaleBits))
+	if s.seed, err = br.varint(); err != nil {
+		return nil, err
+	}
+	total, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if int64(total) != rowSum || total > uint64(size) {
+		return nil, fmt.Errorf("resultstore: footer total %d rows, cells sum to %d", total, rowSum)
+	}
+	s.totalRows = rowSum
+	if br.remaining() != 0 {
+		return nil, fmt.Errorf("resultstore: %d trailing footer bytes", br.remaining())
+	}
+	return s, nil
+}
+
+// readCellEntry decodes one footer index record, validating dictionary
+// ids and value ranges.
+func (s *Store) readCellEntry(br *byteReader, c *cellEntry) error {
+	for _, id := range []*uint64{&c.workload, &c.scheme, &c.system, &c.faultModel} {
+		v, err := br.uvarint()
+		if err != nil {
+			return err
+		}
+		if v >= uint64(len(s.strs)) {
+			return fmt.Errorf("dictionary id %d out of range (%d strings)", v, len(s.strs))
+		}
+		*id = v
+	}
+	for _, dst := range []*int64{&c.profileOps, &c.grainOps} {
+		v, err := br.uvarint()
+		if err != nil {
+			return err
+		}
+		if v > math.MaxInt64 {
+			return fmt.Errorf("cell constant %d overflows int64", v)
+		}
+		*dst = int64(v)
+	}
+	rows, err := br.uvarint()
+	if err != nil {
+		return err
+	}
+	if rows > uint64(s.size) {
+		return fmt.Errorf("row count %d exceeds file size", rows)
+	}
+	c.rowCount = int(rows)
+	off, err := br.uvarint()
+	if err != nil {
+		return err
+	}
+	if off > uint64(s.size) {
+		return fmt.Errorf("block offset %d exceeds file size", off)
+	}
+	c.offset = int64(off)
+	for i := range c.colLen {
+		n, err := br.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(s.size) {
+			return fmt.Errorf("column %d length %d exceeds file size", i, n)
+		}
+		c.colLen[i] = int64(n)
+	}
+	return nil
+}
+
+// Scale returns the campaign scale recorded in the footer.
+func (s *Store) Scale() float64 { return s.scale }
+
+// Seed returns the campaign seed recorded in the footer.
+func (s *Store) Seed() int64 { return s.seed }
+
+// TotalRows returns the injection count across all cells.
+func (s *Store) TotalRows() int64 { return s.totalRows }
+
+// Cells lists the stored cells in file (campaign grid) order.
+func (s *Store) Cells() []campaign.CellInfo {
+	out := make([]campaign.CellInfo, len(s.cells))
+	for i, c := range s.cells {
+		out[i] = s.cellInfo(c)
+	}
+	return out
+}
+
+func (s *Store) cellInfo(c cellEntry) campaign.CellInfo {
+	return campaign.CellInfo{
+		Workload:   s.strs[c.workload],
+		Scheme:     s.strs[c.scheme],
+		System:     s.strs[c.system],
+		FaultModel: s.strs[c.faultModel],
+		ProfileOps: c.profileOps,
+		GrainOps:   c.grainOps,
+		Injections: c.rowCount,
+	}
+}
+
+// colOffset returns the absolute file offset of column col in cell c.
+func (c cellEntry) colOffset(col int) int64 {
+	off := c.offset
+	for i := 0; i < col; i++ {
+		off += c.colLen[i]
+	}
+	return off
+}
+
+// readColumn loads and bounds-checks one column's raw bytes.
+func (s *Store) readColumn(c cellEntry, col int) (*byteReader, error) {
+	b := make([]byte, c.colLen[col])
+	if _, err := s.r.ReadAt(b, c.colOffset(col)); err != nil {
+		return nil, fmt.Errorf("resultstore: read column %d: %w", col, err)
+	}
+	return &byteReader{b: b}, nil
+}
+
+// cellRows decodes every row of one cell, in point order.
+func (s *Store) cellRows(c cellEntry) ([]campaign.InjectionRow, error) {
+	rows := make([]campaign.InjectionRow, c.rowCount)
+
+	oc, err := s.readColumn(c, colOutcome)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		id, err := oc.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if id >= uint64(len(s.strs)) {
+			return nil, fmt.Errorf("resultstore: outcome dictionary id %d out of range", id)
+		}
+		if err := rows[i].Outcome.UnmarshalText([]byte(s.strs[id])); err != nil {
+			return nil, err
+		}
+	}
+	if oc.remaining() != 0 {
+		return nil, fmt.Errorf("resultstore: %d trailing bytes in outcome column", oc.remaining())
+	}
+
+	intCols := [...]struct {
+		col int
+		set func(*campaign.InjectionRow, int64)
+	}{
+		{colCrashOps, func(r *campaign.InjectionRow, v int64) { r.CrashOps = v }},
+		{colReworkOps, func(r *campaign.InjectionRow, v int64) { r.ReworkOps = v }},
+		{colFlushLines, func(r *campaign.InjectionRow, v int64) { r.FlushLines = v }},
+		{colRecoverSimNS, func(r *campaign.InjectionRow, v int64) { r.RecoverSimNS = v }},
+		{colResumeSimNS, func(r *campaign.InjectionRow, v int64) { r.ResumeSimNS = v }},
+	}
+	for _, ic := range intCols {
+		col, set := ic.col, ic.set
+		br, err := s.readColumn(c, col)
+		if err != nil {
+			return nil, err
+		}
+		var prev int64
+		for i := range rows {
+			d, err := br.varint()
+			if err != nil {
+				return nil, err
+			}
+			prev += d
+			set(&rows[i], prev)
+		}
+		if br.remaining() != 0 {
+			return nil, fmt.Errorf("resultstore: %d trailing bytes in column %d", br.remaining(), col)
+		}
+	}
+	return rows, nil
+}
+
+// IsStoreFile sniffs whether the file at path begins with the store
+// header magic — how tools accepting both store and JSON inputs (e.g.
+// benchdiff) route a path without trusting its extension.
+func IsStoreFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var head [len(headerMagic)]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return false
+	}
+	return string(head[:]) == headerMagic
+}
+
+// File is a Store opened from a file path; Close releases the file.
+type File struct {
+	*Store
+	f *os.File
+}
+
+// OpenFile opens a store file for querying.
+func OpenFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := Open(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &File{Store: s, f: f}, nil
+}
+
+// Close releases the underlying file.
+func (f *File) Close() error { return f.f.Close() }

@@ -1,0 +1,190 @@
+package resultstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"adcc/internal/campaign"
+)
+
+// refRow is the in-memory reference model: a row joined with its cell.
+type refRow struct {
+	cell campaign.CellInfo
+	row  campaign.InjectionRow
+}
+
+// genStore writes a pseudo-random store and returns its bytes plus the
+// reference row list, the property-test substrate.
+func genStore(t *testing.T, seed int64, cells int) ([]byte, []refRow, float64, int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	workloads := []string{"cg", "mm", "mc", "stencil"}
+	schemes := []string{"native", "pmem", "algo-nvm", "algo-every"}
+	systems := []string{"nvm", "dram"}
+	faults := []string{"", "torn", "eadr", "reorder", "bitflip"}
+	scale := rng.Float64() * 2
+	campSeed := rng.Int63() - rng.Int63()
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf, scale, campSeed)
+	var ref []refRow
+	// Coordinate tuples are unique, as in a real sweep grid — duplicate
+	// cells would make the canonical sort order ambiguous.
+	used := map[[4]string]bool{}
+	for c := 0; c < cells; c++ {
+		var coord [4]string
+		for {
+			coord = [4]string{
+				workloads[rng.Intn(len(workloads))],
+				schemes[rng.Intn(len(schemes))],
+				systems[rng.Intn(len(systems))],
+				faults[rng.Intn(len(faults))],
+			}
+			if !used[coord] {
+				used[coord] = true
+				break
+			}
+		}
+		info := campaign.CellInfo{
+			Workload:   coord[0],
+			Scheme:     coord[1],
+			System:     coord[2],
+			FaultModel: coord[3],
+			ProfileOps: rng.Int63n(1 << 40),
+			GrainOps:   rng.Int63n(1 << 20),
+			Injections: rng.Intn(40),
+		}
+		w.BeginCell(info)
+		for i := 0; i < info.Injections; i++ {
+			r := campaign.InjectionRow{
+				Outcome:      campaign.Outcome(rng.Intn(5)),
+				CrashOps:     rng.Int63n(1 << 40),
+				ReworkOps:    rng.Int63n(1 << 30),
+				FlushLines:   rng.Int63n(1 << 20),
+				RecoverSimNS: rng.Int63n(1 << 45),
+				ResumeSimNS:  rng.Int63n(1 << 45),
+			}
+			w.Row(r)
+			ref = append(ref, refRow{cell: info, row: r})
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes(), ref, scale, campSeed
+}
+
+// TestRoundTripProperty: for many random stores, every row decoded
+// from the file equals the in-memory reference, in order, along with
+// the cell index and footer meta.
+func TestRoundTripProperty(t *testing.T) {
+	for trial := int64(0); trial < 25; trial++ {
+		b, ref, scale, seed := genStore(t, 1000+trial, int(trial%7)+1)
+		s, err := Open(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			t.Fatalf("trial %d: Open: %v", trial, err)
+		}
+		if s.Scale() != scale || s.Seed() != seed {
+			t.Fatalf("trial %d: meta (%g, %d), want (%g, %d)", trial, s.Scale(), s.Seed(), scale, seed)
+		}
+		if s.TotalRows() != int64(len(ref)) {
+			t.Fatalf("trial %d: TotalRows %d, want %d", trial, s.TotalRows(), len(ref))
+		}
+		var got []Row
+		if err := s.Scan(Filter{}, func(r Row) error { got = append(got, r); return nil }); err != nil {
+			t.Fatalf("trial %d: Scan: %v", trial, err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: scanned %d rows, want %d", trial, len(got), len(ref))
+		}
+		for i, r := range got {
+			want := ref[i]
+			if r.InjectionRow != want.row {
+				t.Fatalf("trial %d row %d: %+v, want %+v", trial, i, r.InjectionRow, want.row)
+			}
+			if r.Workload != want.cell.Workload || r.Scheme != want.cell.Scheme ||
+				r.System != want.cell.System || r.FaultModel != want.cell.FaultModel {
+				t.Fatalf("trial %d row %d: cell (%s,%s,%s,%q), want (%s,%s,%s,%q)", trial, i,
+					r.Workload, r.Scheme, r.System, r.FaultModel,
+					want.cell.Workload, want.cell.Scheme, want.cell.System, want.cell.FaultModel)
+			}
+		}
+	}
+}
+
+// TestWriterDeterministic: the same row sequence encodes to identical
+// bytes on repeated writes.
+func TestWriterDeterministic(t *testing.T) {
+	a, _, _, _ := genStore(t, 7, 5)
+	b, _, _, _ := genStore(t, 7, 5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two writes of the same row sequence produced different bytes")
+	}
+}
+
+// TestScanFilter: every filter axis restricts the scan to exactly the
+// reference rows it should admit.
+func TestScanFilter(t *testing.T) {
+	b, ref, _, _ := genStore(t, 42, 8)
+	s, err := Open(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	filters := []struct {
+		name  string
+		f     Filter
+		admit func(refRow) bool
+	}{
+		{"workload", Filter{Workload: "mm"}, func(r refRow) bool { return r.cell.Workload == "mm" }},
+		{"scheme", Filter{Scheme: "pmem"}, func(r refRow) bool { return r.cell.Scheme == "pmem" }},
+		{"system", Filter{System: "dram"}, func(r refRow) bool { return r.cell.System == "dram" }},
+		{"fault", Filter{FaultModel: "torn"}, func(r refRow) bool { return r.cell.FaultModel == "torn" }},
+		{"failstop", Filter{FaultModel: FailStop}, func(r refRow) bool { return r.cell.FaultModel == "" }},
+		{"outcome", Filter{Outcome: "corrupt"}, func(r refRow) bool { return r.row.Outcome == campaign.OutcomeCorrupt }},
+		{"combined", Filter{Workload: "mc", Outcome: "clean"},
+			func(r refRow) bool { return r.cell.Workload == "mc" && r.row.Outcome == campaign.OutcomeClean }},
+	}
+	for _, tc := range filters {
+		var want []campaign.InjectionRow
+		for _, r := range ref {
+			if tc.admit(r) {
+				want = append(want, r.row)
+			}
+		}
+		var got []campaign.InjectionRow
+		if err := s.Scan(tc.f, func(r Row) error { got = append(got, r.InjectionRow); return nil }); err != nil {
+			t.Fatalf("%s: Scan: %v", tc.name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", tc.name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s row %d: %+v, want %+v", tc.name, i, got[i], want[i])
+			}
+		}
+	}
+	if err := s.Scan(Filter{Outcome: "exploded"}, func(Row) error { return nil }); err == nil {
+		t.Fatal("Scan accepted an unknown outcome name")
+	}
+}
+
+// TestWriterSequenceErrors: misuse of the sink protocol latches an
+// error that Close reports.
+func TestWriterSequenceErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1, 0)
+	w.Row(campaign.InjectionRow{})
+	if err := w.Close(); err == nil {
+		t.Fatal("Row before BeginCell did not error")
+	}
+
+	buf.Reset()
+	w = NewWriter(&buf, 1, 0)
+	w.BeginCell(campaign.CellInfo{Workload: "mm", Injections: 2})
+	w.Row(campaign.InjectionRow{})
+	if err := w.Close(); err == nil {
+		t.Fatal("row-count mismatch with BeginCell declaration did not error")
+	}
+}

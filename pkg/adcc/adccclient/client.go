@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -117,7 +118,41 @@ func (c *Client) Jobs(ctx context.Context) ([]adcc.JobInfo, error) {
 // Report fetches a finished job's adcc-report/v1 envelope, byte-
 // identical to running the job's spec through adcc.Runner.RunCampaign.
 func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/campaigns/"+id+"/report", nil)
+	return c.raw(ctx, "/v1/campaigns/"+id+"/report")
+}
+
+// Store fetches a finished job's columnar result store artifact: the
+// per-injection rows its report was aggregated from, ready for
+// adcc.OpenResultStoreBytes or an adccquery -store file.
+func (c *Client) Store(ctx context.Context, id string) ([]byte, error) {
+	return c.raw(ctx, "/v1/campaigns/"+id+"/store")
+}
+
+// QueryAggregate runs the service-side store query for one filtered
+// aggregate: outcome counts plus metric distributions with
+// percentiles. Zero-valued filter fields match everything.
+func (c *Client) QueryAggregate(ctx context.Context, id string, f adcc.StoreFilter) (adcc.StoreAggregate, error) {
+	q := url.Values{}
+	for _, kv := range []struct{ k, v string }{
+		{"workload", f.Workload}, {"scheme", f.Scheme}, {"system", f.System},
+		{"fault", f.FaultModel}, {"outcome", f.Outcome},
+	} {
+		if kv.v != "" {
+			q.Set(kv.k, kv.v)
+		}
+	}
+	path := "/v1/campaigns/" + id + "/query"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var agg adcc.StoreAggregate
+	err := c.do(ctx, http.MethodGet, path, nil, &agg)
+	return agg, err
+}
+
+// raw fetches one endpoint's response body verbatim.
+func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,11 @@
 // over SSE, persists per-shard progress so a killed daemon resumes
 // in-flight campaigns instead of restarting them, and serves finished
 // adcc-report/v1 envelopes from a content-addressed result cache.
+// Fresh runs also record the columnar per-injection result store
+// (internal/resultstore via adcc.WithCampaignStore), served raw at
+// /store and queried server-side at /query — filters, aggregates with
+// percentiles, and an envelope rebuild that is byte-identical to the
+// cached report.
 //
 // The service adds no computation of its own: every report it serves is
 // byte-identical to the same spec run directly through
@@ -256,6 +261,33 @@ func (s *Server) Report(id string) ([]byte, error) {
 	return nil, &httpError{code: http.StatusGone, msg: "report evicted from cache; resubmit the spec to recompute"}
 }
 
+// StoreArtifact returns the columnar result store of a finished job:
+// the raw per-injection rows its report was aggregated from, in the
+// format adcc.OpenResultStoreBytes (and the adccquery CLI) reads.
+// Artifacts are content-addressed like reports, so a cache-hit job
+// serves the store its original computation wrote. Jobs resumed from
+// shard checkpoints have no artifact (restored cells carry no rows).
+func (s *Server) StoreArtifact(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, &httpError{code: http.StatusNotFound, msg: "unknown job " + id}
+	}
+	switch j.status() {
+	case adcc.JobFailed:
+		return nil, &httpError{code: http.StatusConflict, msg: "job failed: " + j.snapshot().Error}
+	case adcc.JobDone:
+	default:
+		return nil, &httpError{code: http.StatusConflict, msg: "job not finished (status " + string(j.status()) + ")"}
+	}
+	if b, ok := s.store.storeGet(j.snapshot().CacheKey); ok {
+		return b, nil
+	}
+	return nil, &httpError{code: http.StatusNotFound,
+		msg: "no store artifact for job " + id + " (jobs resumed from checkpoints record none, and evicted artifacts leave with their cached report)"}
+}
+
 // newJobLocked registers a job record; the caller holds s.mu.
 func (s *Server) newJobLocked(spec adcc.CampaignSpec, key string, shards int) *job {
 	j := newJob(adcc.JobInfo{
@@ -363,8 +395,20 @@ func (s *Server) runJob(j *job, completed map[string]adcc.CampaignCell) {
 			}
 		}),
 	)
+	// Fresh jobs also record the per-injection columnar store the query
+	// endpoints serve. Resumed jobs cannot: restored shard aggregates
+	// carry no rows (the engine rejects a row sink combined with them),
+	// so their key serves the envelope only.
+	storeTmp := ""
+	if len(completed) == 0 {
+		storeTmp = s.store.storeTempPath(j.info.ID)
+		opts = append(opts, adcc.WithCampaignStore(storeTmp))
+	}
 	rep, err := adcc.New(s.reg, opts...).RunCampaign(s.ctx)
 	if err != nil {
+		if storeTmp != "" {
+			s.store.storeDiscard(storeTmp)
+		}
 		if s.ctx.Err() != nil {
 			// Graceful shutdown: leave the job persisted as running so the
 			// next start resumes from the checkpoints written so far.
@@ -380,12 +424,21 @@ func (s *Server) runJob(j *job, completed map[string]adcc.CampaignCell) {
 	env := adcc.NewCampaignReport(rep)
 	b, err := env.EncodeJSON()
 	if err != nil {
+		if storeTmp != "" {
+			s.store.storeDiscard(storeTmp)
+		}
 		j.fail(err)
 		s.store.putJob(j.snapshot())
 		return
 	}
 	if err := s.store.cachePut(j.snapshot().CacheKey, b); err != nil {
 		s.logf("job %s: cache write: %v", j.info.ID, err)
+	}
+	if storeTmp != "" {
+		if err := s.store.storeAdopt(j.snapshot().CacheKey, storeTmp); err != nil {
+			s.store.storeDiscard(storeTmp)
+			s.logf("job %s: store artifact write: %v", j.info.ID, err)
+		}
 	}
 	j.complete(b, rep.Injections)
 	s.store.putJob(j.snapshot())

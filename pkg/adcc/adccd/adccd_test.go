@@ -242,6 +242,11 @@ func TestKillAndResume(t *testing.T) {
 	if want := int64(final.ShardsTotal - 1); st.CellsExecuted != want {
 		t.Errorf("resume executed %d cells, want %d (one was checkpointed)", st.CellsExecuted, want)
 	}
+	// A resumed run splices restored aggregates that carry no rows, so
+	// it records no columnar store artifact.
+	if _, err := srv2.StoreArtifact(info.ID); err == nil {
+		t.Error("resumed job served a store artifact; restored cells have no rows to store")
+	}
 }
 
 // TestEventStreamMatchesDirect asserts the SSE stream carries exactly
@@ -353,4 +358,170 @@ func TestHTTPErrors(t *testing.T) {
 			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
 		}
 	}
+}
+
+// TestStoreAndQueryEndpoints covers the result-store plane of the
+// service: a fresh job's raw artifact is a valid columnar store whose
+// row count matches the report, and the query endpoint's unfiltered
+// report view is byte-identical to the served envelope.
+func TestStoreAndQueryEndpoints(t *testing.T) {
+	srv, err := New(Config{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	info, err := srv.Submit(tinySpec(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, srv, info.ID)
+	if final.Status != adcc.JobDone {
+		t.Fatalf("job: %s (%s)", final.Status, final.Error)
+	}
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	c := adccclient.New(ts.URL, nil)
+	raw, err := c.Store(context.Background(), info.ID)
+	if err != nil {
+		t.Fatalf("client Store: %v", err)
+	}
+	st, err := adcc.OpenResultStoreBytes(raw)
+	if err != nil {
+		t.Fatalf("served artifact does not open: %v", err)
+	}
+	if st.TotalRows() != int64(final.Injections) {
+		t.Errorf("store has %d rows, report counted %d injections", st.TotalRows(), final.Injections)
+	}
+
+	code, rebuilt := get("/v1/campaigns/" + info.ID + "/query?view=report")
+	if code != http.StatusOK {
+		t.Fatalf("GET query?view=report: %d %s", code, rebuilt)
+	}
+	served, err := srv.Report(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rebuilt, served) {
+		t.Errorf("query-rebuilt envelope differs from served report (%d vs %d bytes)",
+			len(rebuilt), len(served))
+	}
+
+	agg, err := c.QueryAggregate(context.Background(), info.ID, adcc.StoreFilter{})
+	if err != nil {
+		t.Fatalf("client QueryAggregate: %v", err)
+	}
+	if agg.Rows != int64(final.Injections) {
+		t.Errorf("aggregate covers %d rows, want %d", agg.Rows, final.Injections)
+	}
+	// Filtering to one outcome partitions the row count.
+	var filtered int64
+	for name, n := range agg.Outcomes {
+		fa, err := c.QueryAggregate(context.Background(), info.ID, adcc.StoreFilter{Outcome: name})
+		if err != nil {
+			t.Fatalf("filtered QueryAggregate(%s): %v", name, err)
+		}
+		if fa.Rows != n {
+			t.Errorf("outcome %s: filtered aggregate has %d rows, unfiltered counted %d", name, fa.Rows, n)
+		}
+		filtered += fa.Rows
+	}
+	if filtered != agg.Rows {
+		t.Errorf("outcome partitions sum to %d of %d rows", filtered, agg.Rows)
+	}
+
+	// A filtered cells view returns a strict subset.
+	code, cellsRaw := get("/v1/campaigns/" + info.ID + "/query?view=cells&scheme=" + srv.reg.SchemeNames()[0])
+	if code != http.StatusOK {
+		t.Fatalf("GET query?view=cells: %d %s", code, cellsRaw)
+	}
+	var cellsDoc struct {
+		Cells []adcc.CampaignCell `json:"cells"`
+	}
+	if err := json.Unmarshal(cellsRaw, &cellsDoc); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cellsDoc.Cells); n == 0 || n >= final.ShardsTotal {
+		t.Errorf("filtered cells view returned %d of %d cells, want a strict non-empty subset",
+			n, final.ShardsTotal)
+	}
+
+	// Error shapes: bad view and bad outcome filter are 400s.
+	if code, body := get("/v1/campaigns/" + info.ID + "/query?view=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bogus view: %d %s", code, body)
+	}
+	if code, body := get("/v1/campaigns/" + info.ID + "/query?outcome=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bogus outcome filter: %d %s", code, body)
+	}
+	if code, _ := get("/v1/campaigns/nope/store"); code != http.StatusNotFound {
+		t.Errorf("unknown job store: %d", code)
+	}
+}
+
+// TestStoreArtifactPersistsAndEvicts covers the artifact's on-disk
+// life cycle: written beside the cached envelope, served across a
+// restart by a content-addressed hit, and evicted as a pair with it.
+func TestStoreArtifactPersistsAndEvicts(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{StateDir: dir, Parallel: 4, CacheEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := srv.Submit(tinySpec(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, srv, info.ID)
+	artifact := filepath.Join(dir, "cache", info.CacheKey+".adccs")
+	if _, err := os.Stat(artifact); err != nil {
+		t.Fatalf("artifact not persisted: %v", err)
+	}
+	want, err := srv.StoreArtifact(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	// A restarted process answers the same spec from the cache and still
+	// serves the artifact its original computation wrote.
+	srv2, err := New(Config{StateDir: dir, Parallel: 4, CacheEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := srv2.Submit(tinySpec(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := srv2.StoreArtifact(hit.ID); err != nil || !bytes.Equal(got, want) {
+		t.Errorf("artifact after restart: %v (%d vs %d bytes)", err, len(got), len(want))
+	}
+
+	// A second distinct spec overflows the one-entry cache: the old
+	// envelope and its artifact must go together.
+	other, err := srv2.Submit(adcc.CampaignSpec{Workloads: []string{"mc"}, Scale: 0.02, InjectionsPerCell: 2, Replay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, srv2, other.ID)
+	if _, err := os.Stat(artifact); !os.IsNotExist(err) {
+		t.Errorf("evicted envelope left its artifact behind: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cache", other.CacheKey+".adccs")); err != nil {
+		t.Errorf("new artifact missing: %v", err)
+	}
+	srv2.Close()
 }

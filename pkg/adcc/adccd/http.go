@@ -27,6 +27,8 @@ func (e *httpError) Error() string { return e.msg }
 //	GET  /v1/campaigns/{id}         one job's JobInfo
 //	GET  /v1/campaigns/{id}/events  SSE stream of the job's event history
 //	GET  /v1/campaigns/{id}/report  the finished adcc-report/v1 envelope
+//	GET  /v1/campaigns/{id}/store   the columnar result store artifact
+//	GET  /v1/campaigns/{id}/query   filtered aggregates over the store
 //	GET  /v1/healthz                liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -35,6 +37,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/campaigns/{id}/store", s.handleStore)
+	mux.HandleFunc("GET /v1/campaigns/{id}/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
 }
@@ -100,6 +104,107 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(b)
+}
+
+// handleStore serves a finished job's columnar result store verbatim —
+// the bytes adcc.WithCampaignStore wrote, ready for adccquery or
+// adcc.OpenResultStoreBytes on the client side.
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	b, err := s.StoreArtifact(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(b)
+}
+
+// handleQuery runs the result-store query layer server-side over a
+// finished job's artifact. Filters (workload, scheme, system, fault,
+// outcome; empty means any) select rows; view picks the shape:
+//
+//	aggregate  (default) outcome counts + metric distributions
+//	cells      per-cell CellReport aggregates of the filtered rows
+//	report     the adcc-report/v1 envelope rebuilt from the store —
+//	           with no filters, byte-identical to /report
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	b, err := s.StoreArtifact(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := adcc.OpenResultStoreBytes(b)
+	if err != nil {
+		writeError(w, fmt.Errorf("open store artifact: %w", err))
+		return
+	}
+	q := r.URL.Query()
+	f := adcc.StoreFilter{
+		Workload:   q.Get("workload"),
+		Scheme:     q.Get("scheme"),
+		System:     q.Get("system"),
+		FaultModel: q.Get("fault"),
+		Outcome:    q.Get("outcome"),
+	}
+	view := q.Get("view")
+	if view == "" {
+		view = "aggregate"
+	}
+	switch view {
+	case "aggregate":
+		agg, err := st.Aggregate(f)
+		if err != nil {
+			writeError(w, &httpError{code: http.StatusBadRequest, msg: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, agg)
+	case "cells":
+		cells, err := st.CellReports(f)
+		if err != nil {
+			writeError(w, &httpError{code: http.StatusBadRequest, msg: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"cells": cells})
+	case "report":
+		rep, err := queryReport(st, f)
+		if err != nil {
+			writeError(w, &httpError{code: http.StatusBadRequest, msg: err.Error()})
+			return
+		}
+		env, err := adcc.NewCampaignReport(rep).EncodeJSON()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(env)
+	default:
+		writeError(w, &httpError{code: http.StatusBadRequest,
+			msg: fmt.Sprintf("unknown view %q (want aggregate, cells, or report)", view)})
+	}
+}
+
+// queryReport rebuilds a campaign report from the store: the whole-run
+// rebuild when unfiltered (proving byte-identity with the cached
+// envelope), an assembled subset otherwise.
+func queryReport(st *adcc.ResultStore, f adcc.StoreFilter) (*adcc.CampaignReport, error) {
+	if f == (adcc.StoreFilter{}) {
+		return st.CampaignReport()
+	}
+	cells, err := st.CellReports(f)
+	if err != nil {
+		return nil, err
+	}
+	rep := &adcc.CampaignReport{
+		Schema: adcc.CampaignSchemaVersion,
+		Scale:  st.Scale(),
+		Seed:   st.Seed(),
+		Cells:  cells,
+	}
+	for _, c := range cells {
+		rep.Injections += c.Injections
+	}
+	return rep, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -19,21 +19,29 @@ import (
 //	<dir>/jobs/<id>/job.json        adcc.JobInfo status document
 //	<dir>/jobs/<id>/shards/*.json   one checkpointed CampaignCell each
 //	<dir>/cache/<cache-key>.json    finished adcc-report/v1 envelopes
+//	<dir>/cache/<cache-key>.adccs   columnar result store artifacts
+//
+// The .adccs artifact rides along with its envelope: both are keyed by
+// the spec's content address, and eviction removes them as a pair, so a
+// servable report always answers the query endpoint too (unless the job
+// was resumed — restored shards carry no per-injection rows).
 //
 // With an empty dir the store is ephemeral: the cache lives in memory
 // and jobs/shards are not persisted at all (nothing to resume).
 type store struct {
 	dir string
 
-	mu      sync.Mutex
-	mem     map[string][]byte // ephemeral result cache
-	entries int               // cache size bound; <= 0 unbounded
+	mu        sync.Mutex
+	mem       map[string][]byte // ephemeral result cache
+	memStores map[string][]byte // ephemeral store artifacts
+	entries   int               // cache size bound; <= 0 unbounded
 }
 
 func newStore(dir string, cacheEntries int) (*store, error) {
 	s := &store{dir: dir, entries: cacheEntries}
 	if dir == "" {
 		s.mem = map[string][]byte{}
+		s.memStores = map[string][]byte{}
 		return s, nil
 	}
 	for _, sub := range []string{"jobs", "cache"} {
@@ -73,11 +81,13 @@ func (s *store) cachePut(key string, b []byte) error {
 		defer s.mu.Unlock()
 		s.mem[key] = b
 		// The ephemeral map has no useful recency order; bound it by
-		// dropping arbitrary entries, which only tests exercise.
+		// dropping arbitrary entries, which only tests exercise. A
+		// dropped envelope takes its store artifact with it.
 		for s.entries > 0 && len(s.mem) > s.entries {
 			for k := range s.mem {
 				if k != key {
 					delete(s.mem, k)
+					delete(s.memStores, k)
 					break
 				}
 			}
@@ -96,8 +106,72 @@ func (s *store) cachePath(key string) string {
 	return filepath.Join(s.dir, "cache", key+".json")
 }
 
-// evictLocked removes the oldest cache files (by mtime, the
-// last-used stamp) until the entry bound holds.
+func (s *store) storePath(key string) string {
+	return filepath.Join(s.dir, "cache", key+".adccs")
+}
+
+// storeTempPath is where a running job writes its columnar store before
+// adoption: next to the cache (same filesystem, so the adopting rename
+// is atomic) when persistent, under the OS temp directory when
+// ephemeral. The job ID keeps concurrent jobs apart.
+func (s *store) storeTempPath(jobID string) string {
+	if s.ephemeral() {
+		return filepath.Join(os.TempDir(), "adccd-"+jobID+".adccs")
+	}
+	return filepath.Join(s.dir, "cache", ".tmp-"+jobID+".adccs")
+}
+
+// storeAdopt moves a finished job's temp store artifact under its
+// content address (or into memory when ephemeral), making it servable.
+func (s *store) storeAdopt(key, tmp string) error {
+	if s.ephemeral() {
+		b, err := os.ReadFile(tmp)
+		if err != nil {
+			return err
+		}
+		_ = os.Remove(tmp)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		// Keep the pairing invariant: an artifact without its envelope
+		// (dropped by the size bound) is unreachable, so don't keep it.
+		if _, ok := s.mem[key]; !ok {
+			return nil
+		}
+		s.memStores[key] = b
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.Rename(tmp, s.storePath(key))
+}
+
+// storeDiscard removes a temp store artifact of a job that failed or
+// was interrupted (a partial store has no valid footer to serve).
+func (s *store) storeDiscard(tmp string) {
+	_ = os.Remove(tmp)
+}
+
+// storeGet returns the columnar store artifact for a content address,
+// refreshing the paired envelope's LRU stamp on a hit.
+func (s *store) storeGet(key string) ([]byte, bool) {
+	if s.ephemeral() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		b, ok := s.memStores[key]
+		return b, ok
+	}
+	b, err := os.ReadFile(s.storePath(key))
+	if err != nil {
+		return nil, false
+	}
+	now := time.Now()
+	_ = os.Chtimes(s.cachePath(key), now, now) // keep the pair alive; best effort
+	return b, true
+}
+
+// evictLocked removes the oldest cache entries (by the envelope's
+// mtime, the last-used stamp) until the entry bound holds. An entry is
+// the envelope plus its store artifact; they are evicted together.
 func (s *store) evictLocked() error {
 	if s.entries <= 0 {
 		return nil
@@ -112,6 +186,9 @@ func (s *store) evictLocked() error {
 	}
 	var ents []ent
 	for _, d := range dents {
+		if !strings.HasSuffix(d.Name(), ".json") {
+			continue // artifacts and temp files follow their envelope
+		}
 		info, err := d.Info()
 		if err != nil {
 			continue
@@ -121,6 +198,8 @@ func (s *store) evictLocked() error {
 	sort.Slice(ents, func(i, j int) bool { return ents[i].mod.Before(ents[j].mod) })
 	for i := 0; i < len(ents)-s.entries; i++ {
 		_ = os.Remove(filepath.Join(s.dir, "cache", ents[i].name))
+		_ = os.Remove(filepath.Join(s.dir, "cache",
+			strings.TrimSuffix(ents[i].name, ".json")+".adccs"))
 	}
 	return nil
 }

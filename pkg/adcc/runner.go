@@ -10,6 +10,7 @@ import (
 	"adcc/internal/engine"
 	"adcc/internal/harness"
 	"adcc/internal/report"
+	"adcc/internal/resultstore"
 )
 
 // Table is a rendered experiment result (aligned text via Fprint /
@@ -154,6 +155,18 @@ func WithCampaignJSON(path string) Option {
 	return func(r *Runner) { r.campaignJSON = path }
 }
 
+// WithCampaignStore makes campaign runs (RunCampaign and the
+// "campaign" experiment) write every injection's raw outcome row to a
+// columnar result store at path (conventionally "*.adccs"). The file
+// bytes are a pure function of the campaign spec — identical at any
+// parallelism and on either engine — and OpenResultStore queries them:
+// filters, streamed rows, percentile distributions, and the rebuilt
+// campaign report the v1 envelope is exported from. Incompatible with
+// WithCampaignResume: restored cells carry no per-injection rows.
+func WithCampaignStore(path string) Option {
+	return func(r *Runner) { r.campaignStore = path }
+}
+
 // Runner executes workload sweeps, harness experiments, and
 // crash-injection campaigns against one Registry. Build it with New,
 // configure it with functional options, and drive it with Run,
@@ -165,22 +178,23 @@ func WithCampaignJSON(path string) Option {
 // that an attached EventSink sees one sequential stream per call — run
 // concurrent sweeps with separate sinks.
 type Runner struct {
-	reg          *Registry
-	scale        float64
-	parallel     int
-	seed         int64
-	schemes      []string
-	workloads    []string
-	perCell      int
-	faultModels  []string
-	replay       bool
-	completed    map[string]CampaignCell
-	onCell       func(CampaignCell)
-	collector    *Collector
-	sink         EventSink
-	verbose      bool
-	out          io.Writer
-	campaignJSON string
+	reg           *Registry
+	scale         float64
+	parallel      int
+	seed          int64
+	schemes       []string
+	workloads     []string
+	perCell       int
+	faultModels   []string
+	replay        bool
+	completed     map[string]CampaignCell
+	onCell        func(CampaignCell)
+	collector     *Collector
+	sink          EventSink
+	verbose       bool
+	out           io.Writer
+	campaignJSON  string
+	campaignStore string
 }
 
 // New builds a Runner over reg (nil means a fresh NewRegistry with the
@@ -328,20 +342,21 @@ func (r *Runner) RunExperiment(ctx context.Context, name string) (*Table, error)
 		return nil, fmt.Errorf("adcc: unknown experiment %q (see Experiments)", name)
 	}
 	return e.Run(ctx, harness.Options{
-		Scale:        r.scale,
-		Parallel:     r.parallel,
-		Seed:         r.seed,
-		Workloads:    r.workloads,
-		Schemes:      r.schemes,
-		PerCell:      r.perCell,
-		FaultModels:  r.faultModels,
-		Replay:       r.replay,
-		Registry:     r.reg.engineRegistry(),
-		Verbose:      r.verbose,
-		Out:          r.out,
-		Collector:    r.collector,
-		Events:       r.sink,
-		CampaignJSON: r.campaignJSON,
+		Scale:         r.scale,
+		Parallel:      r.parallel,
+		Seed:          r.seed,
+		Workloads:     r.workloads,
+		Schemes:       r.schemes,
+		PerCell:       r.perCell,
+		FaultModels:   r.faultModels,
+		Replay:        r.replay,
+		Registry:      r.reg.engineRegistry(),
+		Verbose:       r.verbose,
+		Out:           r.out,
+		Collector:     r.collector,
+		Events:        r.sink,
+		CampaignJSON:  r.campaignJSON,
+		CampaignStore: r.campaignStore,
 	})
 }
 
@@ -351,7 +366,7 @@ func (r *Runner) RunExperiment(ctx context.Context, name string) (*Table, error)
 // with WithCampaignJSON, the enveloped report is written to disk; with
 // WithEventSink, every injection streams an InjectionDone event.
 func (r *Runner) RunCampaign(ctx context.Context) (*CampaignReport, error) {
-	rep, err := campaign.Run(ctx, campaign.Config{
+	cfg := campaign.Config{
 		Scale:       r.scale,
 		Seed:        r.seed,
 		Parallel:    r.parallel,
@@ -366,7 +381,27 @@ func (r *Runner) RunCampaign(ctx context.Context) (*CampaignReport, error) {
 		OnCell:      r.onCell,
 		Verbose:     r.verbose,
 		Out:         r.out,
-	})
+	}
+	var fw *resultstore.FileWriter
+	if r.campaignStore != "" {
+		// The store footer carries the same normalized scale the report
+		// records, so the rebuilt envelope is byte-identical.
+		scale := cfg.Scale
+		if scale <= 0 {
+			scale = 1.0
+		}
+		var err error
+		if fw, err = resultstore.CreateFile(r.campaignStore, scale, cfg.Seed); err != nil {
+			return nil, err
+		}
+		cfg.Sink = fw
+	}
+	rep, err := campaign.Run(ctx, cfg)
+	if fw != nil {
+		if cerr := fw.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("adcc: write campaign store: %w", cerr)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,103 @@
+package adcc
+
+import (
+	"bytes"
+
+	"adcc/internal/campaign"
+	"adcc/internal/resultstore"
+)
+
+// ResultStore is an open columnar injection-outcome store: the raw
+// per-injection rows a campaign run wrote through WithCampaignStore,
+// behind a filter/stream/aggregate query layer. The adcc-campaign/v1
+// envelope is an export of this store — CampaignReport() rebuilds it
+// byte-identically.
+type ResultStore = resultstore.Store
+
+// ResultStoreFile is a ResultStore opened from a file; Close releases
+// the file handle.
+type ResultStoreFile = resultstore.File
+
+// StoreRow is one stored injection joined with its cell coordinates.
+type StoreRow = resultstore.Row
+
+// StoreFilter selects store rows by cell coordinates and outcome;
+// zero-valued fields match everything.
+type StoreFilter = resultstore.Filter
+
+// StoreDist is a count/sum/max/percentile summary of one metric over a
+// filtered row set.
+type StoreDist = resultstore.Dist
+
+// StoreAggregate is the standard roll-up of a filtered row set:
+// outcome counts plus distributions of rework ops, recover+resume
+// simulated time, and flush lines.
+type StoreAggregate = resultstore.Aggregate
+
+// StoreMetric names a per-row integer a Distribution query summarizes.
+type StoreMetric = resultstore.Metric
+
+// The store metrics, in declaration order; ParseStoreMetric resolves
+// their names.
+const (
+	MetricReworkOps          = resultstore.MetricReworkOps
+	MetricRecoverResumeSimNS = resultstore.MetricRecoverResumeSimNS
+	MetricFlushLines         = resultstore.MetricFlushLines
+	MetricCrashOps           = resultstore.MetricCrashOps
+	MetricRecoverSimNS       = resultstore.MetricRecoverSimNS
+	MetricResumeSimNS        = resultstore.MetricResumeSimNS
+)
+
+// FaultFailStop is the StoreFilter.FaultModel spelling that matches
+// only clean fail-stop cells (stored as the empty model name, which in
+// a filter means "any model").
+const FaultFailStop = resultstore.FailStop
+
+// OpenResultStore opens a store file ("*.adccs") for querying.
+func OpenResultStore(path string) (*ResultStoreFile, error) {
+	return resultstore.OpenFile(path)
+}
+
+// OpenResultStoreBytes opens a store held entirely in memory — how
+// services holding a fetched or cached store artifact (for example the
+// adccd query endpoint) run queries without a file on disk.
+func OpenResultStoreBytes(b []byte) (*ResultStore, error) {
+	return resultstore.Open(bytes.NewReader(b), int64(len(b)))
+}
+
+// IsResultStore sniffs whether the file at path is a result store
+// (begins with the store header magic), so tools accepting both store
+// and JSON report inputs can route a path without trusting its
+// extension.
+func IsResultStore(path string) bool { return resultstore.IsStoreFile(path) }
+
+// StoreMetricNames lists every store metric name in value order.
+func StoreMetricNames() []string { return resultstore.MetricNames() }
+
+// ParseStoreMetric resolves a metric name ("rework-ops",
+// "recover-resume-sim-ns", "flush-lines", ...).
+func ParseStoreMetric(name string) (StoreMetric, error) {
+	return resultstore.ParseMetric(name)
+}
+
+// CampaignOutcome classifies one injection's end state; it marshals as
+// its name ("clean", "recomputed", "corrupt", "unrecoverable",
+// "no-crash").
+type CampaignOutcome = campaign.Outcome
+
+// The campaign outcomes, in declaration order.
+const (
+	OutcomeClean         = campaign.OutcomeClean
+	OutcomeRecomputed    = campaign.OutcomeRecomputed
+	OutcomeCorrupt       = campaign.OutcomeCorrupt
+	OutcomeUnrecoverable = campaign.OutcomeUnrecoverable
+	OutcomeNoCrash       = campaign.OutcomeNoCrash
+)
+
+// CampaignOutcomeNames lists every outcome name in value order.
+func CampaignOutcomeNames() []string { return campaign.OutcomeNames() }
+
+// ParseCampaignOutcome resolves an outcome name.
+func ParseCampaignOutcome(name string) (CampaignOutcome, error) {
+	return campaign.ParseOutcome(name)
+}
