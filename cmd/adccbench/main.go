@@ -56,7 +56,7 @@ const defaultBenchScale = 0.05
 // regressions alongside the timing metrics; the stencil experiment
 // contributes the extension family's per-scheme runtimes and recovery
 // cost.
-var benchExperiments = []string{"fig3", "fig4", "fig8", "fig13", "stencil", "campaign"}
+var benchExperiments = []string{"fig3", "fig4", "fig8", "fig13", "stencil", "kvlog", "campaign"}
 
 func main() {
 	var (

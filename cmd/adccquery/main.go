@@ -37,7 +37,7 @@ func main() {
 	var (
 		storePath = flag.String("store", "", "result store file to query (required)")
 
-		workload = flag.String("workload", "", "filter: workload name (cg, mm, mc, stencil; empty = all)")
+		workload = flag.String("workload", "", "filter: workload name (cg, mm, mc, stencil, kvlog; empty = all)")
 		scheme   = flag.String("scheme", "", "filter: scheme name (empty = all)")
 		system   = flag.String("system", "", "filter: system kind (nvm, hetero; empty = all)")
 		fault    = flag.String("fault", "", "filter: fault model (failstop, torn, eadr, reorder, bitflip; empty = all)")

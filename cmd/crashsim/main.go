@@ -1,6 +1,6 @@
 // Command crashsim is the standalone crash emulator of paper §III-A: it
-// runs one of the study workloads (cg, mm, mc, or the stencil extension
-// family) on the simulated NVM platform,
+// runs one of the study workloads (cg, mm, mc, or the stencil and kvlog
+// extension families) on the simulated NVM platform,
 // injects a crash at a chosen execution point (a named program point
 // occurrence or an absolute memory-operation count), and reports the
 // consistency state of every memory region at the crash — which lines
@@ -14,6 +14,7 @@
 //	crashsim -workload mm -n 400 -loop 2 -occurrence 4
 //	crashsim -workload mc -lookups 50000 -crash-op 2000000
 //	crashsim -workload stencil -n 160 -occurrence 10
+//	crashsim -workload kvlog -occurrence 400
 //
 // With -campaign, crashsim instead sweeps the selected workload through
 // the statistical fault-injection campaign across every supported
@@ -44,7 +45,7 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "cg", "workload: cg, mm, mc, or stencil")
+		workload   = flag.String("workload", "cg", "workload: cg, mm, mc, stencil, or kvlog")
 		n          = flag.Int("n", 6000, "problem size (CG order / MM dimension / stencil grid, default 160 for stencil)")
 		k          = flag.Int("k", 0, "MM rank (default n/10)")
 		loop       = flag.Int("loop", 1, "MM loop to crash in (1 or 2)")
@@ -194,6 +195,22 @@ func main() {
 			rec := h.Recover()
 			fmt.Printf("recovery: crash sweep %d, restart sweep %d, sweeps lost %d (checked %d plane pairs)\n",
 				rec.CrashIter, rec.RestartIter, rec.IterationsLost, rec.Checked)
+		}
+	case "kvlog":
+		// -occurrence counts served requests; size the stream past it.
+		s := adcc.NewKVLogStore(m, em, adcc.KVLogOptions{
+			Requests: *occurrence + 100, KeySpace: 256, Seed: 33,
+		})
+		em.CrashAtTrigger(adcc.TriggerKVLogReqEnd, *occurrence)
+		run = func() { s.Run(1) }
+		recover = func() {
+			rec, from, err := s.Recover()
+			if err != nil {
+				fmt.Printf("recovery: detected corruption: %v\n", err)
+				return
+			}
+			fmt.Printf("recovery: high-water mark %d log words, %d records replayed into a cleared index, resume at request %d\n",
+				rec.LogWords, rec.Replayed, from)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "crashsim: unknown workload %q\n", *workload)

@@ -1,0 +1,101 @@
+// Command kvlog_store walks through the persistent KV/log extension
+// family: a hash-indexed store with an append log, serving a seeded
+// Zipfian request stream (puts, gets, deletes, range scans). It
+// compares the request-latency cost of the mechanisms (per-batch
+// checkpoints, PMEM-style per-request transactions, the
+// algorithm-directed log-tail flush), then crashes the store mid-stream
+// and shows log-replay recovery rebuilding the index to a verified
+// state while the rejected index-only design silently corrupts.
+package main
+
+import (
+	"fmt"
+
+	"adcc/pkg/adcc"
+)
+
+func main() {
+	opts := adcc.KVLogOptions{Requests: 2000, KeySpace: 256, ScanLen: 8, CkptEvery: 16, Seed: 33}
+	reg := adcc.NewRegistry()
+
+	type result struct {
+		name  string
+		ns    int64
+		reqNS []int64
+	}
+	var results []result
+	run := func(name string, f func(m *adcc.Machine) (func(), []int64)) {
+		m := adcc.NewMachine(adcc.MachineConfig{System: adcc.NVMOnly})
+		work, reqNS := f(m)
+		start := m.Clock.Now()
+		work()
+		results = append(results, result{name, m.Clock.Since(start), reqNS})
+	}
+
+	run("native (not restartable)", func(m *adcc.Machine) (func(), []int64) {
+		s := adcc.NewBaselineKVLogStore(m, opts, nil)
+		return s.Run, s.ReqNS
+	})
+	run("checkpoint per batch", func(m *adcc.Machine) (func(), []int64) {
+		s := adcc.NewBaselineKVLogStore(m, opts, reg.MustScheme(adcc.SchemeCkptNVM))
+		return s.Run, s.ReqNS
+	})
+	run("PMEM undo-log transactions", func(m *adcc.Machine) (func(), []int64) {
+		s := adcc.NewBaselineKVLogStore(m, opts, reg.MustScheme(adcc.SchemePMEM))
+		return s.Run, s.ReqNS
+	})
+	run("algorithm-directed (log tail)", func(m *adcc.Machine) (func(), []int64) {
+		s := adcc.NewKVLogStore(m, nil, opts)
+		return func() { s.Run(1) }, s.ReqNS
+	})
+
+	base := results[0].ns
+	fmt.Printf("KV store, %d Zipfian requests over %d keys:\n\n", opts.Requests, opts.KeySpace)
+	fmt.Printf("  %-30s %9s %11s %9s %9s\n", "case", "kOps/s", "normalized", "p50(ns)", "p99(ns)")
+	for _, r := range results {
+		lat := r.reqNS[1:]
+		fmt.Printf("  %-30s %9.1f %10.3fx %9d %9d\n",
+			r.name, adcc.KVLogThroughput(lat)/1e3, float64(r.ns)/float64(base),
+			adcc.KVLogPercentile(lat, 50), adcc.KVLogPercentile(lat, 99))
+	}
+
+	// Crash the algorithm-directed store mid-stream and recover — once
+	// under the full record-before-mark protocol, once under the
+	// rejected index-only design that flushes just the high-water mark
+	// (the KV analogue of the paper's Figure 10 bias).
+	want := adcc.KVLogWant(opts)
+	crashAndRecover := func(policy adcc.FlushPolicy) (adcc.KVLogRecovery, int, string) {
+		m := adcc.NewMachine(adcc.MachineConfig{System: adcc.NVMOnly})
+		em := adcc.NewEmulator(m)
+		s := adcc.NewKVLogStore(m, em, opts)
+		s.Policy = policy
+		em.CrashAtTrigger(adcc.TriggerKVLogReqEnd, opts.Requests/2)
+		if !em.Run(func() { s.Run(1) }) {
+			panic("kvlog_store: crash point not reached")
+		}
+		rec, from, err := s.Recover()
+		if err != nil {
+			return rec, from, "DETECTED CORRUPTION"
+		}
+		s.Run(from)
+		if err := s.Verify(want); err != nil {
+			return rec, from, "SILENTLY CORRUPT"
+		}
+		return rec, from, "verified"
+	}
+
+	rec, from, status := crashAndRecover(adcc.FlushSelective)
+	fmt.Printf("\nCrash after request %d, log-replay recovery: high-water mark %d log\n"+
+		"words, %d records replayed into a cleared index, resumed at request %d,\n"+
+		"result %s.\n", opts.Requests/2, rec.LogWords, rec.Replayed, from, status)
+	recN, fromN, statusN := crashAndRecover(adcc.FlushIndexOnly)
+	fmt.Printf("Same crash, rejected index-only design: replayed %d records, skipped %d\n"+
+		"unflushed ones, resumed at request %d, result %s.\n",
+		recN.Replayed, recN.Skipped, fromN, statusN)
+
+	fmt.Println("\nThe extension flushes only the appended log records and one meta" +
+		"\nline per request (record before mark); the hash index needs no" +
+		"\nflushes at all, because replaying the logged prefix into a cleared" +
+		"\nindex is idempotent — the same algorithm-directed recipe as CG's" +
+		"\nconjugacy walk, applied to served traffic.")
+}

@@ -29,6 +29,7 @@ import (
 	"adcc/internal/crash"
 	"adcc/internal/dense"
 	"adcc/internal/engine"
+	"adcc/internal/kvlog"
 	"adcc/internal/mc"
 	"adcc/internal/mem"
 	"adcc/internal/sparse"
@@ -208,8 +209,8 @@ func (c cell) fault(base int64) crash.FaultModel {
 }
 
 // workloadNames is the sweep order of the paper's three studies plus
-// the stencil extension family.
-var workloadNames = []string{"cg", "mm", "mc", "stencil"}
+// the stencil and served-traffic KV extension families.
+var workloadNames = []string{"cg", "mm", "mc", "stencil", "kvlog"}
 
 // schemesFor returns the schemes a workload can run AND recover under.
 // CG and MM pair the extended (algorithm-directed) implementation with
@@ -231,7 +232,7 @@ func schemesFor(workload string) []string {
 		return append(conventional,
 			engine.SchemeAlgoNVM, engine.SchemeAlgoHetero,
 			engine.SchemeAlgoNaive, engine.SchemeAlgoEvery)
-	case "stencil":
+	case "stencil", "kvlog":
 		return append(conventional,
 			engine.SchemeAlgoNVM, engine.SchemeAlgoNaive, engine.SchemeAlgoEvery)
 	default:
@@ -395,6 +396,7 @@ type cellAssets struct {
 	cgA      *sparse.CSR
 	mmWant   *dense.Matrix
 	heatWant []float64
+	kvWant   map[int64]int64
 }
 
 // newAssets precomputes a workload's shared inputs.
@@ -407,6 +409,8 @@ func newAssets(workload string, cfg Config) *cellAssets {
 		as.mmWant = core.MMWant(mmOpts(cfg))
 	case "stencil":
 		as.heatWant = stencil.Want(heatOpts(cfg))
+	case "kvlog":
+		as.kvWant = kvlog.Oracle(kvlogOpts(cfg))
 	}
 	return as
 }
@@ -423,6 +427,14 @@ func mmOpts(cfg Config) core.MMOptions {
 // the sweep.
 func heatOpts(cfg Config) stencil.Options {
 	return stencil.Options{N: cfg.scaleInt(96, 32), MaxIter: 12, Seed: 21}
+}
+
+// kvlogOpts is the KV-store configuration at the campaign scale. The
+// store (index + log, ~25 KB at scale 1.0) stays LLC-resident, which is
+// exactly the regime where the naive index-only design loses its
+// unflushed log records.
+func kvlogOpts(cfg Config) kvlog.Options {
+	return kvlog.Options{Requests: cfg.scaleInt(600, 120), KeySpace: 128, ScanLen: 8, CkptEvery: 16, Seed: 33}
 }
 
 // newWorkload builds a fresh workload instance for one injection of the
@@ -459,6 +471,12 @@ func (c cell) newWorkload(cfg Config, as *cellAssets) engine.Workload {
 			return &stencil.HeatWorkload{Opts: opts, Want: as.heatWant, Scheme: c.Scheme}
 		}
 		return &stencil.BaselineWorkload{Opts: opts, Want: as.heatWant, Scheme: c.Scheme}
+	case "kvlog":
+		opts := kvlogOpts(cfg)
+		if algo {
+			return &kvlog.StoreWorkload{Opts: opts, Want: as.kvWant, Scheme: c.Scheme}
+		}
+		return &kvlog.BaselineWorkload{Opts: opts, Want: as.kvWant, Scheme: c.Scheme}
 	default:
 		panic(fmt.Sprintf("campaign: unknown workload %q", c.Workload))
 	}

@@ -224,6 +224,7 @@ func All() []Experiment {
 		{"summary", "Headline-claim validation across all runtime figures", RunSummary},
 		{"campaign", "Statistical crash-injection campaign: per-scheme survival and recovery cost", RunCampaign},
 		{"stencil", "Extension: Jacobi heat stencil under mechanisms, with algorithm-directed recovery", RunStencil},
+		{"kvlog", "Extension: persistent KV store under request traffic, with log-replay recovery", RunKVLog},
 		{"cg-cache", "Ablation: CG recomputation vs LLC size", RunCGCacheAblation},
 		{"clwb", "Ablation: CLFLUSH vs CLWB for the algorithm-directed flushes (paper §II prediction)", RunCLWBAblation},
 		{"mc-flush", "Ablation: MC flush period vs overhead and accuracy (incl. the paper's 16% every-iteration claim)", RunMCFlushAblation},

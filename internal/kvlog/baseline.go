@@ -1,0 +1,195 @@
+package kvlog
+
+import (
+	"fmt"
+
+	"adcc/internal/crash"
+	"adcc/internal/engine"
+	"adcc/internal/pmem"
+)
+
+// Baseline is the same KV store served under a conventional mechanism
+// supplied as an engine.Scheme: periodic whole-state checkpoints every
+// CkptEvery requests, PMEM-style undo-log transactions wrapping each
+// request, or nothing (native — a crash loses the store and the whole
+// request stream is replayed from an empty index).
+type Baseline struct {
+	state
+
+	Scheme engine.Scheme
+	Guard  engine.Guard
+
+	// ReqNS records the simulated latency of each completed request
+	// (1-based; entry 0 unused).
+	ReqNS []int64
+	// Em, when set, fires TriggerReqEnd at the end of every request,
+	// making the baseline injectable at the same named program points
+	// as the algorithm-directed store.
+	Em *crash.Emulator
+}
+
+// NewBaseline builds the store under the given scheme's mechanism (nil
+// means native). Checkpoint schemes save index+log+mark every CkptEvery
+// requests; PMEM schemes wrap each request's index, log, and mark
+// writes in one undo-log transaction.
+func NewBaseline(m *crash.Machine, opts Options, sc engine.Scheme) *Baseline {
+	if sc == nil {
+		sc = engine.MustLookup(engine.SchemeNative)
+	}
+	b := &Baseline{
+		state:  *newState(m, opts),
+		Scheme: sc,
+		ReqNS:  make([]int64, opts.Requests+1),
+	}
+	// Log capacity for transactional schemes: one request dirties at
+	// most a handful of lines (snapshots are line-deduplicated).
+	b.Guard = sc.NewGuard(m, 4096)
+	b.Guard.Register(b.index, b.log, b.meta)
+	return b
+}
+
+// Run serves the whole request stream.
+func (b *Baseline) Run() { b.RunFrom(1) }
+
+// RunFrom serves requests from..Requests (1-based, inclusive). A fresh
+// run starts at 1; after a crash, resume from the request Recover
+// returns.
+func (b *Baseline) RunFrom(from int) {
+	m := b.m
+	if from < 1 {
+		from = 1
+	}
+	for i := from; i <= b.opts.Requests; i++ {
+		start := m.Clock.Now()
+		if b.Guard.Pool() != nil {
+			b.reqPMEM(i)
+		} else {
+			b.reqPlain(i)
+		}
+		if i%b.opts.CkptEvery == 0 {
+			b.Guard.EndIteration(int64(i), b.index, b.log, b.meta)
+		}
+		b.ReqNS[i] = m.Clock.Since(start)
+		if b.Em != nil {
+			b.Em.Trigger(TriggerReqEnd)
+		}
+	}
+}
+
+// reqPlain serves request i with plain stores and no flushes — the
+// native path, and the state checkpoint schemes snapshot periodically.
+func (b *Baseline) reqPlain(i int) {
+	r := b.reqs[i-1]
+	switch r.Op {
+	case OpGet:
+		b.get(r.Key)
+	case OpScan:
+		b.scan(r.Key)
+	case OpPut:
+		b.applyPut(r.Key, r.Val)
+		off := b.appendRecord(recPut, r.Key, r.Val, int64(i))
+		b.meta.Set(metaLogWords, int64(off+recWords))
+	case OpDel:
+		b.applyDel(r.Key)
+		off := b.appendRecord(recDel, r.Key, 0, int64(i))
+		b.meta.Set(metaLogWords, int64(off+recWords))
+	}
+	b.meta.Set(metaReqDone, int64(i))
+}
+
+// reqPMEM serves request i with every persistent write routed through
+// one undo-log transaction: index slot, log record, high-water mark,
+// and completed-request counter commit together or roll back together.
+func (b *Baseline) reqPMEM(i int) {
+	m := b.m
+	tx := b.Guard.Pool().Begin()
+	r := b.reqs[i-1]
+	switch r.Op {
+	case OpGet:
+		b.get(r.Key)
+	case OpScan:
+		b.scan(r.Key)
+	case OpPut:
+		m.CPU.Compute(4)
+		off, _ := b.probeSlot(r.Key)
+		tx.SetI64(b.index, off, r.Key+1)
+		tx.SetI64(b.index, off+1, r.Val)
+		b.txAppend(tx, recPut, r.Key, r.Val, i)
+	case OpDel:
+		m.CPU.Compute(4)
+		off, present := b.probeSlot(r.Key)
+		if present {
+			tx.SetI64(b.index, off+1, 0)
+		}
+		b.txAppend(tx, recDel, r.Key, 0, i)
+	}
+	tx.SetI64(b.meta, metaReqDone, int64(i))
+	tx.Commit()
+}
+
+// txAppend writes request i's log record and advanced high-water mark
+// inside the transaction.
+func (b *Baseline) txAppend(tx *pmem.Tx, code, key, val int64, i int) {
+	off := int(b.meta.At(metaLogWords))
+	tx.SetI64(b.log, off, code)
+	tx.SetI64(b.log, off+1, key)
+	tx.SetI64(b.log, off+2, val)
+	tx.SetI64(b.log, off+3, int64(i))
+	tx.SetI64(b.meta, metaLogWords, int64(off+recWords))
+}
+
+// Recover restarts the baseline after a crash, per scheme: checkpoint
+// schemes restore the last saved state and resume after it;
+// transactional schemes roll back the torn transaction and resume after
+// the last committed request; native reinitializes the empty store and
+// replays the stream from the first request. It returns the request
+// RunFrom should resume at.
+func (b *Baseline) Recover() (from int, err error) {
+	switch {
+	case b.Guard.Checkpointer() != nil:
+		cp := b.Guard.Checkpointer()
+		if !cp.Valid() {
+			b.reset()
+			return 1, nil
+		}
+		tag := cp.Restore(b.index, b.log, b.meta)
+		if tag < 1 || tag > int64(b.opts.Requests) {
+			return 0, fmt.Errorf("kvlog: checkpoint tag %d out of range", tag)
+		}
+		return int(tag) + 1, nil
+	case b.Guard.Pool() != nil:
+		b.Guard.Pool().Recover()
+		done := b.meta.Image()[metaReqDone]
+		if done < 0 || done > int64(b.opts.Requests) {
+			return 0, fmt.Errorf("kvlog: committed request %d out of range", done)
+		}
+		return int(done) + 1, nil
+	default:
+		b.reset()
+		return 1, nil
+	}
+}
+
+// reset reinitializes the store to empty in both live and image,
+// charging the NVM writes — the "restart from scratch" path of a native
+// run.
+func (b *Baseline) reset() {
+	for _, r := range []interface {
+		Live() []int64
+		Image() []int64
+		Bytes() int
+	}{b.index, b.log, b.meta} {
+		live, img := r.Live(), r.Image()
+		for i := range live {
+			live[i] = 0
+		}
+		for i := range img {
+			img[i] = 0
+		}
+		b.m.ChargeNVMWrite(r.Bytes())
+	}
+}
+
+func (b *Baseline) String() string {
+	return fmt.Sprintf("kvlog.Baseline{requests=%d scheme=%s}", b.opts.Requests, b.Scheme.Name())
+}

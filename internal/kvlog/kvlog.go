@@ -1,0 +1,362 @@
+// Package kvlog implements the fifth workload family of the
+// reproduction: a persistent key-value store — the workload class NVM
+// crash consistency serves in production, and the first family whose
+// result is a *state* measured in throughput and tail latency rather
+// than a matrix measured in time-to-solution.
+//
+// The store pairs a hash index held in volatile memory with an
+// append-only operation log in NVM, driven by a seeded request stream
+// with Zipfian key selection: point reads, writes, deletes, and short
+// range scans. Like the paper's studies, the family comes in two
+// shapes:
+//
+//   - Store is the extended, algorithm-directed implementation. It
+//     exploits log-replay idempotence — the KV analog of the paper's
+//     selective flush: replaying the prefix log[0, hwm) of put/delete
+//     records rebuilds the exact index, no matter what the crash left
+//     in the index's cache lines. So each request explicitly persists
+//     only the appended log record plus the one cache line holding the
+//     high-water mark (record before mark, so a torn append is
+//     invisible), and the index itself is never flushed; recovery
+//     clears the index and replays the persistent log prefix.
+//
+//   - Baseline is the same store driven through an engine.Guard:
+//     periodic checkpoints of index+log+mark, PMEM-style undo-log
+//     transactions wrapping each request, or nothing (native, replay
+//     the whole request stream from scratch).
+//
+// Both are exposed as engine.Workload adapters (StoreWorkload,
+// BaselineWorkload), so the harness, the crash-injection campaign, and
+// the public pkg/adcc Runner sweep the kvlog grid exactly like the
+// paper's cells, with crash points landing mid-request-stream.
+package kvlog
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"adcc/internal/crash"
+	"adcc/internal/mem"
+)
+
+// WorkloadName is the registry and report name of the kvlog family.
+const WorkloadName = "kvlog"
+
+// TriggerReqEnd is the named crash point at the end of each request.
+const TriggerReqEnd = "kvlog.req-end"
+
+// Op is a request kind of the seeded stream.
+type Op int
+
+// Request kinds. Put and Del mutate the store (and append a log
+// record); Get and Scan only read.
+const (
+	OpPut Op = iota
+	OpGet
+	OpDel
+	OpScan
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpDel:
+		return "del"
+	case OpScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Request is one operation of the seeded stream. Val is zero except for
+// puts, whose values are strictly positive (the index encodes "absent"
+// as value zero).
+type Request struct {
+	Op  Op
+	Key int64
+	Val int64
+}
+
+// Options configures a kvlog run.
+type Options struct {
+	// Requests is the length of the request stream. Zero means 600.
+	Requests int
+	// KeySpace is the number of distinct keys Zipfian selection draws
+	// from. Zero means 128.
+	KeySpace int
+	// ZipfS is the Zipf exponent of the key popularity skew (must be
+	// > 1). Zero means 1.2.
+	ZipfS float64
+	// ScanLen is the key width of a range scan. Zero means 8.
+	ScanLen int
+	// CkptEvery is the checkpoint interval in requests for checkpoint
+	// schemes. Zero means 16.
+	CkptEvery int
+	// Seed drives request-stream construction.
+	Seed int64
+}
+
+func (o *Options) setDefaults() {
+	if o.Requests == 0 {
+		o.Requests = 600
+	}
+	if o.KeySpace == 0 {
+		o.KeySpace = 128
+	}
+	if o.ZipfS == 0 {
+		o.ZipfS = 1.2
+	}
+	if o.ScanLen == 0 {
+		o.ScanLen = 8
+	}
+	if o.CkptEvery == 0 {
+		o.CkptEvery = 16
+	}
+}
+
+// Stream generates the deterministic request stream: Zipfian key
+// selection over the key space and a fixed op mix (45% put, 30% get,
+// 15% delete, 10% scan). A pure function of Options, so campaigns and
+// recovery paths regenerate it instead of persisting it.
+func Stream(opts Options) []Request {
+	opts.setDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	zipf := rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.KeySpace-1))
+	reqs := make([]Request, opts.Requests)
+	for i := range reqs {
+		key := int64(zipf.Uint64())
+		switch x := rng.Intn(100); {
+		case x < 45:
+			reqs[i] = Request{Op: OpPut, Key: key, Val: 1 + rng.Int63n(1<<40)}
+		case x < 75:
+			reqs[i] = Request{Op: OpGet, Key: key}
+		case x < 90:
+			reqs[i] = Request{Op: OpDel, Key: key}
+		default:
+			reqs[i] = Request{Op: OpScan, Key: key}
+		}
+	}
+	return reqs
+}
+
+// Oracle applies the request stream to a plain Go map and returns the
+// final key-value state — the family's verification oracle (a pure
+// function of Options, so campaigns compute it once per cell and share
+// it read-only).
+func Oracle(opts Options) map[int64]int64 {
+	want := map[int64]int64{}
+	for _, r := range Stream(opts) {
+		switch r.Op {
+		case OpPut:
+			want[r.Key] = r.Val
+		case OpDel:
+			delete(want, r.Key)
+		}
+	}
+	return want
+}
+
+// VerifyState compares a recovered store's key-value contents against
+// the oracle map. The simulated store applies the identical
+// deterministic stream, so the comparison is exact: any difference
+// means stale or lost updates leaked into the served state.
+func VerifyState(got, want map[int64]int64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("kvlog: store holds %d keys, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			return fmt.Errorf("kvlog: key %d missing (want %d)", k, w)
+		}
+		if g != w {
+			return fmt.Errorf("kvlog: key %d = %d, want %d", k, g, w)
+		}
+	}
+	return nil
+}
+
+// Percentile returns the nearest-rank p-th percentile of v (p in
+// (0, 100]); zero for an empty slice. Same semantics as the result
+// store's distribution percentiles, so request-latency numbers line up
+// with store queries.
+func Percentile(v []int64, p float64) int64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), v...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// Log record layout: fixed-width records of recWords int64 words —
+// [code, key, value, request index]. Two records per cache line, so an
+// append never straddles more than one fresh line boundary.
+const (
+	recWords = 4
+	recPut   = 1
+	recDel   = 2
+)
+
+// Meta word layout (one cache line): the log high-water mark in words
+// and the index of the last completed request.
+const (
+	metaLogWords = 0
+	metaReqDone  = 1
+)
+
+// state is the persistent layout shared by both implementations: the
+// hash index (open addressing, two words per slot: key+1 and value,
+// value zero meaning absent — deletes keep the key marker, so probe
+// chains never need tombstones), the append-only record log, and the
+// one-line meta region carrying the log high-water mark and the
+// completed-request counter.
+type state struct {
+	m    *crash.Machine
+	opts Options
+	reqs []Request
+
+	index *mem.I64
+	log   *mem.I64
+	meta  *mem.I64
+	slots int // power-of-two slot count
+}
+
+// indexSlots returns the slot count: the smallest power of two holding
+// the whole key space at load factor <= 0.5 (occupied slots never
+// exceed the key space, because deletes keep their key marker).
+func indexSlots(keySpace int) int {
+	s := 1
+	for s < 2*keySpace {
+		s <<= 1
+	}
+	return s
+}
+
+// newState allocates the store's regions on a machine's heap in a fixed
+// order (index, log, meta), so recording and fork machines of the
+// replay engine build structurally identical heaps.
+func newState(m *crash.Machine, opts Options) *state {
+	opts.setDefaults()
+	slots := indexSlots(opts.KeySpace)
+	return &state{
+		m:     m,
+		opts:  opts,
+		reqs:  Stream(opts),
+		index: m.Heap.AllocI64("kv.index", 2*slots),
+		log:   m.Heap.AllocI64("kv.log", recWords*opts.Requests),
+		meta:  m.Heap.AllocI64("kv.meta", mem.LineSize/8),
+		slots: slots,
+	}
+}
+
+// probeSlot walks key's open-addressing chain through simulated loads
+// and returns the word offset of key's slot: the slot holding key when
+// present (present reports whether its value is live), else the first
+// empty slot of the chain.
+func (st *state) probeSlot(key int64) (off int, present bool) {
+	mask := st.slots - 1
+	h := int(uint64(key)*0x9E3779B97F4A7C15>>33) & mask
+	for i := 0; ; i++ {
+		off = 2 * ((h + i) & mask)
+		kw := st.index.At(off)
+		if kw == 0 {
+			return off, false
+		}
+		if kw == key+1 {
+			return off, st.index.At(off+1) != 0
+		}
+	}
+}
+
+// get performs a point lookup through simulated memory.
+func (st *state) get(key int64) (int64, bool) {
+	st.m.CPU.Compute(4)
+	off, present := st.probeSlot(key)
+	if !present {
+		return 0, false
+	}
+	return st.index.At(off + 1), true
+}
+
+// scan performs a range scan of ScanLen consecutive keys (wrapping at
+// the key space), each a point lookup.
+func (st *state) scan(key int64) int64 {
+	var sum int64
+	for j := 0; j < st.opts.ScanLen; j++ {
+		if v, ok := st.get((key + int64(j)) % int64(st.opts.KeySpace)); ok {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// applyPut writes key's slot with plain (unflushed) stores.
+func (st *state) applyPut(key, val int64) int {
+	st.m.CPU.Compute(4)
+	off, _ := st.probeSlot(key)
+	st.index.Set(off, key+1)
+	st.index.Set(off+1, val)
+	return off
+}
+
+// applyDel clears key's value, keeping the key marker so probe chains
+// stay intact. Deleting an absent key touches nothing.
+func (st *state) applyDel(key int64) (int, bool) {
+	st.m.CPU.Compute(4)
+	off, present := st.probeSlot(key)
+	if !present {
+		return off, false
+	}
+	st.index.Set(off+1, 0)
+	return off, true
+}
+
+// appendRecord writes one log record at the live high-water mark with
+// plain stores and returns its word offset. The caller owns the meta
+// update and any flushes.
+func (st *state) appendRecord(code, key, val, req int64) int {
+	off := int(st.meta.At(metaLogWords))
+	rec := st.log.StoreRange(off, recWords)
+	rec[0] = code
+	rec[1] = key
+	rec[2] = val
+	rec[3] = req
+	return off
+}
+
+// collect reads the live index into a Go map — the served state a
+// verification compares against the oracle.
+func (st *state) collect() map[int64]int64 {
+	got := map[int64]int64{}
+	live := st.index.Live()
+	for off := 0; off < len(live); off += 2 {
+		if live[off] != 0 && live[off+1] != 0 {
+			got[live[off]-1] = live[off+1]
+		}
+	}
+	return got
+}
+
+// Verify compares the live store state against want (nil means compute
+// the oracle from the options). Promoted to both Store and Baseline.
+func (st *state) Verify(want map[int64]int64) error {
+	if want == nil {
+		want = Oracle(st.opts)
+	}
+	return VerifyState(st.collect(), want)
+}

@@ -1,0 +1,378 @@
+package kvlog
+
+import (
+	"fmt"
+	"testing"
+
+	"adcc/internal/cache"
+	"adcc/internal/crash"
+	"adcc/internal/engine"
+)
+
+// testOpts is a CI-sized request stream.
+func testOpts() Options {
+	return Options{Requests: 200, KeySpace: 64, ScanLen: 4, CkptEvery: 16, Seed: 7}
+}
+
+// newTestMachine builds an NVM-only platform with the given LLC size.
+func newTestMachine(llcBytes int) *crash.Machine {
+	return crash.NewMachine(crash.MachineConfig{
+		System: crash.NVMOnly,
+		Cache: cache.Config{
+			SizeBytes:         llcBytes,
+			LineBytes:         64,
+			Assoc:             16,
+			HitNS:             4,
+			FlushChargesClean: true,
+			PrefetchStreams:   16,
+		},
+	})
+}
+
+func TestStreamDeterministicAndMixed(t *testing.T) {
+	opts := testOpts()
+	a, b := Stream(opts), Stream(opts)
+	if len(a) != opts.Requests {
+		t.Fatalf("stream length %d, want %d", len(a), opts.Requests)
+	}
+	seen := map[Op]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		seen[a[i].Op]++
+		if a[i].Op == OpPut && a[i].Val == 0 {
+			t.Fatalf("request %d: put with zero value (zero encodes absence)", i)
+		}
+		if a[i].Key < 0 || a[i].Key >= int64(opts.KeySpace) {
+			t.Fatalf("request %d: key %d outside key space", i, a[i].Key)
+		}
+	}
+	for _, op := range []Op{OpPut, OpGet, OpDel, OpScan} {
+		if seen[op] == 0 {
+			t.Fatalf("op mix never produced %v (mix: %v)", op, seen)
+		}
+	}
+	if len(Oracle(opts)) == 0 {
+		t.Fatal("oracle state is empty")
+	}
+}
+
+// TestCrashFreeRunsMatchOracle asserts every implementation and scheme
+// serves the exact oracle state when nothing crashes.
+func TestCrashFreeRunsMatchOracle(t *testing.T) {
+	opts := testOpts()
+	want := Oracle(opts)
+
+	policies := map[string]engine.FlushPolicy{
+		"selective":  engine.FlushSelective,
+		"index-only": engine.FlushIndexOnly,
+		"every-iter": engine.FlushEveryIter,
+	}
+	for name, p := range policies {
+		m := newTestMachine(1 << 20)
+		s := NewStore(m, nil, opts)
+		s.Policy = p
+		s.Run(1)
+		if err := s.Verify(want); err != nil {
+			t.Errorf("store %s: %v", name, err)
+		}
+	}
+
+	for _, scheme := range []string{
+		engine.SchemeNative, engine.SchemeCkptHDD, engine.SchemeCkptNVM, engine.SchemePMEM,
+	} {
+		m := newTestMachine(1 << 20)
+		b := NewBaseline(m, opts, engine.MustLookup(scheme))
+		b.Run()
+		if err := b.Verify(want); err != nil {
+			t.Errorf("baseline %s: %v", scheme, err)
+		}
+	}
+}
+
+// TestAlgoRecoveryAcrossCrashPoints crashes the algorithm-directed
+// store at trigger occurrences and raw op counts — log replay must
+// rebuild the served state from every point, including crashes landing
+// mid-request.
+func TestAlgoRecoveryAcrossCrashPoints(t *testing.T) {
+	opts := testOpts()
+	want := Oracle(opts)
+
+	pm := newTestMachine(64 << 10)
+	pem := crash.NewEmulator(pm)
+	prof := pem.Profile(func() { NewStore(pm, pem, opts).Run(1) })
+	if prof.Ops == 0 {
+		t.Fatal("profile saw no memory operations")
+	}
+
+	points := []crash.CrashPoint{
+		{Trigger: TriggerReqEnd, Occurrence: 1},
+		{Trigger: TriggerReqEnd, Occurrence: 97},
+		{Trigger: TriggerReqEnd, Occurrence: opts.Requests},
+		{Op: prof.Ops / 5},
+		{Op: prof.Ops / 2},
+		{Op: prof.Ops - prof.Ops/7},
+	}
+	for _, pt := range points {
+		t.Run(pt.String(), func(t *testing.T) {
+			m := newTestMachine(64 << 10)
+			em := crash.NewEmulator(m)
+			s := NewStore(m, em, opts)
+			em.Arm(pt)
+			if !em.Run(func() { s.Run(1) }) {
+				t.Fatalf("point %v did not crash", pt)
+			}
+			rec, from, err := s.Recover()
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if from < 1 || from > opts.Requests+1 {
+				t.Fatalf("restart request %d out of range", from)
+			}
+			if rec.Skipped != 0 {
+				t.Fatalf("full protocol skipped %d records", rec.Skipped)
+			}
+			s.Run(from)
+			if err := s.Verify(want); err != nil {
+				t.Fatalf("recovered run corrupt: %v", err)
+			}
+		})
+	}
+}
+
+// TestNaiveRecoveryCorrupts reproduces the KV analogue of the paper's
+// Figure 10 bias: the index-only design flushes the high-water mark but
+// never the records it names, so on a cache-resident store (dirty log
+// lines lost at the crash) replay rebuilds from zeros and the served
+// state silently loses committed writes.
+func TestNaiveRecoveryCorrupts(t *testing.T) {
+	opts := testOpts()
+	want := Oracle(opts)
+	m := newTestMachine(8 << 20) // store stays cache-resident: maximal loss
+	em := crash.NewEmulator(m)
+	s := NewStore(m, em, opts)
+	s.Policy = engine.FlushIndexOnly
+	em.CrashAtTrigger(TriggerReqEnd, 150)
+	if !em.Run(func() { s.Run(1) }) {
+		t.Fatal("did not crash")
+	}
+	rec, from, err := s.Recover()
+	if err != nil {
+		t.Fatalf("naive Recover errored (it trusts the mark blindly): %v", err)
+	}
+	if rec.Skipped == 0 {
+		t.Fatal("naive replay skipped nothing; expected unpersisted records below the mark")
+	}
+	s.Run(from)
+	if err := s.Verify(want); err == nil {
+		t.Fatal("naive recovery verified on a cache-resident store; expected silent corruption")
+	}
+}
+
+// TestSelectiveRecoversWhereNaiveCorrupts runs the full protocol at the
+// exact crash point of TestNaiveRecoveryCorrupts: with the log tail
+// flushed record-before-mark, replay rebuilds the exact index.
+func TestSelectiveRecoversWhereNaiveCorrupts(t *testing.T) {
+	opts := testOpts()
+	want := Oracle(opts)
+	m := newTestMachine(8 << 20)
+	em := crash.NewEmulator(m)
+	s := NewStore(m, em, opts)
+	em.CrashAtTrigger(TriggerReqEnd, 150)
+	if !em.Run(func() { s.Run(1) }) {
+		t.Fatal("did not crash")
+	}
+	rec, from, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.Replayed == 0 {
+		t.Fatal("recovery replayed no records")
+	}
+	if from != 151 {
+		t.Fatalf("restart request = %d, want 151 (crash fired after request 150 committed)", from)
+	}
+	s.Run(from)
+	if err := s.Verify(want); err != nil {
+		t.Fatalf("selective recovery corrupt: %v", err)
+	}
+}
+
+// TestBaselineRecovery crashes the store under each conventional scheme
+// and checks the scheme's restart semantics plus a verified state.
+func TestBaselineRecovery(t *testing.T) {
+	opts := testOpts()
+	want := Oracle(opts)
+	const crashAt = 40 // checkpoints land at 16, 32, 48, ...
+	cases := []struct {
+		scheme      string
+		wantRestart int
+	}{
+		{engine.SchemeNative, 1},
+		{engine.SchemeCkptNVM, 33},
+		{engine.SchemeCkptHDD, 33},
+		{engine.SchemePMEM, crashAt + 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.scheme, func(t *testing.T) {
+			m := newTestMachine(1 << 20)
+			em := crash.NewEmulator(m)
+			b := NewBaseline(m, opts, engine.MustLookup(tc.scheme))
+			b.Em = em
+			em.CrashAtTrigger(TriggerReqEnd, crashAt)
+			if !em.Run(b.Run) {
+				t.Fatal("did not crash")
+			}
+			from, err := b.Recover()
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if from != tc.wantRestart {
+				t.Fatalf("restart request = %d, want %d", from, tc.wantRestart)
+			}
+			b.RunFrom(from)
+			if err := b.Verify(want); err != nil {
+				t.Fatalf("recovered run corrupt: %v", err)
+			}
+		})
+	}
+}
+
+// TestPMEMMidRequestRollback crashes inside a transaction (an op-count
+// point mid-request) and checks the undo log rolls the index slot, log
+// record, and both meta words back together.
+func TestPMEMMidRequestRollback(t *testing.T) {
+	opts := testOpts()
+	want := Oracle(opts)
+
+	pm := newTestMachine(1 << 20)
+	pem := crash.NewEmulator(pm)
+	pb := NewBaseline(pm, opts, engine.MustLookup(engine.SchemePMEM))
+	prof := pem.Profile(pb.Run)
+
+	m := newTestMachine(1 << 20)
+	em := crash.NewEmulator(m)
+	b := NewBaseline(m, opts, engine.MustLookup(engine.SchemePMEM))
+	b.Em = em
+	em.CrashAtOp(prof.Ops / 2)
+	if !em.Run(b.Run) {
+		t.Fatal("did not crash")
+	}
+	from, err := b.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if from < 1 || from > opts.Requests {
+		t.Fatalf("restart request %d out of range", from)
+	}
+	b.RunFrom(from)
+	if err := b.Verify(want); err != nil {
+		t.Fatalf("rolled-back run corrupt: %v", err)
+	}
+}
+
+// TestWorkloadLifecycle drives both adapters through the full
+// engine.Workload lifecycle the campaign uses: prepare, crash, recover,
+// resume, verify, metrics.
+func TestWorkloadLifecycle(t *testing.T) {
+	opts := testOpts()
+	want := Oracle(opts)
+	workloads := map[string]func() engine.Workload{
+		"store": func() engine.Workload {
+			return &StoreWorkload{Opts: opts, Want: want}
+		},
+		"baseline-ckpt": func() engine.Workload {
+			return &BaselineWorkload{Opts: opts, Want: want,
+				Scheme: engine.MustLookup(engine.SchemeCkptNVM)}
+		},
+	}
+	for name, build := range workloads {
+		t.Run(name, func(t *testing.T) {
+			w := build()
+			if w.Name() != WorkloadName {
+				t.Fatalf("Name() = %q, want %q", w.Name(), WorkloadName)
+			}
+			m := newTestMachine(64 << 10)
+			em := crash.NewEmulator(m)
+			if err := w.Prepare(m, em); err != nil {
+				t.Fatalf("Prepare: %v", err)
+			}
+			if err := w.Prepare(m, em); err == nil {
+				t.Fatal("second Prepare did not error")
+			}
+			em.CrashAtTrigger(TriggerReqEnd, 60)
+			if !em.Run(func() { w.Run(w.Start()) }) {
+				t.Fatal("did not crash")
+			}
+			from, err := w.Recover()
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			em.Disarm()
+			w.Run(from)
+			if err := w.Verify(); err != nil {
+				t.Fatalf("Verify after recovery: %v", err)
+			}
+			met := w.Metrics()
+			for _, key := range []string{"ops_per_sec", "p50_req_ns", "p95_req_ns", "p99_req_ns"} {
+				if met[key] <= 0 {
+					t.Fatalf("metric %s = %v, want > 0 (metrics: %v)", key, met[key], met)
+				}
+			}
+		})
+	}
+}
+
+// TestRunIsDeterministic asserts two identical simulated runs agree on
+// served state, per-request latencies, and simulated time — the
+// property every byte-identical report in the repo rests on.
+func TestRunIsDeterministic(t *testing.T) {
+	opts := testOpts()
+	run := func() (map[int64]int64, []int64, int64) {
+		m := newTestMachine(1 << 20)
+		s := NewStore(m, nil, opts)
+		s.Run(1)
+		return s.collect(), append([]int64(nil), s.ReqNS...), m.Clock.Now()
+	}
+	a, la, ta := run()
+	b, lb, tb := run()
+	if ta != tb {
+		t.Fatalf("sim time differs: %d vs %d", ta, tb)
+	}
+	if err := VerifyState(a, b); err != nil {
+		t.Fatalf("served state differs: %v", err)
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("latency differs at request %d: %d vs %d", i, la[i], lb[i])
+		}
+	}
+}
+
+// TestPercentileNearestRank pins the nearest-rank semantics shared with
+// the result store's distribution queries.
+func TestPercentileNearestRank(t *testing.T) {
+	v := []int64{40, 10, 20, 50, 30} // sorted: 10 20 30 40 50
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{50, 30}, {95, 50}, {99, 50}, {100, 50}, {20, 10}, {1, 10},
+	}
+	for _, tc := range cases {
+		if got := Percentile(v, tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(empty) = %d, want 0", got)
+	}
+}
+
+func ExampleOracle() {
+	opts := Options{Requests: 50, KeySpace: 16, Seed: 3}
+	want := Oracle(opts)
+	fmt.Println(len(want) > 0 && len(want) <= 16)
+	// Output: true
+}

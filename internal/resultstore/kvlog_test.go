@@ -1,0 +1,123 @@
+package resultstore
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"adcc/internal/campaign"
+	"adcc/internal/engine"
+)
+
+// kvlogStoreConfig is a CI-sized kvlog campaign for latency-query
+// tests: served-traffic rows whose recovery-cost distributions the
+// store's percentile queries summarize.
+func kvlogStoreConfig() campaign.Config {
+	return campaign.Config{
+		Scale:     0.02,
+		Parallel:  4,
+		PerCell:   6,
+		Workloads: []string{"kvlog"},
+	}
+}
+
+// naiveDist recomputes a Dist the slow, obvious way: collect, sort,
+// index by nearest rank. The store's Distribution must match it
+// exactly — this is the sort oracle the percentile queries are
+// validated against.
+func naiveDist(vals []int64) Dist {
+	var d Dist
+	d.Count = int64(len(vals))
+	for _, v := range vals {
+		d.Sum += v
+		if v > d.Max {
+			d.Max = v
+		}
+	}
+	if len(vals) == 0 {
+		return d
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(p float64) int64 {
+		r := int(p*float64(len(sorted)) + 0.9999999999)
+		if r < 1 {
+			r = 1
+		}
+		if r > len(sorted) {
+			r = len(sorted)
+		}
+		return sorted[r-1]
+	}
+	d.P50 = rank(0.50)
+	d.P95 = rank(0.95)
+	d.P99 = rank(0.99)
+	return d
+}
+
+// TestKVLogLatencyPercentiles runs a kvlog campaign into a store and
+// checks every metric's p50/p95/p99 against the naive sort oracle,
+// both over the whole kvlog row set and per scheme.
+func TestKVLogLatencyPercentiles(t *testing.T) {
+	_, b := runWithStore(t, kvlogStoreConfig())
+	s, err := Open(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	filters := []Filter{
+		{Workload: "kvlog"},
+		{Workload: "kvlog", Scheme: engine.SchemeAlgoNVM},
+		{Workload: "kvlog", Scheme: engine.SchemePMEM, System: "nvm"},
+		{Workload: "kvlog", Scheme: engine.SchemeCkptNVM, Outcome: "recomputed"},
+	}
+	for _, f := range filters {
+		for mi, name := range MetricNames() {
+			m := Metric(mi)
+			var vals []int64
+			if err := s.Scan(f, func(r Row) error {
+				vals = append(vals, m.value(r.InjectionRow))
+				return nil
+			}); err != nil {
+				t.Fatalf("Scan(%+v): %v", f, err)
+			}
+			got, err := s.Distribution(f, m)
+			if err != nil {
+				t.Fatalf("Distribution(%+v, %s): %v", f, name, err)
+			}
+			if want := naiveDist(vals); got != want {
+				t.Errorf("Distribution(%+v, %s) = %+v, sort oracle %+v", f, name, got, want)
+			}
+		}
+	}
+
+	// The headline latency query must be non-degenerate: kvlog rows
+	// exist and their recovery cost is a real, ordered distribution.
+	d, err := s.Distribution(Filter{Workload: "kvlog"}, MetricRecoverResumeSimNS)
+	if err != nil {
+		t.Fatalf("Distribution: %v", err)
+	}
+	if d.Count == 0 {
+		t.Fatal("no kvlog rows in store")
+	}
+	if d.P50 <= 0 || d.P50 > d.P95 || d.P95 > d.P99 || d.P99 > d.Max {
+		t.Errorf("degenerate latency distribution: %+v", d)
+	}
+
+	// The algorithm-directed scheme's replay recovery must undercut the
+	// conventional checkpoint scheme's restore+rerun at the median.
+	algo, err := s.Distribution(Filter{Workload: "kvlog", Scheme: engine.SchemeAlgoNVM}, MetricRecoverResumeSimNS)
+	if err != nil {
+		t.Fatalf("Distribution: %v", err)
+	}
+	ckpt, err := s.Distribution(Filter{Workload: "kvlog", Scheme: engine.SchemeCkptHDD}, MetricRecoverResumeSimNS)
+	if err != nil {
+		t.Fatalf("Distribution: %v", err)
+	}
+	if algo.Count == 0 || ckpt.Count == 0 {
+		t.Fatalf("missing scheme rows: algo %d, ckpt %d", algo.Count, ckpt.Count)
+	}
+	if algo.P50 >= ckpt.P50 {
+		t.Errorf("algo median recovery %d ns not below ckpt-hdd median %d ns", algo.P50, ckpt.P50)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -99,10 +100,17 @@ func (c *Client) Submit(ctx context.Context, spec adcc.CampaignSpec) (adcc.JobIn
 	return info, err
 }
 
+// jobPath builds a job-scoped endpoint path with the id escaped, so
+// ids holding path metacharacters ("..", "/", "%") address the intended
+// job instead of rewriting the route.
+func jobPath(id string, suffix string) string {
+	return "/v1/campaigns/" + url.PathEscape(id) + suffix
+}
+
 // Job fetches one job's status document.
 func (c *Client) Job(ctx context.Context, id string) (adcc.JobInfo, error) {
 	var info adcc.JobInfo
-	err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &info)
+	err := c.do(ctx, http.MethodGet, jobPath(id, ""), nil, &info)
 	return info, err
 }
 
@@ -118,14 +126,14 @@ func (c *Client) Jobs(ctx context.Context) ([]adcc.JobInfo, error) {
 // Report fetches a finished job's adcc-report/v1 envelope, byte-
 // identical to running the job's spec through adcc.Runner.RunCampaign.
 func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
-	return c.raw(ctx, "/v1/campaigns/"+id+"/report")
+	return c.raw(ctx, jobPath(id, "/report"))
 }
 
 // Store fetches a finished job's columnar result store artifact: the
 // per-injection rows its report was aggregated from, ready for
 // adcc.OpenResultStoreBytes or an adccquery -store file.
 func (c *Client) Store(ctx context.Context, id string) ([]byte, error) {
-	return c.raw(ctx, "/v1/campaigns/"+id+"/store")
+	return c.raw(ctx, jobPath(id, "/store"))
 }
 
 // QueryAggregate runs the service-side store query for one filtered
@@ -141,7 +149,7 @@ func (c *Client) QueryAggregate(ctx context.Context, id string, f adcc.StoreFilt
 			q.Set(kv.k, kv.v)
 		}
 	}
-	path := "/v1/campaigns/" + id + "/query"
+	path := jobPath(id, "/query")
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}
@@ -178,9 +186,9 @@ func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
 // arrive in sequence order; the terminal frame's Data is the final
 // JobInfo document.
 func (c *Client) Events(ctx context.Context, id string, lastSeq int, fn func(adcc.StreamEvent) error) error {
-	path := fmt.Sprintf("/v1/campaigns/%s/events?from=%d", id, lastSeq)
-	if lastSeq < 0 {
-		path = "/v1/campaigns/" + id + "/events"
+	path := jobPath(id, "/events")
+	if lastSeq >= 0 {
+		path += fmt.Sprintf("?from=%d", lastSeq)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
@@ -200,7 +208,9 @@ func (c *Client) Events(ctx context.Context, id string, lastSeq int, fn func(adc
 
 // consumeSSE parses Server-Sent Events frames (id/event/data fields,
 // blank-line delimited) and dispatches each to fn until the stream ends
-// or a "done" frame arrives.
+// or a "done" frame arrives. Per the SSE grammar, the space after the
+// field colon is optional, and an end-of-stream flushes a pending frame
+// the same way a blank line does.
 func consumeSSE(r io.Reader, fn func(adcc.StreamEvent) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -221,23 +231,40 @@ func consumeSSE(r io.Reader, fn func(adcc.StreamEvent) error) error {
 	}
 	for sc.Scan() {
 		line := sc.Text()
-		switch {
-		case line == "":
+		if line == "" {
 			if err := flush(); err != nil {
 				if err == errStreamDone {
 					return nil
 				}
 				return err
 			}
-		case strings.HasPrefix(line, "id: "):
-			fmt.Sscanf(line[4:], "%d", &ev.Seq)
-		case strings.HasPrefix(line, "event: "):
-			ev.Type = line[7:]
-		case strings.HasPrefix(line, "data: "):
-			ev.Data = json.RawMessage(line[6:])
+			continue
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			seq, err := strconv.Atoi(value)
+			if err != nil {
+				return fmt.Errorf("adccclient: malformed SSE id %q", line)
+			}
+			ev.Seq = seq
+		case "event":
+			ev.Type = value
+		case "data":
+			ev.Data = json.RawMessage(value)
 		}
 	}
 	if err := sc.Err(); err != nil {
+		return err
+	}
+	// EOF delimits a final frame just like a blank line would; a server
+	// that closes the stream right after the terminal frame's data line
+	// has still delivered it.
+	if err := flush(); err != nil {
+		if err == errStreamDone {
+			return nil
+		}
 		return err
 	}
 	// Stream ended without a done frame (daemon shutdown mid-job).
@@ -248,7 +275,10 @@ var errStreamDone = errors.New("adccclient: stream done")
 
 // Wait blocks until the job reaches a terminal state (done or failed)
 // and returns its final status document, polling the job endpoint.
-// A zero poll interval means 200ms.
+// A zero poll interval means 200ms. Transport errors are treated as
+// transient and retried at the poll interval until the context ends; an
+// APIError is authoritative (the service answered) and returned at
+// once.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (adcc.JobInfo, error) {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
@@ -257,11 +287,16 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (adcc.
 	defer t.Stop()
 	for {
 		info, err := c.Job(ctx, id)
-		if err != nil {
+		var apiErr *APIError
+		switch {
+		case err == nil:
+			if info.Status == adcc.JobDone || info.Status == adcc.JobFailed {
+				return info, nil
+			}
+		case errors.As(err, &apiErr):
 			return adcc.JobInfo{}, err
-		}
-		if info.Status == adcc.JobDone || info.Status == adcc.JobFailed {
-			return info, nil
+		case ctx.Err() != nil:
+			return adcc.JobInfo{}, ctx.Err()
 		}
 		select {
 		case <-t.C:

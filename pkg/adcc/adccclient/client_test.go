@@ -1,0 +1,307 @@
+package adccclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adcc/pkg/adcc"
+)
+
+// recordingServer returns a test server that records each request path
+// and serves the given handler, plus a client pointed at it.
+func recordingServer(t *testing.T, h http.HandlerFunc) (*Client, *[]string) {
+	t.Helper()
+	var paths []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		paths = append(paths, r.URL.RequestURI())
+		h(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return New(srv.URL, srv.Client()), &paths
+}
+
+func serveJSON(v any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// TestAPIErrorDecoding checks both error shapes: the canonical JSON
+// error document and a bare-text body from a proxy or panic path.
+func TestAPIErrorDecoding(t *testing.T) {
+	c, _ := recordingServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/report") {
+			http.Error(w, `{"error":"job j1 is not done"}`, http.StatusConflict)
+			return
+		}
+		http.Error(w, "plain text failure", http.StatusInternalServerError)
+	})
+
+	_, err := c.Report(context.Background(), "j1")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("Report error = %v, want *APIError", err)
+	}
+	if apiErr.Code != http.StatusConflict || apiErr.Message != "job j1 is not done" {
+		t.Errorf("decoded %+v, want code 409 message from the JSON document", apiErr)
+	}
+
+	_, err = c.Job(context.Background(), "j1")
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("Job error = %v, want *APIError", err)
+	}
+	if apiErr.Code != http.StatusInternalServerError || apiErr.Message != "plain text failure" {
+		t.Errorf("decoded %+v, want the trimmed plain-text body", apiErr)
+	}
+}
+
+// TestPathEscaping checks that every job-scoped endpoint escapes the id
+// instead of splicing it into the route: an id holding "/" or ".."
+// must stay one path segment.
+func TestPathEscaping(t *testing.T) {
+	const id = "../jobs/x?y=1"
+	escaped := "/v1/campaigns/" + "..%2Fjobs%2Fx%3Fy=1"
+
+	c, paths := recordingServer(t, serveJSON(adcc.JobInfo{ID: id, Status: adcc.JobDone}))
+	ctx := context.Background()
+
+	if _, err := c.Job(ctx, id); err != nil {
+		t.Fatalf("Job: %v", err)
+	}
+	if _, err := c.Report(ctx, id); err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if _, err := c.Store(ctx, id); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if _, err := c.QueryAggregate(ctx, id, adcc.StoreFilter{Workload: "kvlog"}); err != nil {
+		t.Fatalf("QueryAggregate: %v", err)
+	}
+
+	want := []string{
+		escaped,
+		escaped + "/report",
+		escaped + "/store",
+		escaped + "/query?workload=kvlog",
+	}
+	for i, p := range *paths {
+		if p != want[i] {
+			t.Errorf("request %d hit %q, want %q", i, p, want[i])
+		}
+		if strings.Contains(p, "..") && !strings.Contains(p, "..%2F") {
+			t.Errorf("request %d leaked an unescaped dot-dot segment: %q", i, p)
+		}
+	}
+	if len(*paths) != len(want) {
+		t.Fatalf("%d requests recorded, want %d", len(*paths), len(want))
+	}
+}
+
+// sseHandler streams raw SSE bytes for an Events call.
+func sseHandler(body string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		io.WriteString(w, body)
+	}
+}
+
+// collectEvents runs Events from the beginning and returns the frames
+// fn observed plus the terminal error.
+func collectEvents(t *testing.T, body string) ([]adcc.StreamEvent, error) {
+	t.Helper()
+	c, _ := recordingServer(t, sseHandler(body))
+	var got []adcc.StreamEvent
+	err := c.Events(context.Background(), "j1", -1, func(ev adcc.StreamEvent) error {
+		got = append(got, ev)
+		return nil
+	})
+	return got, err
+}
+
+// TestSSETerminalFrameWithoutTrailingBlank checks that a stream whose
+// server closes right after the final data line still delivers the
+// terminal frame: EOF delimits a frame exactly like a blank line.
+func TestSSETerminalFrameWithoutTrailingBlank(t *testing.T) {
+	body := "id: 0\nevent: snapshot\ndata: {}\n\n" +
+		"id: 1\nevent: done\ndata: {\"status\":\"done\"}\n"
+	got, err := collectEvents(t, body)
+	if err != nil {
+		t.Fatalf("Events = %v, want nil (terminal frame delivered at EOF)", err)
+	}
+	if len(got) != 2 || got[1].Type != "done" || got[1].Seq != 1 {
+		t.Fatalf("frames = %+v, want snapshot then done", got)
+	}
+}
+
+// TestSSENoSpaceAfterColon checks the SSE grammar's optional space:
+// "id:5" and "event:done" are as legal as their spaced spellings.
+func TestSSENoSpaceAfterColon(t *testing.T) {
+	body := "id:5\nevent:progress\ndata:{\"n\":1}\n\nid:6\nevent:done\ndata:{}\n\n"
+	got, err := collectEvents(t, body)
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d frames, want 2: %+v", len(got), got)
+	}
+	if got[0].Seq != 5 || got[0].Type != "progress" || string(got[0].Data) != `{"n":1}` {
+		t.Errorf("frame 0 = %+v, want seq 5 progress", got[0])
+	}
+	if got[1].Seq != 6 || got[1].Type != "done" {
+		t.Errorf("frame 1 = %+v, want seq 6 done", got[1])
+	}
+}
+
+// TestSSEMalformedSeq checks that a garbage id line is an error, not a
+// silently reused previous sequence number.
+func TestSSEMalformedSeq(t *testing.T) {
+	_, err := collectEvents(t, "id: bogus\nevent: progress\ndata: {}\n\n")
+	if err == nil || !strings.Contains(err.Error(), "malformed SSE id") {
+		t.Fatalf("Events = %v, want malformed-id error", err)
+	}
+}
+
+// TestSSETruncatedStream checks that a stream ending mid-job (no done
+// frame at all) still reports io.ErrUnexpectedEOF after delivering the
+// complete frames.
+func TestSSETruncatedStream(t *testing.T) {
+	got, err := collectEvents(t, "id: 0\nevent: snapshot\ndata: {}\n\n")
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("Events = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(got) != 1 || got[0].Type != "snapshot" {
+		t.Fatalf("frames = %+v, want the one snapshot frame", got)
+	}
+}
+
+// TestSSEOversizedFrame checks that a data line beyond the scanner's
+// 1 MiB cap surfaces as a scan error instead of hanging or panicking.
+func TestSSEOversizedFrame(t *testing.T) {
+	body := "id: 0\nevent: snapshot\ndata: " + strings.Repeat("x", 2<<20) + "\n\n"
+	_, err := collectEvents(t, body)
+	if err == nil || !strings.Contains(err.Error(), "token too long") {
+		t.Fatalf("Events = %v, want bufio token-too-long error", err)
+	}
+}
+
+// TestSSEFnError checks that fn's error aborts the stream and is
+// returned as-is.
+func TestSSEFnError(t *testing.T) {
+	c, _ := recordingServer(t, sseHandler("id: 0\nevent: snapshot\ndata: {}\n\n"))
+	sentinel := errors.New("stop here")
+	err := c.Events(context.Background(), "j1", 0, func(adcc.StreamEvent) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Events = %v, want the fn sentinel", err)
+	}
+}
+
+// TestWaitRetriesTransientErrors checks that Wait polls through
+// transport failures: a connection that dies twice before the job
+// endpoint answers must still resolve to the final status.
+func TestWaitRetriesTransientErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1, 2:
+			// Kill the connection without a response: a transport
+			// error, not an API error.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("server does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatalf("hijack: %v", err)
+			}
+			conn.Close()
+		default:
+			serveJSON(adcc.JobInfo{ID: "j1", Status: adcc.JobDone})(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, srv.Client())
+	info, err := c.Wait(context.Background(), "j1", time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait = %v, want success after transient errors", err)
+	}
+	if info.Status != adcc.JobDone {
+		t.Errorf("status %q, want done", info.Status)
+	}
+	if n := calls.Load(); n < 3 {
+		t.Errorf("%d polls recorded, want at least 3", n)
+	}
+}
+
+// TestWaitReturnsAPIErrors checks that an authoritative service answer
+// (here 404: no such job) fails Wait immediately instead of retrying
+// forever.
+func TestWaitReturnsAPIErrors(t *testing.T) {
+	c, paths := recordingServer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	})
+	_, err := c.Wait(context.Background(), "missing", time.Millisecond)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusNotFound {
+		t.Fatalf("Wait = %v, want the 404 APIError", err)
+	}
+	if len(*paths) != 1 {
+		t.Errorf("%d polls recorded, want exactly 1 for an authoritative error", len(*paths))
+	}
+}
+
+// TestWaitCancellation checks that a canceled context ends Wait with
+// ctx.Err() even while the service keeps reporting a running job.
+func TestWaitCancellation(t *testing.T) {
+	c, _ := recordingServer(t, serveJSON(adcc.JobInfo{ID: "j1", Status: adcc.JobRunning}))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.Wait(ctx, "j1", time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestWaitCancellationDuringOutage checks the interaction of the two
+// Wait fixes: transport errors keep being retried, but only until the
+// context ends — a dead service never traps the caller.
+func TestWaitCancellationDuringOutage(t *testing.T) {
+	// A base URL nothing listens on: every poll is a transport error.
+	c := New("http://127.0.0.1:1", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.Wait(ctx, "j1", time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestEventsFromOffset checks the resume query-string contract: -1
+// streams from the beginning (no query), a non-negative lastSeq asks
+// for the frame after it.
+func TestEventsFromOffset(t *testing.T) {
+	c, paths := recordingServer(t, sseHandler("id: 7\nevent: done\ndata: {}\n\n"))
+	ctx := context.Background()
+	if err := c.Events(ctx, "j1", -1, func(adcc.StreamEvent) error { return nil }); err != nil {
+		t.Fatalf("Events(-1): %v", err)
+	}
+	if err := c.Events(ctx, "j1", 6, func(adcc.StreamEvent) error { return nil }); err != nil {
+		t.Fatalf("Events(6): %v", err)
+	}
+	want := []string{"/v1/campaigns/j1/events", "/v1/campaigns/j1/events?from=6"}
+	if fmt.Sprint(*paths) != fmt.Sprint(want) {
+		t.Errorf("paths = %v, want %v", *paths, want)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"adcc/internal/core"
 	"adcc/internal/engine"
+	"adcc/internal/kvlog"
 	"adcc/internal/mc"
 	"adcc/internal/sparse"
 	"adcc/internal/stencil"
@@ -71,6 +72,7 @@ const (
 	WorkloadMM      = "mm"
 	WorkloadMC      = "mc"
 	WorkloadStencil = stencil.WorkloadName
+	WorkloadKVLog   = kvlog.WorkloadName
 )
 
 // WorkloadSpec describes a runnable workload: a name and a factory
@@ -257,6 +259,23 @@ func builtinWorkloads() []WorkloadSpec {
 					return &stencil.HeatWorkload{Opts: opts, Scheme: sc}, nil
 				}
 				return &stencil.BaselineWorkload{Opts: opts, Scheme: sc}, nil
+			},
+		},
+		{
+			Name: WorkloadKVLog,
+			// The KV store's flush policy also comes from the scheme, so
+			// it sweeps the rejected algorithm-directed variants too.
+			Schemes: []string{
+				SchemeNative, SchemeCkptHDD, SchemeCkptNVM, SchemeCkptHetero,
+				SchemePMEM, SchemeAlgoNVM, SchemeAlgoHetero,
+				SchemeAlgoNaive, SchemeAlgoEvery,
+			},
+			New: func(sc Scheme, scale float64) (Workload, error) {
+				opts := kvlog.Options{Requests: scaleInt(600, scale, 120), KeySpace: 128, ScanLen: 8, CkptEvery: 16, Seed: 33}
+				if sc.Kind() == engine.KindAlgo {
+					return &kvlog.StoreWorkload{Opts: opts, Scheme: sc}, nil
+				}
+				return &kvlog.BaselineWorkload{Opts: opts, Scheme: sc}, nil
 			},
 		},
 	}

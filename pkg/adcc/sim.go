@@ -4,6 +4,7 @@ import (
 	"adcc/internal/cache"
 	"adcc/internal/core"
 	"adcc/internal/crash"
+	"adcc/internal/kvlog"
 	"adcc/internal/mem"
 	"adcc/internal/stencil"
 )
@@ -125,4 +126,6 @@ const (
 	TriggerMCLookup = core.TriggerMCLookup
 	// TriggerStencilIterEnd fires at the end of each stencil sweep.
 	TriggerStencilIterEnd = stencil.TriggerIterEnd
+	// TriggerKVLogReqEnd fires at the end of each KV-store request.
+	TriggerKVLogReqEnd = kvlog.TriggerReqEnd
 )

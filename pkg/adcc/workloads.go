@@ -4,6 +4,7 @@ import (
 	"adcc/internal/core"
 	"adcc/internal/dense"
 	"adcc/internal/engine"
+	"adcc/internal/kvlog"
 	"adcc/internal/mc"
 	"adcc/internal/sparse"
 	"adcc/internal/stencil"
@@ -167,6 +168,70 @@ func HeatWant(opts HeatOptions) []float64 { return stencil.Want(opts) }
 
 // HeatVerify compares a computed plane against the oracle.
 func HeatVerify(got, want []float64) error { return stencil.VerifyGrid(got, want) }
+
+// Persistent KV/log store (served-traffic extension family).
+type (
+	// KVLogStore is the extended algorithm-directed store: append-log
+	// tail flushing, high-water mark, index rebuilt by idempotent log
+	// replay on recovery.
+	KVLogStore = kvlog.Store
+	// KVLogOptions configures a request-stream run.
+	KVLogOptions = kvlog.Options
+	// KVLogRequest is one operation of the seeded Zipfian stream.
+	KVLogRequest = kvlog.Request
+	// KVLogOp is a request kind (put, get, delete, scan).
+	KVLogOp = kvlog.Op
+	// KVLogRecovery reports what a log replay concluded.
+	KVLogRecovery = kvlog.Recovery
+	// BaselineKVLogStore is the same store driven through a
+	// conventional scheme's Guard.
+	BaselineKVLogStore = kvlog.Baseline
+	// KVLogWorkload adapts the algorithm-directed store to the Workload
+	// lifecycle.
+	KVLogWorkload = kvlog.StoreWorkload
+	// BaselineKVLogWorkload adapts the store to the Workload lifecycle
+	// under a conventional scheme.
+	BaselineKVLogWorkload = kvlog.BaselineWorkload
+)
+
+// KV request kinds of the seeded stream.
+const (
+	KVLogOpPut  = kvlog.OpPut
+	KVLogOpGet  = kvlog.OpGet
+	KVLogOpDel  = kvlog.OpDel
+	KVLogOpScan = kvlog.OpScan
+)
+
+// NewKVLogStore builds the algorithm-directed store on a machine (em
+// may be nil when no crash will be injected).
+func NewKVLogStore(m *Machine, em *Emulator, opts KVLogOptions) *KVLogStore {
+	return kvlog.NewStore(m, em, opts)
+}
+
+// NewBaselineKVLogStore builds the store under a conventional scheme
+// (nil means native, no protection).
+func NewBaselineKVLogStore(m *Machine, opts KVLogOptions, sc Scheme) *BaselineKVLogStore {
+	return kvlog.NewBaseline(m, opts, sc)
+}
+
+// KVLogStream generates the deterministic Zipfian request stream for
+// the given options.
+func KVLogStream(opts KVLogOptions) []KVLogRequest { return kvlog.Stream(opts) }
+
+// KVLogWant computes the final key-value state of the request stream —
+// the family's verification oracle.
+func KVLogWant(opts KVLogOptions) map[int64]int64 { return kvlog.Oracle(opts) }
+
+// KVLogVerify compares a served state against the oracle map.
+func KVLogVerify(got, want map[int64]int64) error { return kvlog.VerifyState(got, want) }
+
+// KVLogThroughput returns the simulated request rate (ops/sec) over
+// recorded per-request latencies.
+func KVLogThroughput(reqNS []int64) float64 { return kvlog.Throughput(reqNS) }
+
+// KVLogPercentile returns the nearest-rank p-th percentile of a latency
+// slice — the same semantics as the result store's distributions.
+func KVLogPercentile(v []int64, p float64) int64 { return kvlog.Percentile(v, p) }
 
 // Pure input generators (no simulation cost).
 type (
